@@ -1,0 +1,90 @@
+// Command experiments regenerates the paper-reproduction tables E1–E13
+// indexed in DESIGN.md §5 and recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments                 # run everything at full scale
+//	experiments -quick          # CI-sized run
+//	experiments -run E3,E5      # a subset
+//	experiments -csv out/       # additionally write one CSV per table
+//	experiments -list           # list experiment IDs and claims
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"gossipq/internal/experiments"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "run at reduced scale (seconds instead of minutes)")
+		runIDs = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		csvDir = flag.String("csv", "", "directory to write per-table CSV files into")
+		list   = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Claim)
+		}
+		return
+	}
+
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+
+	var selected []experiments.Experiment
+	if *runIDs == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "csv dir: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		fmt.Printf("\n### %s — %s\n\n", e.ID, e.Claim)
+		tables := e.Run(scale)
+		for i, t := range tables {
+			t.Fprint(os.Stdout)
+			fmt.Println()
+			if *csvDir != "" {
+				name := fmt.Sprintf("%s_%d.csv", strings.ToLower(e.ID), i)
+				f, err := os.Create(filepath.Join(*csvDir, name))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+					os.Exit(1)
+				}
+				t.CSV(f)
+				if err := f.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("(%s completed in %.1fs)\n", e.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,94 @@
+// Command gossipq runs a single gossip quantile computation on a synthetic
+// workload and reports the answer and its complexity, for interactive
+// exploration of the library.
+//
+// Examples:
+//
+//	gossipq -n 100000 -phi 0.99 -eps 0.01             # approximate p99
+//	gossipq -n 65536 -phi 0.5 -exact                  # exact median
+//	gossipq -n 32768 -phi 0.5 -eps 0.05 -mu 0.5 -t 6  # under 50% failures
+//	gossipq -n 10000 -workload zipf -phi 0.9 -eps 0.02
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gossipq"
+	"gossipq/internal/dist"
+	"gossipq/internal/stats"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 100000, "number of nodes")
+		phi      = flag.Float64("phi", 0.5, "target quantile in [0,1]")
+		eps      = flag.Float64("eps", 0.05, "approximation width (ignored with -exact)")
+		exactF   = flag.Bool("exact", false, "compute the exact quantile (Thm 1.1)")
+		workload = flag.String("workload", "uniform", "value distribution: uniform|sequential|gaussian|zipf|clustered|bimodal|duplicate-heavy")
+		seed     = flag.Uint64("seed", 1, "random seed (reruns with the same seed are identical)")
+		mu       = flag.Float64("mu", 0, "per-node per-round failure probability (Thm 1.4)")
+		extraT   = flag.Int("t", 0, "extra adoption rounds under failures (Thm 1.4's t)")
+		verify   = flag.Bool("verify", true, "check the answer against a centralized oracle")
+	)
+	flag.Parse()
+
+	kind, err := dist.ByName(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	values := dist.Generate(kind, *n, *seed)
+	cfg := gossipq.Config{Seed: *seed, ExtraRounds: *extraT}
+	if *mu > 0 {
+		cfg.Failures = gossipq.UniformFailures(*mu)
+	}
+
+	if *exactF {
+		res, err := gossipq.ExactQuantile(values, *phi, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("exact %.4f-quantile of %d %s values: %d\n", *phi, *n, *workload, res.Value)
+		report(res.Metrics, *n)
+		if *verify {
+			want := stats.NewOracle(values).Quantile(*phi)
+			fmt.Printf("oracle check: %s (oracle says %d)\n", mark(res.Value == want), want)
+		}
+		return
+	}
+
+	res, err := gossipq.ApproxQuantile(values, *phi, *eps, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%.4f-approximate %.4f-quantile of %d %s values\n", *eps, *phi, *n, *workload)
+	fmt.Printf("coverage: %d/%d nodes hold an output; node 0's answer: %d\n",
+		res.Covered(), *n, res.Outputs[0])
+	report(res.Metrics, *n)
+	if *verify {
+		o := stats.NewOracle(values)
+		bad := 0
+		for v, x := range res.Outputs {
+			if res.Has[v] && !o.WithinEpsilon(x, *phi, *eps) {
+				bad++
+			}
+		}
+		fmt.Printf("oracle check: %s (%d covered nodes outside the ±εn window)\n", mark(bad == 0), bad)
+	}
+}
+
+func report(m gossipq.Metrics, n int) {
+	fmt.Printf("rounds: %d   messages/node: %.1f   peak message: %d bits   total volume: %.2f Mbit\n",
+		m.Rounds, float64(m.Messages)/float64(n), m.MaxMessageBits, float64(m.Bits)/1e6)
+}
+
+func mark(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
+}

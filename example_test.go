@@ -1,0 +1,71 @@
+package gossipq_test
+
+import (
+	"fmt"
+
+	"gossipq"
+)
+
+// ExampleApproxQuantile computes an approximate 0.9-quantile over a small
+// deterministic population. With a permutation of 1..1000 as values, any
+// answer with rank in [850, 950] is acceptable at ε = 0.05.
+func ExampleApproxQuantile() {
+	values := make([]int64, 1000)
+	for i := range values {
+		values[i] = int64((i*7919)%1000 + 1) // a fixed permutation of 1..1000
+	}
+	res, err := gossipq.ApproxQuantile(values, 0.9, 0.05, gossipq.Config{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	ok := gossipq.Verify(values, res.Outputs[0], 0.9, 0.05)
+	fmt.Println("within ±εn:", ok)
+	fmt.Println("message bits ≤ 128:", res.Metrics.MaxMessageBits <= 128)
+	// Output:
+	// within ±εn: true
+	// message bits ≤ 128: true
+}
+
+// ExampleExactQuantile computes the exact median of a permutation of
+// 1..2048; the answer must be exactly 1024.
+func ExampleExactQuantile() {
+	values := make([]int64, 2048)
+	for i := range values {
+		values[i] = int64((i*1217)%2048 + 1) // a fixed permutation of 1..2048
+	}
+	res, err := gossipq.ExactQuantile(values, 0.5, gossipq.Config{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("exact median:", res.Value)
+	// Output:
+	// exact median: 1024
+}
+
+// ExampleApproxQuantile_failures runs the same computation while every node
+// fails 40% of its rounds (Theorem 1.4).
+func ExampleApproxQuantile_failures() {
+	values := make([]int64, 4096)
+	for i := range values {
+		values[i] = int64((i*2741)%4096 + 1)
+	}
+	res, err := gossipq.ApproxQuantile(values, 0.5, 0.1, gossipq.Config{
+		Seed:        3,
+		Failures:    gossipq.UniformFailures(0.4),
+		ExtraRounds: 10,
+	})
+	if err != nil {
+		panic(err)
+	}
+	allCorrect := true
+	for v, x := range res.Outputs {
+		if res.Has[v] && !gossipq.Verify(values, x, 0.5, 0.1) {
+			allCorrect = false
+		}
+	}
+	fmt.Println("covered nodes all correct:", allCorrect)
+	fmt.Println("coverage above 99%:", res.Covered() > len(values)*99/100)
+	// Output:
+	// covered nodes all correct: true
+	// coverage above 99%: true
+}

@@ -1,0 +1,62 @@
+// Livecluster runs the tournament quantile algorithm as a real concurrent
+// system: every node is its own goroutine with purely node-local state,
+// first over an in-process message transport (5,000 nodes), then over
+// actual loopback TCP sockets (32 nodes) — demonstrating that the paper's
+// algorithm needs nothing beyond "pick a random peer, ask for its value".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gossipq/internal/dist"
+	"gossipq/internal/livenet"
+)
+
+func main() {
+	const phi, eps = 0.9, 0.05
+
+	// 5,000 concurrent node goroutines, message passing only.
+	{
+		const n = 5000
+		values := dist.Generate(dist.Zipf, n, 17)
+		tr := livenet.NewChanTransport(n)
+		res, err := livenet.ApproxQuantile(tr, values, phi, eps, 42, 0)
+		tr.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("in-process cluster: %d concurrent nodes computed the 0.9-quantile ±%.0f%%\n",
+			n, eps*100)
+		fmt.Printf("  schedule: %d model rounds; node 0 answered %d (rank %.3f, target 0.9±%.2f)\n",
+			res.Rounds, res.Outputs[0], rankOf(values, res.Outputs[0]), eps)
+	}
+
+	// 32 nodes over genuine TCP loopback sockets.
+	{
+		const n = 32
+		values := dist.Generate(dist.Uniform, n, 23)
+		tr, err := livenet.NewTCPTransport(n, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := livenet.ApproxQuantile(tr, values, 0.5, 0.125, 7, 5)
+		tr.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("TCP cluster: %d nodes over loopback sockets; median answer has rank %.2f\n",
+			n, rankOf(values, res.Outputs[0]))
+	}
+}
+
+// rankOf returns the normalized rank of x among values.
+func rankOf(values []int64, x int64) float64 {
+	c := 0
+	for _, v := range values {
+		if v <= x {
+			c++
+		}
+	}
+	return float64(c) / float64(len(values))
+}

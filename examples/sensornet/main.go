@@ -1,0 +1,83 @@
+// Sensornet reproduces the paper's motivating scenario (§1): thousands of
+// temperature sensors are spread across an object; the top and bottom 10%
+// need special attention. By gossiping the 10%- and 90%-quantiles, every
+// sensor classifies itself — no coordinator, no routing tree, O(log n)-bit
+// messages, and a round count that is doubly logarithmic in the fleet size.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"gossipq"
+	"gossipq/internal/dist"
+)
+
+func main() {
+	// 50,000 sensors; temperatures in milli-degrees with spatial hot spots
+	// (clusters) plus gaussian noise.
+	const n = 50_000
+	noise := dist.Generate(dist.Gaussian, n, 9)
+	temps := make([]int64, n)
+	for i := range temps {
+		base := int64(20_000) // 20°C
+		if i%17 == 0 {
+			base = 31_000 // a hot region
+		}
+		if i%23 == 0 {
+			base = 12_500 // a cold region
+		}
+		temps[i] = base + noise[i]/500
+	}
+
+	// The fleet computes both decile cut points. An approximation is all a
+	// physical deployment needs: ε=0.02 means at most 2% of sensors are
+	// misclassified near the boundary, and keeps the computation on the
+	// O(log log n + log 1/ε) tournament path (ε below ~3/√n would
+	// auto-route to the exact algorithm instead).
+	cfg := gossipq.Config{Seed: 2024}
+	p10, err := gossipq.ApproxQuantile(temps, 0.10, 0.02, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p90, err := gossipq.ApproxQuantile(temps, 0.90, 0.02, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Every sensor now self-classifies using ITS OWN node's outputs — the
+	// whole point of gossip aggregation is that the answer lives everywhere.
+	var cold, hot int
+	for v := 0; v < n; v++ {
+		switch {
+		case temps[v] <= p10.Outputs[v]:
+			cold++
+		case temps[v] >= p90.Outputs[v]:
+			hot++
+		}
+	}
+
+	rounds := p10.Metrics.Rounds + p90.Metrics.Rounds
+	fmt.Printf("fleet of %d sensors classified itself in %d gossip rounds\n", n, rounds)
+	fmt.Printf("  10%% cutoff ≈ %.2f°C, 90%% cutoff ≈ %.2f°C\n",
+		float64(p10.Outputs[0])/1000, float64(p90.Outputs[0])/1000)
+	fmt.Printf("  flagged cold: %d (%.1f%%)   flagged hot: %d (%.1f%%)\n",
+		cold, 100*float64(cold)/n, hot, 100*float64(hot)/n)
+	fmt.Printf("  per-sensor traffic: %.0f messages of ≤%d bits\n",
+		float64(p10.Metrics.Messages+p90.Metrics.Messages)/n,
+		maxInt(p10.Metrics.MaxMessageBits, p90.Metrics.MaxMessageBits))
+
+	// Contrast with the round cost of a full sort-and-broadcast, which is
+	// what the doubly-logarithmic bound is beating: even one broadcast
+	// floor is log2(n) ≈ 16 rounds; collecting all values would be Θ(n).
+	fmt.Printf("  (log2(n) = %.0f; the two quantile computations cost %d rounds total)\n",
+		math.Log2(n), rounds)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,77 @@
+package gossipq
+
+import (
+	"testing"
+
+	"gossipq/internal/dist"
+)
+
+// FuzzDistinctifyRoundTrip checks that the tie-breaking reduction used by
+// ExactQuantile (distinctify then floor-divide back) recovers the original
+// value for any input, including negatives.
+func FuzzDistinctifyRoundTrip(f *testing.F) {
+	f.Add(int64(0), int64(5), int64(-7))
+	f.Add(int64(-1), int64(-1), int64(-1))
+	f.Add(int64(1<<40), int64(-(1 << 40)), int64(3))
+	f.Fuzz(func(t *testing.T, a, b, c int64) {
+		// Bound magnitudes so value*multiplier cannot overflow int64.
+		const lim = int64(1) << 55
+		clamp := func(x int64) int64 {
+			if x > lim {
+				return lim
+			}
+			if x < -lim {
+				return -lim
+			}
+			return x
+		}
+		values := []int64{clamp(a), clamp(b), clamp(c)}
+		d, mult := dist.MakeDistinct(values)
+		seen := make(map[int64]bool, len(d))
+		for i, x := range d {
+			if seen[x] {
+				t.Fatalf("duplicate after distinctify: %d", x)
+			}
+			seen[x] = true
+			if got := floorDiv(x, mult); got != values[i] {
+				t.Fatalf("floorDiv(%d, %d) = %d, want %d", x, mult, got, values[i])
+			}
+		}
+		// Order preservation: x < y implies distinct(x) < distinct(y).
+		for i := range values {
+			for j := range values {
+				if values[i] < values[j] && d[i] >= d[j] {
+					t.Fatalf("order broken: %d < %d but %d >= %d",
+						values[i], values[j], d[i], d[j])
+				}
+			}
+		}
+	})
+}
+
+// FuzzApproxQuantileNeverPanics drives the public API with arbitrary small
+// inputs: it must either answer or return an error, never panic, and any
+// answer must be one of the input values.
+func FuzzApproxQuantileNeverPanics(f *testing.F) {
+	f.Add(uint16(100), uint16(5000), uint16(500), uint64(1))
+	f.Add(uint16(2), uint16(0), uint16(10000), uint64(9))
+	f.Fuzz(func(t *testing.T, nRaw, phiRaw, epsRaw uint16, seed uint64) {
+		n := 2 + int(nRaw)%512
+		phi := float64(phiRaw%10001) / 10000
+		eps := 0.01 + float64(epsRaw%1000)/1000 // 0.01 .. 1.01
+		values := dist.Generate(dist.Uniform, n, seed)
+		present := make(map[int64]bool, n)
+		for _, v := range values {
+			present[v] = true
+		}
+		res, err := ApproxQuantile(values, phi, eps, Config{Seed: seed})
+		if err != nil {
+			return
+		}
+		for v, x := range res.Outputs {
+			if res.Has[v] && !present[x] {
+				t.Fatalf("output %d is not an input value", x)
+			}
+		}
+	})
+}

@@ -1,0 +1,302 @@
+// Package exact implements the exact φ-quantile gossip algorithm of
+// Theorem 1.1 (Algorithm 3): O(log n) rounds, O(log n)-bit messages, w.h.p.
+//
+// Each iteration brackets the answer between two approximate quantiles
+// (via the tournament algorithm of §2), floods the bracket ends to all
+// nodes (Step 4, epidemic max/min), counts the exact rank of the bracket's
+// lower end (Step 5, push-sum), discards values outside the bracket
+// (Step 6), and re-replicates the survivors over the freed nodes with the
+// token protocol (Step 7), remapping the target rank (Step 8). Each
+// iteration shrinks the number of distinct candidate values by a
+// polynomial factor, so a constant number of iterations collapses the
+// candidate set to the answer alone, which the bracket flood then detects.
+//
+// Parameter substitution (documented in DESIGN.md §4.2): the paper's
+// ε = n^{-0.05}/2 and 25 iterations only interlock for astronomically
+// large n; we instead run the same loop with the per-iteration ε at the
+// tournament's validity boundary ε(n) = Θ(n^{-1/4.47}) (Lemma 2.5), which
+// preserves the polynomial contraction per O(log n)-round iteration and
+// hence the O(log n) total.
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gossipq/internal/pushsum"
+	"gossipq/internal/sim"
+	"gossipq/internal/spread"
+	"gossipq/internal/tokens"
+	"gossipq/internal/tournament"
+)
+
+// infinity is the sentinel held by valueless nodes (Step 6 sets x_v ← ∞).
+// Input values must be strictly below it; the public API's distinctifying
+// transform keeps real workloads far away from it.
+const infinity = math.MaxInt64
+
+// negInfinity is the neutral element for max-floods.
+const negInfinity = math.MinInt64
+
+// Options tunes the exact algorithm.
+type Options struct {
+	// Eps overrides the per-iteration approximation width (0 = automatic:
+	// the tournament validity boundary for the population size).
+	Eps float64
+	// MaxIterations caps the contraction loop (0 = 40). The loop normally
+	// exits by candidate collapse long before; the cap guards against a
+	// (never observed, probability-poly(1/n)) runaway.
+	MaxIterations int
+	// RefillTarget is the valued-node count the duplication step aims for
+	// (0 = n/2), mirroring the paper's n^0.99/2 at laptop scale.
+	RefillTarget int
+	// Capacity caps total tokens (0 = 7n/8).
+	Capacity int
+	// K is the final sample size passed through to the tournament runs.
+	K int
+}
+
+// Result reports the outcome of Exact.
+type Result struct {
+	// Value is the exact φ-quantile (the ⌈φn⌉-smallest input value).
+	// Every node learns it; Exact returns the consensus value.
+	Value int64
+	// Iterations is the number of contraction iterations executed.
+	Iterations int
+	// Collapsed reports that the loop exited by candidate-set collapse
+	// (the normal path).
+	Collapsed bool
+}
+
+// ErrNoCollapse is returned when the candidate set failed to collapse
+// within the iteration cap — a w.h.p.-never event included for honesty.
+var ErrNoCollapse = errors.New("exact: candidate set did not collapse within the iteration cap")
+
+// ErrBracketMiss is returned when a sanity check detects that the bracket
+// lost the answer (rank bookkeeping went inconsistent) — again a
+// probability-poly(1/n) event surfaced rather than silently mis-answered.
+var ErrBracketMiss = errors.New("exact: bracket does not contain the target rank")
+
+// Quantile computes the exact φ-quantile of values. values must be
+// pairwise distinct (the paper's w.l.o.g.; the public API distinctifies
+// arbitrary inputs before calling this) and strictly below MaxInt64.
+func Quantile(e *sim.Engine, values []int64, phi float64, opt Options) (Result, error) {
+	n := e.N()
+	if len(values) != n {
+		panic(fmt.Sprintf("exact: %d values for %d nodes", len(values), n))
+	}
+	maxIter := opt.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 40
+	}
+	refill := opt.RefillTarget
+	if refill <= 0 {
+		refill = n / 2
+	}
+	capacity := opt.Capacity
+	if capacity <= 0 {
+		capacity = n - n/8
+	}
+	eps := opt.Eps
+	if eps <= 0 {
+		eps = tournament.MinEps(n)
+	}
+	eps = tournament.ClampEps(eps)
+
+	// Under the §5 failure model, substitute robust tournaments for the
+	// brackets and stretch the flood/count budgets by the constant factor
+	// Theorem 1.4 allows.
+	mu := sim.MaxProb(e.Failures(), n)
+	budget := 1
+	if mu > 0 {
+		budget = 2 + int(math.Ceil(1/(1-mu)))
+	}
+	floodRounds := budget * spread.Rounds(n)
+	countRounds := budget * pushsum.DefaultRounds(n, 1.0/(4*float64(n)))
+
+	cur := make([]int64, n)
+	copy(cur, values)
+	valued := make([]bool, n)
+	for v := range valued {
+		valued[v] = true
+	}
+
+	// k is the target rank over the full n-element multiset (valueless
+	// nodes hold +∞ and rank above everything). The loop invariant — the
+	// paper's correctness argument — is that the ranks (k-M, k] of the
+	// current multiset all hold the answer value, where M is the
+	// accumulated replication ∏m_i.
+	k := int64(targetRank(phi, n))
+	m0 := int64(1) // M, the accumulated replication
+	res := Result{}
+
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iterations = iter + 1
+
+		// Termination: flood min and max of the valued values. Two exits:
+		// (a) full collapse (min == max): every valued node holds the
+		//     answer, and the flood just taught it to everyone; and
+		// (b) M >= k: the invariant window (k-M, k] covers every rank up
+		//     to k, so ranks 1..k are all the answer — i.e. the answer is
+		//     the minimum valued value, which the flood just delivered.
+		// (b) is the paper's own endgame (it stops once M_i >= n >= k);
+		// without it the bracket stalls as soon as its ±εn rank resolution
+		// exceeds the value granularity M.
+		vmin, vmax := floodRange(e, cur, valued, floodRounds)
+		if vmin == infinity && vmax == negInfinity {
+			return res, errors.New("exact: no valued nodes remain")
+		}
+		if vmin == vmax || m0 >= k {
+			res.Value = vmin
+			res.Collapsed = true
+			return res, nil
+		}
+
+		// Step 3: bracket the answer between approximate quantiles at
+		// φ' = k/n ∓ ε, each computed to ±ε/2, so the bracket's ends have
+		// ranks within [k-3εn/2, k-εn/2] and [k+εn/2, k+3εn/2] w.h.p.
+		phiK := float64(k) / float64(n)
+		lo := make([]int64, n)
+		hi := make([]int64, n)
+		if phiK-eps > eps/2 {
+			bracketApprox(e, cur, phiK-eps, eps/2, mu, opt.K, lo, infinity)
+		} else {
+			for v := range lo {
+				lo[v] = negInfinity
+			}
+		}
+		if phiK+eps < 1-eps/2 {
+			bracketApprox(e, cur, phiK+eps, eps/2, mu, opt.K, hi, negInfinity)
+		} else {
+			for v := range hi {
+				hi[v] = infinity
+			}
+		}
+
+		// Step 4: every node learns the global min of the lo-estimates and
+		// max of the hi-estimates, making the bracket consistent.
+		loAll := spread.Min(e, lo, floodRounds)[0]
+		hiAll := spread.Max(e, hi, floodRounds)[0]
+		if loAll > hiAll {
+			return res, fmt.Errorf("%w: flooded bracket [%d, %d] inverted", ErrBracketMiss, loAll, hiAll)
+		}
+
+		// Step 5: exact count R of values strictly below the bracket.
+		var below []bool
+		below = make([]bool, n)
+		for v := 0; v < n; v++ {
+			below[v] = valued[v] && cur[v] < loAll
+		}
+		r := pushsum.CountExact(e, below, countRounds)[0]
+		if r >= k {
+			return res, fmt.Errorf("%w: %d values below bracket, target rank %d", ErrBracketMiss, r, k)
+		}
+
+		// Step 6: discard values outside [loAll, hiAll].
+		survivors := 0
+		for v := 0; v < n; v++ {
+			if valued[v] && loAll <= cur[v] && cur[v] <= hiAll {
+				survivors++
+			} else {
+				valued[v] = false
+				cur[v] = infinity
+			}
+		}
+		if int64(survivors) < k-r {
+			return res, fmt.Errorf("%w: rank %d exceeds %d survivors", ErrBracketMiss, k-r, survivors)
+		}
+
+		// Step 7: re-replicate survivors over the freed nodes.
+		m := tokens.ChooseCopies(survivors, refill, capacity)
+		if m > 1 {
+			tr, err := tokens.Distribute(e, valued, cur, m, 0)
+			if err != nil {
+				return res, fmt.Errorf("exact: token distribution: %w", err)
+			}
+			for v := 0; v < n; v++ {
+				if tr.Has[v] {
+					cur[v] = tr.Value[v]
+					valued[v] = true
+				} else {
+					cur[v] = infinity
+					valued[v] = false
+				}
+			}
+		}
+
+		// Step 8: remap the target rank. Strict-below counting makes this
+		// m·(k - R) (the paper's m·(k-R+1) uses the ≤-rank convention).
+		// The replication tracker saturates well below overflow; the
+		// M >= k exit fires long before saturation matters (k <= n).
+		k = m * (k - r)
+		if m0 <= (1<<62)/m {
+			m0 *= m
+		} else {
+			m0 = 1 << 62
+		}
+	}
+	return res, ErrNoCollapse
+}
+
+// bracketApprox fills out with each node's approximate quantile estimate,
+// using the plain tournament when failure-free and the §5.1 robust variant
+// otherwise; nodes without a robust output receive the neutral sentinel so
+// the subsequent min/max flood ignores them.
+func bracketApprox(e *sim.Engine, cur []int64, phi, eps, mu float64, k int, out []int64, neutral int64) {
+	if mu == 0 {
+		copy(out, tournament.ApproxQuantile(e, cur, phi, eps, tournament.Options{K: k}))
+		return
+	}
+	res := tournament.RobustApproxQuantile(e, cur, phi, eps, tournament.RobustOptions{Mu: mu, K: k})
+	for v := range out {
+		if res.Has[v] {
+			out[v] = res.Output[v]
+		} else {
+			out[v] = neutral
+		}
+	}
+}
+
+// floodRange floods (min, max) over the valued entries of cur; valueless
+// nodes contribute neutral elements. Two epidemic floods = 2·(log2 n +
+// slack) rounds. The returned pair is node 0's view, which equals every
+// node's view w.h.p.; disagreement only delays collapse detection by one
+// iteration, never corrupts it, because collapse requires min == max.
+func floodRange(e *sim.Engine, cur []int64, valued []bool, rounds int) (int64, int64) {
+	n := e.N()
+	mins := make([]int64, n)
+	maxs := make([]int64, n)
+	for v := 0; v < n; v++ {
+		if valued[v] {
+			mins[v] = cur[v]
+			maxs[v] = cur[v]
+		} else {
+			mins[v] = infinity
+			maxs[v] = negInfinity
+		}
+	}
+	return spread.Min(e, mins, rounds)[0], spread.Max(e, maxs, rounds)[0]
+}
+
+// targetRank converts φ to the 1-based target rank ⌈φn⌉ clamped to [1, n].
+func targetRank(phi float64, n int) int {
+	k := int(math.Ceil(phi * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// PredictRounds gives a rough upper estimate of the algorithm's round cost
+// for sizing experiment budgets; the E1 experiment measures the real cost.
+func PredictRounds(n int) int {
+	perIter := 2*tournament.TotalRounds(n, 0.5, tournament.MinEps(n), tournament.Options{}) +
+		4*spread.Rounds(n) +
+		pushsum.DefaultRounds(n, 1.0/(4*float64(n))) +
+		4*sim.CeilLog2(n)
+	return 12 * perIter // generous iteration estimate
+}

@@ -1,0 +1,227 @@
+package exact
+
+import (
+	"testing"
+
+	"gossipq/internal/dist"
+	"gossipq/internal/sim"
+	"gossipq/internal/stats"
+)
+
+func TestExactQuantileSequential(t *testing.T) {
+	// Permutation of 1..n: the ⌈φn⌉-smallest value is exactly ⌈φn⌉.
+	const n = 4096
+	values := dist.Generate(dist.Sequential, n, 1)
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		e := sim.New(n, 100+uint64(phi*10))
+		res, err := Quantile(e, values, phi, Options{})
+		if err != nil {
+			t.Fatalf("phi=%v: %v", phi, err)
+		}
+		want := int64(stats.TargetRank(phi, n))
+		if res.Value != want {
+			t.Errorf("phi=%v: got %d, want %d (after %d iterations)",
+				phi, res.Value, want, res.Iterations)
+		}
+		if !res.Collapsed {
+			t.Errorf("phi=%v: did not exit by collapse", phi)
+		}
+	}
+}
+
+func TestExactQuantileUniformValues(t *testing.T) {
+	const n = 4096
+	values := dist.Generate(dist.Uniform, n, 2)
+	o := stats.NewOracle(values)
+	for _, phi := range []float64{0.25, 0.75} {
+		e := sim.New(n, 7)
+		res, err := Quantile(e, values, phi, Options{})
+		if err != nil {
+			t.Fatalf("phi=%v: %v", phi, err)
+		}
+		if want := o.Quantile(phi); res.Value != want {
+			t.Errorf("phi=%v: got %d, want %d", phi, res.Value, want)
+		}
+	}
+}
+
+func TestExactExtremeQuantiles(t *testing.T) {
+	// φ=0 (minimum) and φ=1 (maximum) exercise the one-sided brackets.
+	const n = 2048
+	values := dist.Generate(dist.Uniform, n, 3)
+	o := stats.NewOracle(values)
+	for _, tc := range []struct {
+		phi  float64
+		want int64
+	}{{0, o.Min()}, {1, o.Max()}} {
+		e := sim.New(n, 11)
+		res, err := Quantile(e, values, tc.phi, Options{})
+		if err != nil {
+			t.Fatalf("phi=%v: %v", tc.phi, err)
+		}
+		if res.Value != tc.want {
+			t.Errorf("phi=%v: got %d, want %d", tc.phi, res.Value, tc.want)
+		}
+	}
+}
+
+func TestExactManySeeds(t *testing.T) {
+	// The w.h.p. claim over repeated runs, including rank-adjacent checks:
+	// the answer must be THE rank-k value, not a neighbor.
+	const n = 2000
+	values := dist.Generate(dist.Sequential, n, 4)
+	const phi = 0.37
+	want := int64(stats.TargetRank(phi, n))
+	for seed := uint64(0); seed < 10; seed++ {
+		e := sim.New(n, seed)
+		res, err := Quantile(e, values, phi, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Value != want {
+			t.Errorf("seed %d: got %d, want %d", seed, res.Value, want)
+		}
+	}
+}
+
+func TestExactGaussianWorkload(t *testing.T) {
+	const n = 4096
+	raw := dist.Generate(dist.Gaussian, n, 5)
+	// Gaussian values may collide; the algorithm requires distinct values,
+	// so distinctify as the public API does.
+	values, mult := dist.MakeDistinct(raw)
+	o := stats.NewOracle(raw)
+	e := sim.New(n, 13)
+	res, err := Quantile(e, values, 0.5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Value/mult, o.Quantile(0.5); got != want {
+		t.Errorf("median = %d, want %d", got, want)
+	}
+}
+
+func TestExactRoundsLogarithmic(t *testing.T) {
+	// The O(log n) claim in its measurable form: rounds per log2(n) should
+	// not grow as n quadruples twice (contrast with the KDG baseline's
+	// O(log² n), measured in E3).
+	perLog := func(n int) float64 {
+		values := dist.Generate(dist.Sequential, n, 6)
+		e := sim.New(n, 17)
+		if _, err := Quantile(e, values, 0.5, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		return float64(e.Rounds()) / float64(sim.CeilLog2(n))
+	}
+	small := perLog(1 << 11)
+	large := perLog(1 << 15)
+	// Allow wide slack: the iteration count shrinks slowly at these sizes;
+	// what must NOT happen is linear growth of rounds/log n.
+	if large > 1.6*small {
+		t.Errorf("rounds/log2(n) grew from %.1f to %.1f; not O(log n)-shaped", small, large)
+	}
+}
+
+func TestExactIterationsBounded(t *testing.T) {
+	const n = 8192
+	values := dist.Generate(dist.Sequential, n, 7)
+	e := sim.New(n, 19)
+	res, err := Quantile(e, values, 0.5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 15 {
+		t.Errorf("took %d contraction iterations, want O(1)", res.Iterations)
+	}
+}
+
+func TestExactDeterministic(t *testing.T) {
+	const n = 1024
+	values := dist.Generate(dist.Uniform, n, 8)
+	run := func() Result {
+		e := sim.New(n, 23)
+		res, err := Quantile(e, values, 0.6, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Value != b.Value || a.Iterations != b.Iterations {
+		t.Errorf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestExactPanicsOnLengthMismatch(t *testing.T) {
+	e := sim.New(10, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	_, _ = Quantile(e, make([]int64, 9), 0.5, Options{})
+}
+
+func TestExactSmallPopulation(t *testing.T) {
+	// Small n stresses the clamped-ε regime (slower contraction but the
+	// iteration cap is sized for it).
+	const n = 512
+	values := dist.Generate(dist.Sequential, n, 9)
+	for _, phi := range []float64{0.3, 0.5} {
+		e := sim.New(n, 29)
+		res, err := Quantile(e, values, phi, Options{})
+		if err != nil {
+			t.Fatalf("phi=%v: %v", phi, err)
+		}
+		want := int64(stats.TargetRank(phi, n))
+		if res.Value != want {
+			t.Errorf("phi=%v: got %d, want %d", phi, res.Value, want)
+		}
+	}
+}
+
+func TestPredictRoundsPositive(t *testing.T) {
+	if PredictRounds(1000) <= 0 {
+		t.Error("non-positive round prediction")
+	}
+	if PredictRounds(100000) <= PredictRounds(100) {
+		t.Error("prediction should grow with n")
+	}
+}
+
+func TestExactClusteredWorkload(t *testing.T) {
+	// Clustered values (tight clusters separated by huge gaps) are the
+	// adversarial case for interval contraction: brackets repeatedly land
+	// inside one cluster. Distinctified as the public API does.
+	const n = 4096
+	raw := dist.Generate(dist.Clustered, n, 10)
+	values, mult := dist.MakeDistinct(raw)
+	o := stats.NewOracle(raw)
+	for _, phi := range []float64{0.2, 0.5, 0.8} {
+		e := sim.New(n, 31)
+		res, err := Quantile(e, values, phi, Options{})
+		if err != nil {
+			t.Fatalf("phi=%v: %v", phi, err)
+		}
+		if got, want := res.Value/mult, o.Quantile(phi); got != want {
+			t.Errorf("phi=%v: got %d, want %d", phi, got, want)
+		}
+	}
+}
+
+func TestExactSortedPlacement(t *testing.T) {
+	// Worst-case placement: node ids equal value ranks.
+	const n = 2048
+	values := make([]int64, n)
+	for i := range values {
+		values[i] = int64(i + 1)
+	}
+	e := sim.New(n, 37)
+	res, err := Quantile(e, values, 0.25, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(stats.TargetRank(0.25, n)); res.Value != want {
+		t.Errorf("got %d, want %d", res.Value, want)
+	}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"math"
+
+	"gossipq/internal/dist"
+	"gossipq/internal/sim"
+	"gossipq/internal/stats"
+	"gossipq/internal/tournament"
+	"gossipq/internal/trace"
+)
+
+func init() {
+	register("E13", "Related work [DGM+11]: median-rule dynamic vs the tournament — accuracy/rounds frontier", runE13)
+}
+
+// runE13 maps the accuracy-versus-rounds frontier of the plain median rule
+// (3-sample median dynamic iterated Θ(log n) times, related work) against
+// the paper's two-phase tournament. The paper's point: for a target ±ε with
+// constant ε, the tournament gets there exponentially faster; the median
+// rule's edge is the extreme ±O(√(log n/n)) accuracy it reaches if one pays
+// Θ(log n) rounds anyway.
+func runE13(s Scale) []*trace.Table {
+	n := pick(s, 1<<13, 1<<16)
+	values := dist.Generate(dist.Uniform, n, 4096)
+	o := stats.NewOracle(values)
+	trials := pick(s, 2, 5)
+
+	// worstErr measures the worst node's median rank error over trials.
+	worstErr := func(run func(e *sim.Engine) []int64) (rounds int, worst float64) {
+		for trial := 0; trial < trials; trial++ {
+			e := sim.New(n, uint64(trial)*37+3)
+			out := run(e)
+			rounds = e.Rounds()
+			for _, x := range out {
+				if d := math.Abs(o.QuantileOf(x) - 0.5); d > worst {
+					worst = d
+				}
+			}
+		}
+		return rounds, worst
+	}
+
+	t := trace.NewTable("E13: median accuracy vs rounds — tournament (Thm 2.1) vs median rule [DGM+11]",
+		"algorithm", "parameter", "rounds", "worst node |rank-1/2|")
+	for _, eps := range pick(s, []float64{0.1}, []float64{0.125, 0.05, 0.02}) {
+		eps := eps
+		rounds, worst := worstErr(func(e *sim.Engine) []int64 {
+			return tournament.ApproxQuantile(e, values, 0.5, eps, tournament.Options{})
+		})
+		t.AddRow("tournament", "eps="+trace.G(eps), trace.D(rounds), trace.G(worst))
+	}
+	for _, iters := range pick(s, []int{8}, []int{4, 8, 16, 2 * sim.CeilLog2(n)}) {
+		iters := iters
+		rounds, worst := worstErr(func(e *sim.Engine) []int64 {
+			return tournament.MedianRule(e, values, iters, tournament.Options{})
+		})
+		t.AddRow("median rule", "iters="+trace.D(iters), trace.D(rounds), trace.G(worst))
+	}
+	t.AddNote("sqrt(log n / n) = %s at this n: the median rule reaches it only after Θ(log n) iterations, while the tournament hits any fixed ±eps in O(log log n + log 1/eps) rounds", trace.G(math.Sqrt(math.Log(float64(n))/float64(n))))
+	return []*trace.Table{t}
+}

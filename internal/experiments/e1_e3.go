@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"gossipq/internal/dist"
+	"gossipq/internal/exact"
+	"gossipq/internal/kdg"
+	"gossipq/internal/sim"
+	"gossipq/internal/stats"
+	"gossipq/internal/trace"
+)
+
+func init() {
+	register("E1", "Thm 1.1: exact φ-quantile in Θ(log n) rounds", runE1)
+	register("E3", "Exact (Thm 1.1) vs KDG03 baseline: O(log n) vs O(log² n), crossover", runE3)
+}
+
+// runE1 measures the exact algorithm's rounds across n and φ. The paper's
+// claim shows up as a stable rounds/log2(n) ratio and 100% exactness.
+func runE1(s Scale) []*trace.Table {
+	ns := pick(s, []int{1 << 11, 1 << 13}, []int{1 << 12, 1 << 14, 1 << 16, 1 << 18})
+	phis := pick(s, []float64{0.5}, []float64{0.1, 0.5, 0.9})
+	trials := pick(s, 2, 3)
+
+	t := trace.NewTable("E1: exact quantile — rounds vs n",
+		"n", "phi", "rounds", "rounds/log2(n)", "iterations", "msgs/node", "exact")
+	var xs, ys []float64
+	for _, n := range ns {
+		values := dist.Generate(dist.Sequential, n, uint64(n))
+		for _, phi := range phis {
+			want := int64(stats.TargetRank(phi, n))
+			var roundsSum, iterSum int
+			var msgs int64
+			ok := 0
+			for trial := 0; trial < trials; trial++ {
+				e := sim.New(n, uint64(1000*trial+1))
+				res, err := exact.Quantile(e, values, phi, exact.Options{})
+				if err == nil && res.Value == want {
+					ok++
+				}
+				roundsSum += e.Rounds()
+				iterSum += res.Iterations
+				msgs += e.Metrics().Messages
+			}
+			rounds := float64(roundsSum) / float64(trials)
+			t.AddRow(trace.D(n), trace.F(phi, 2), trace.F(rounds, 0),
+				trace.F(rounds/float64(sim.CeilLog2(n)), 1),
+				trace.F(float64(iterSum)/float64(trials), 1),
+				trace.D64(msgs/int64(trials)/int64(n)),
+				trace.Pct(float64(ok)/float64(trials)))
+			if phi == 0.5 {
+				xs = append(xs, float64(n))
+				ys = append(ys, rounds)
+			}
+		}
+	}
+	_, slope := stats.FitLogLinear(xs, ys)
+	t.AddNote("log-linear fit (phi=0.5): rounds ≈ a + %.1f·log2(n); a flat rounds/log2(n) column is the Θ(log n) signature", slope)
+	return []*trace.Table{t}
+}
+
+// runE3 races the exact algorithm against the KDG03 baseline.
+func runE3(s Scale) []*trace.Table {
+	ns := pick(s, []int{1 << 11, 1 << 13}, []int{1 << 12, 1 << 14, 1 << 16, 1 << 18})
+	trials := pick(s, 2, 3)
+
+	t := trace.NewTable("E3: exact quantile — Thm 1.1 vs KDG03 randomized selection",
+		"n", "new rounds", "kdg rounds", "speedup", "new msgs/node", "kdg msgs/node", "both exact")
+	var xsN, ysNew, ysKdg []float64
+	for _, n := range ns {
+		values := dist.Generate(dist.Sequential, n, uint64(n)*7)
+		want := int64(stats.TargetRank(0.5, n))
+		var rNew, rKdg float64
+		var mNew, mKdg int64
+		ok := 0
+		for trial := 0; trial < trials; trial++ {
+			eN := sim.New(n, uint64(trial)+11)
+			resN, errN := exact.Quantile(eN, values, 0.5, exact.Options{})
+			eK := sim.New(n, uint64(trial)+11)
+			resK, errK := kdg.Quantile(eK, values, 0.5, kdg.Options{})
+			if errN == nil && errK == nil && resN.Value == want && resK.Value == want {
+				ok++
+			}
+			rNew += float64(eN.Rounds())
+			rKdg += float64(eK.Rounds())
+			mNew += eN.Metrics().Messages
+			mKdg += eK.Metrics().Messages
+		}
+		rNew /= float64(trials)
+		rKdg /= float64(trials)
+		t.AddRow(trace.D(n), trace.F(rNew, 0), trace.F(rKdg, 0),
+			trace.F(rKdg/rNew, 2),
+			trace.D64(mNew/int64(trials)/int64(n)), trace.D64(mKdg/int64(trials)/int64(n)),
+			trace.Pct(float64(ok)/float64(trials)))
+		xsN = append(xsN, float64(n))
+		ysNew = append(ysNew, rNew)
+		ysKdg = append(ysKdg, rKdg)
+	}
+	if len(xsN) >= 2 {
+		_, sNew := stats.FitLogLinear(xsN, ysNew)
+		_, sKdg := stats.FitLogLinear(xsN, ysKdg)
+		t.AddNote("rounds-per-log2(n) slopes: new %.1f (flat ⇒ Θ(log n)) vs kdg %.1f and growing (Θ(log² n)); speedup must grow with n", sNew, sKdg)
+	}
+	return []*trace.Table{t}
+}

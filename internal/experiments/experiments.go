@@ -1,0 +1,79 @@
+// Package experiments implements the E1–E12 reproduction experiments
+// indexed in DESIGN.md §5: one per theorem/lemma-level claim of the paper.
+// Each experiment is a function from a Scale (full or quick) to one or more
+// printable tables; cmd/experiments prints them and the root benchmark
+// suite reruns their measured cores under `go test -bench`.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"gossipq/internal/trace"
+)
+
+// Scale selects experiment sizes.
+type Scale int
+
+const (
+	// Quick shrinks populations and trial counts so the full suite runs in
+	// well under a minute (CI-sized).
+	Quick Scale = iota
+	// Full uses the DESIGN.md §5 design points (minutes).
+	Full
+)
+
+// Experiment is one reproduction experiment.
+type Experiment struct {
+	ID    string
+	Claim string
+	Run   func(s Scale) []*trace.Table
+}
+
+var registry []Experiment
+
+func register(id, claim string, run func(s Scale) []*trace.Table) {
+	registry = append(registry, Experiment{ID: id, Claim: claim, Run: run})
+}
+
+// All returns every registered experiment in ID order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return idKey(out[i].ID) < idKey(out[j].ID) })
+	return out
+}
+
+// ByID returns the experiment with the given ID (case-sensitive, e.g. "E3").
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func idKey(id string) int {
+	var n int
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+// Print runs an experiment and writes its tables.
+func Print(w io.Writer, e Experiment, s Scale) {
+	fmt.Fprintf(w, "\n### %s — %s\n\n", e.ID, e.Claim)
+	for _, t := range e.Run(s) {
+		t.Fprint(w)
+		fmt.Fprintln(w)
+	}
+}
+
+// pick returns q under Quick and f under Full.
+func pick[T any](s Scale, q, f T) T {
+	if s == Quick {
+		return q
+	}
+	return f
+}

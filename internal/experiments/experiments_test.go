@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("%d experiments registered, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d has ID %s, want %s", i, e.ID, want[i])
+		}
+		if e.Claim == "" {
+			t.Errorf("%s has empty claim", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E5"); !ok {
+		t.Error("E5 not found")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("E99 found")
+	}
+}
+
+// TestAllExperimentsRunQuick executes every experiment at Quick scale; this
+// is the harness's own integration test and also asserts each produces at
+// least one non-empty table.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped with -short")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tables := e.Run(Quick)
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tb := range tables {
+				if tb.NumRows() == 0 {
+					t.Errorf("%s produced empty table %q", e.ID, tb.Title)
+				}
+				var sb strings.Builder
+				tb.Fprint(&sb)
+				if !strings.Contains(sb.String(), "---") {
+					t.Errorf("%s table %q did not render", e.ID, tb.Title)
+				}
+			}
+		})
+	}
+}
+
+func TestPrintFormatsHeader(t *testing.T) {
+	e, _ := ByID("E8") // E8 is pure computation, fast at any scale
+	var sb strings.Builder
+	Print(&sb, e, Quick)
+	if !strings.Contains(sb.String(), "### E8") {
+		t.Errorf("missing header:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,144 @@
+package kdg
+
+import (
+	"testing"
+
+	"gossipq/internal/dist"
+	"gossipq/internal/sim"
+	"gossipq/internal/stats"
+)
+
+func TestQuantileSequential(t *testing.T) {
+	const n = 2048
+	values := dist.Generate(dist.Sequential, n, 1)
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		e := sim.New(n, 31)
+		res, err := Quantile(e, values, phi, Options{})
+		if err != nil {
+			t.Fatalf("phi=%v: %v", phi, err)
+		}
+		if want := int64(stats.TargetRank(phi, n)); res.Value != want {
+			t.Errorf("phi=%v: got %d, want %d", phi, res.Value, want)
+		}
+	}
+}
+
+func TestQuantileUniform(t *testing.T) {
+	const n = 2048
+	values := dist.Generate(dist.Uniform, n, 2)
+	o := stats.NewOracle(values)
+	e := sim.New(n, 37)
+	res, err := Quantile(e, values, 0.25, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := o.Quantile(0.25); res.Value != want {
+		t.Errorf("got %d, want %d", res.Value, want)
+	}
+}
+
+func TestQuantileExtremes(t *testing.T) {
+	const n = 1024
+	values := dist.Generate(dist.Uniform, n, 3)
+	o := stats.NewOracle(values)
+	for _, tc := range []struct {
+		phi  float64
+		want int64
+	}{{0, o.Min()}, {1, o.Max()}} {
+		e := sim.New(n, 41)
+		res, err := Quantile(e, values, tc.phi, Options{})
+		if err != nil {
+			t.Fatalf("phi=%v: %v", tc.phi, err)
+		}
+		if res.Value != tc.want {
+			t.Errorf("phi=%v: got %d, want %d", tc.phi, res.Value, tc.want)
+		}
+	}
+}
+
+func TestQuantileManySeeds(t *testing.T) {
+	const n = 1024
+	values := dist.Generate(dist.Sequential, n, 4)
+	want := int64(stats.TargetRank(0.42, n))
+	for seed := uint64(0); seed < 8; seed++ {
+		e := sim.New(n, seed)
+		res, err := Quantile(e, values, 0.42, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Value != want {
+			t.Errorf("seed %d: got %d, want %d", seed, res.Value, want)
+		}
+	}
+}
+
+func TestPhasesAreLogarithmic(t *testing.T) {
+	// Randomized selection narrows by a constant factor per phase, so the
+	// phase count should scale with log n and stay well under the cap.
+	const n = 4096
+	values := dist.Generate(dist.Uniform, n, 5)
+	e := sim.New(n, 43)
+	res, err := Quantile(e, values, 0.5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases > 5*sim.CeilLog2(n) {
+		t.Errorf("phases = %d, want O(log n) = ~%d", res.Phases, sim.CeilLog2(n))
+	}
+}
+
+func TestRoundsAreLogSquared(t *testing.T) {
+	// The baseline's characteristic shape: rounds / log2(n) grows roughly
+	// linearly in log2(n) (each of the Θ(log n) phases costs Θ(log n)).
+	rounds := func(n int) float64 {
+		values := dist.Generate(dist.Sequential, n, 6)
+		e := sim.New(n, 47)
+		if _, err := Quantile(e, values, 0.5, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		return float64(e.Rounds())
+	}
+	r1 := rounds(1 << 9)
+	r2 := rounds(1 << 13)
+	// log² scaling predicts r2/r1 ≈ (13/9)² ≈ 2.1; O(log) would give 1.4.
+	if ratio := r2 / r1; ratio < 1.5 {
+		t.Errorf("rounds ratio %0.2f too flat for an O(log² n) baseline", ratio)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	const n = 512
+	values := dist.Generate(dist.Uniform, n, 7)
+	run := func() int64 {
+		e := sim.New(n, 53)
+		res, err := Quantile(e, values, 0.7, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Value
+	}
+	if run() != run() {
+		t.Error("nondeterministic result")
+	}
+}
+
+func TestPanicsOnLengthMismatch(t *testing.T) {
+	e := sim.New(10, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatch")
+		}
+	}()
+	_, _ = Quantile(e, make([]int64, 9), 0.5, Options{})
+}
+
+func TestHash2Spread(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := uint64(0); i < 1000; i++ {
+		h := hash2(42, i)
+		if seen[h] {
+			t.Fatalf("hash collision at %d", i)
+		}
+		seen[h] = true
+	}
+}

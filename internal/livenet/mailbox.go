@@ -1,0 +1,68 @@
+package livenet
+
+import "sync"
+
+// mailbox is an unbounded MPSC queue bridged to a channel. Unboundedness is
+// load-bearing: nodes drift across rounds, so one node can accumulate
+// O(n · rounds) undelivered requests; a bounded inbox would let a full
+// buffer block a sender that is itself the only goroutine able to drain its
+// own inbox — a deadlock cycle. Memory is bounded by the protocol's total
+// message count.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+	out    chan Message
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{out: make(chan Message)}
+	b.cond = sync.NewCond(&b.mu)
+	go b.pump()
+	return b
+}
+
+// put enqueues a message; it never blocks.
+func (b *mailbox) put(m Message) {
+	b.mu.Lock()
+	if !b.closed {
+		b.queue = append(b.queue, m)
+		b.cond.Signal()
+	}
+	b.mu.Unlock()
+}
+
+// pump moves messages from the queue to the out channel in order.
+func (b *mailbox) pump() {
+	for {
+		b.mu.Lock()
+		for len(b.queue) == 0 && !b.closed {
+			b.cond.Wait()
+		}
+		if b.closed && len(b.queue) == 0 {
+			b.mu.Unlock()
+			close(b.out)
+			return
+		}
+		m := b.queue[0]
+		b.queue = b.queue[1:]
+		b.mu.Unlock()
+		b.out <- m
+	}
+}
+
+// close shuts the mailbox down once drained; pending receivers see a closed
+// channel.
+func (b *mailbox) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+	// Drain any message the pump is currently blocked on delivering so it
+	// can observe the closed flag.
+	go func() {
+		for range b.out {
+		}
+	}()
+}

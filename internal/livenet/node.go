@@ -1,0 +1,284 @@
+package livenet
+
+import (
+	"fmt"
+	"sync"
+
+	"gossipq/internal/tournament"
+	"gossipq/internal/xrand"
+)
+
+// node is the state of one live protocol participant. Everything it knows
+// is node-local: its id, the population size, the (φ, ε, K) parameters, a
+// seed, and the message channel — the deployment model of the paper.
+type node struct {
+	id    int
+	n     int
+	tr    Transport
+	rng   *xrand.RNG
+	coin  *xrand.RNG // δ coin, separate stream
+	value int64
+
+	// history[r] is the node's value entering round r (history[0] is the
+	// initial value); requests for round r are served from history[r].
+	history []int64
+	// pending holds requests for rounds this node has not reached yet.
+	pending []Message
+	done    <-chan struct{}
+	abort   <-chan struct{}
+}
+
+// step advances one model round: send one request to a uniform random other
+// node, serve incoming requests, and return the pulled value.
+func (nd *node) step() (int64, error) {
+	round := int32(len(nd.history) - 1)
+	peer := nd.rng.Intn(nd.n - 1)
+	if peer >= nd.id {
+		peer++
+	}
+	nd.tr.Send(peer, Message{Kind: KindRequest, Round: round, From: int32(nd.id)})
+
+	// Serve queued requests that became answerable (they never do mid-round
+	// — history only grows between rounds — but keeping the queue drained
+	// here bounds its size).
+	nd.servePending()
+
+	for {
+		select {
+		case m := <-nd.tr.Inbox(nd.id):
+			switch m.Kind {
+			case KindRequest:
+				nd.serveOrQueue(m)
+			case KindResponse:
+				if m.Round != round {
+					return 0, fmt.Errorf("livenet: node %d got response for round %d at round %d",
+						nd.id, m.Round, round)
+				}
+				return m.Value, nil
+			default:
+				return 0, fmt.Errorf("livenet: node %d got unknown message kind %d", nd.id, m.Kind)
+			}
+		case <-nd.abort:
+			return 0, fmt.Errorf("livenet: node %d aborted by a peer failure", nd.id)
+		case <-nd.done:
+			return 0, fmt.Errorf("livenet: node %d cancelled mid-round", nd.id)
+		}
+	}
+}
+
+// serveOrQueue answers a request if this node's history covers it.
+func (nd *node) serveOrQueue(m Message) {
+	if int(m.Round) < len(nd.history) {
+		nd.tr.Send(int(m.From), Message{
+			Kind:  KindResponse,
+			Round: m.Round,
+			From:  int32(nd.id),
+			Value: nd.history[m.Round],
+		})
+		return
+	}
+	nd.pending = append(nd.pending, m)
+}
+
+func (nd *node) servePending() {
+	kept := nd.pending[:0]
+	for _, m := range nd.pending {
+		if int(m.Round) < len(nd.history) {
+			nd.serveOrQueue(m)
+		} else {
+			kept = append(kept, m)
+		}
+	}
+	nd.pending = kept
+}
+
+// commit publishes the node's value entering the next round.
+func (nd *node) commit(v int64) {
+	nd.value = v
+	nd.history = append(nd.history, v)
+	nd.servePending()
+}
+
+// serveUntilDone keeps answering requests after the node finished its own
+// computation; peers may still be behind.
+func (nd *node) serveUntilDone() {
+	for {
+		select {
+		case m := <-nd.tr.Inbox(nd.id):
+			if m.Kind == KindRequest {
+				nd.serveOrQueue(m)
+			}
+		case <-nd.done:
+			return
+		}
+	}
+}
+
+// Result is the outcome of a live run.
+type Result struct {
+	// Outputs[v] is node v's answer.
+	Outputs []int64
+	// Rounds is the protocol's model-round count (identical at every node:
+	// the schedule is deterministic).
+	Rounds int
+}
+
+// ApproxQuantile runs the full Theorem 2.1 algorithm over the transport
+// with one goroutine per node. It blocks until every node has produced its
+// output. The transport must serve exactly n nodes.
+func ApproxQuantile(tr Transport, values []int64, phi, eps float64, seed uint64, k int) (Result, error) {
+	n := len(values)
+	if n < 2 {
+		return Result{}, fmt.Errorf("livenet: need at least 2 nodes, got %d", n)
+	}
+	eps = tournament.ClampEps(eps)
+	if k <= 0 {
+		k = 15
+	}
+	if k%2 == 0 {
+		k++
+	}
+	plan2 := tournament.NewPlan2(phi, eps)
+	plan3 := tournament.NewPlan3(eps/4, n)
+	totalRounds := plan2.Rounds() + plan3.Rounds() + k
+
+	src := xrand.NewSource(seed)
+	done := make(chan struct{})
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	outputs := make([]int64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup        // all node goroutines
+	var computeWG sync.WaitGroup // nodes still in their compute phase
+	computeWG.Add(n)
+
+	for id := 0; id < n; id++ {
+		nd := &node{
+			id:      id,
+			n:       n,
+			tr:      tr,
+			rng:     src.Stream(uint64(id)),
+			coin:    src.Sub(0x636f696e).Stream(uint64(id)),
+			value:   values[id],
+			history: []int64{values[id]},
+			done:    done,
+			abort:   abort,
+		}
+		wg.Add(1)
+		go func(nd *node) {
+			defer wg.Done()
+			out, err := nd.run(plan2, plan3, k, &computeWG)
+			outputs[nd.id] = out
+			errs[nd.id] = err
+			if err != nil {
+				// One failed node must not hang the rest: abort the run.
+				abortOnce.Do(func() { close(abort) })
+				return
+			}
+			nd.serveUntilDone()
+		}(nd)
+	}
+
+	// Once every node has computed its output, release the serving loops
+	// and wait for the goroutines to drain.
+	computeWG.Wait()
+	close(done)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Outputs: outputs, Rounds: totalRounds}, nil
+}
+
+// run executes the node's full schedule and returns its output, signalling
+// computeWG when the compute phase ends (successfully or not).
+func (nd *node) run(plan2 tournament.Plan2, plan3 tournament.Plan3, k int, computeWG *sync.WaitGroup) (int64, error) {
+	defer computeWG.Done()
+
+	// Phase I: 2-TOURNAMENT, two pulls per iteration.
+	for i := 0; i < plan2.Iterations(); i++ {
+		a, err := nd.step()
+		if err != nil {
+			return 0, err
+		}
+		nd.commit(nd.value) // publish unchanged value for the second pull round
+		b, err := nd.step()
+		if err != nil {
+			return 0, err
+		}
+		delta := plan2.Deltas[i]
+		next := a
+		if delta >= 1 || nd.coin.Bool(delta) {
+			if plan2.UseMin == (a <= b) {
+				next = a
+			} else {
+				next = b
+			}
+		}
+		nd.commit(next)
+	}
+
+	// Phase II: 3-TOURNAMENT, three pulls per iteration.
+	for i := 0; i < plan3.Iterations(); i++ {
+		var s [3]int64
+		for j := 0; j < 3; j++ {
+			v, err := nd.step()
+			if err != nil {
+				return 0, err
+			}
+			s[j] = v
+			if j < 2 {
+				nd.commit(nd.value)
+			}
+		}
+		nd.commit(median3(s[0], s[1], s[2]))
+	}
+
+	// Final step: K samples, output their median.
+	samples := make([]int64, 0, k)
+	for j := 0; j < k; j++ {
+		v, err := nd.step()
+		if err != nil {
+			return 0, err
+		}
+		samples = append(samples, v)
+		nd.commit(nd.value)
+	}
+	return medianOf(samples), nil
+}
+
+func median3(a, b, c int64) int64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func medianOf(xs []int64) int64 {
+	for i := 1; i < len(xs); i++ {
+		x := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > x {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = x
+	}
+	return xs[(len(xs)-1)/2]
+}
+
+// livePlanRounds returns the schedule's round count excluding the final
+// K-sample step, shared by ApproxQuantile and the tests.
+func livePlanRounds(n int, phi, eps float64) int {
+	eps = tournament.ClampEps(eps)
+	return tournament.NewPlan2(phi, eps).Rounds() + tournament.NewPlan3(eps/4, n).Rounds()
+}

@@ -1,0 +1,232 @@
+// Package livenet executes the tournament quantile algorithm as genuinely
+// concurrent node processes that communicate only by message passing — no
+// shared memory, no global coordinator during the computation. It exists to
+// demonstrate that the paper's algorithms are truly node-local: each node
+// needs only (n, φ, ε, its value, a seed) and the deterministic schedule it
+// derives from them, exactly what a physical deployment would configure.
+//
+// Round synchrony is realized with the classic simulation technique for
+// synchronous algorithms on asynchronous networks: every message carries
+// its round number, each node keeps a history of its per-round values, a
+// request for round r is answered with the server's value entering round r
+// (waiting if the server hasn't reached r yet), and each node has at most
+// one request outstanding. Nodes may drift several rounds apart without
+// ever observing an inconsistent value.
+//
+// Two transports are provided: an in-process channel transport that scales
+// to thousands of nodes, and a TCP loopback transport (one socket per node,
+// length-free fixed binary frames) that exercises a real network stack.
+package livenet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Kind discriminates message types.
+type Kind uint8
+
+const (
+	// KindRequest asks the recipient for its value entering the round.
+	KindRequest Kind = iota + 1
+	// KindResponse carries the requested value back.
+	KindResponse
+)
+
+// Message is the single wire format: 1+4+4+8 bytes when framed.
+type Message struct {
+	Kind  Kind
+	Round int32
+	From  int32
+	Value int64
+}
+
+const frameSize = 1 + 4 + 4 + 8
+
+func (m Message) encode(buf *[frameSize]byte) {
+	buf[0] = byte(m.Kind)
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(m.Round))
+	binary.LittleEndian.PutUint32(buf[5:9], uint32(m.From))
+	binary.LittleEndian.PutUint64(buf[9:17], uint64(m.Value))
+}
+
+func decode(buf *[frameSize]byte) Message {
+	return Message{
+		Kind:  Kind(buf[0]),
+		Round: int32(binary.LittleEndian.Uint32(buf[1:5])),
+		From:  int32(binary.LittleEndian.Uint32(buf[5:9])),
+		Value: int64(binary.LittleEndian.Uint64(buf[9:17])),
+	}
+}
+
+// Transport delivers messages between nodes. Send must be safe for
+// concurrent use and must not block indefinitely (buffering is the
+// transport's responsibility); Inbox returns the receive channel of one
+// node. Close releases resources; messages in flight may be dropped.
+type Transport interface {
+	Send(to int, m Message)
+	Inbox(node int) <-chan Message
+	Close()
+}
+
+// chanTransport is the in-process transport: one unbounded mailbox per
+// node (see mailbox.go for why unboundedness matters).
+type chanTransport struct {
+	boxes []*mailbox
+}
+
+// NewChanTransport builds an in-process transport for n nodes.
+func NewChanTransport(n int) Transport {
+	t := &chanTransport{boxes: make([]*mailbox, n)}
+	for i := range t.boxes {
+		t.boxes[i] = newMailbox()
+	}
+	return t
+}
+
+func (t *chanTransport) Send(to int, m Message) { t.boxes[to].put(m) }
+
+func (t *chanTransport) Inbox(node int) <-chan Message { return t.boxes[node].out }
+
+func (t *chanTransport) Close() {
+	for _, b := range t.boxes {
+		b.close()
+	}
+}
+
+// tcpTransport runs every node as a loopback TCP listener; a Send dials (or
+// reuses) a connection to the destination and writes one frame. A per-node
+// reader goroutine decodes frames into the inbox channel.
+type tcpTransport struct {
+	listeners []net.Listener
+	boxes     []*mailbox
+	addrs     []string
+
+	mu    sync.Mutex
+	conns map[[2]int]net.Conn // (from, to) -> conn
+
+	wg      sync.WaitGroup
+	closed  chan struct{}
+	sendErr func(error)
+}
+
+// NewTCPTransport builds a loopback TCP transport for n nodes (one
+// listening socket each). Intended for modest n (tens of nodes): it proves
+// the protocol runs over a real network stack, not that TCP scales to a
+// simulated million-node fleet. onError, if non-nil, observes transport
+// errors after Close (normal during shutdown).
+func NewTCPTransport(n int, onError func(error)) (Transport, error) {
+	if onError == nil {
+		onError = func(error) {}
+	}
+	t := &tcpTransport{
+		listeners: make([]net.Listener, n),
+		boxes:     make([]*mailbox, n),
+		addrs:     make([]string, n),
+		conns:     make(map[[2]int]net.Conn),
+		closed:    make(chan struct{}),
+		sendErr:   onError,
+	}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("livenet: listen for node %d: %w", i, err)
+		}
+		t.listeners[i] = ln
+		t.addrs[i] = ln.Addr().String()
+		t.boxes[i] = newMailbox()
+		t.wg.Add(1)
+		go t.acceptLoop(i, ln)
+	}
+	return t, nil
+}
+
+func (t *tcpTransport) acceptLoop(node int, ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-t.closed:
+			default:
+				t.sendErr(err)
+			}
+			return
+		}
+		t.wg.Add(1)
+		go t.readLoop(node, conn)
+	}
+}
+
+func (t *tcpTransport) readLoop(node int, conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	var buf [frameSize]byte
+	for {
+		if _, err := io.ReadFull(conn, buf[:]); err != nil {
+			select {
+			case <-t.closed:
+			default:
+				if err != io.EOF {
+					t.sendErr(err)
+				}
+			}
+			return
+		}
+		t.boxes[node].put(decode(&buf))
+	}
+}
+
+func (t *tcpTransport) Send(to int, m Message) {
+	key := [2]int{int(m.From), to}
+	t.mu.Lock()
+	conn, ok := t.conns[key]
+	if !ok {
+		var err error
+		conn, err = net.Dial("tcp", t.addrs[to])
+		if err != nil {
+			t.mu.Unlock()
+			t.sendErr(err)
+			return
+		}
+		t.conns[key] = conn
+	}
+	var buf [frameSize]byte
+	m.encode(&buf)
+	_, err := conn.Write(buf[:])
+	t.mu.Unlock()
+	if err != nil {
+		t.sendErr(err)
+	}
+}
+
+func (t *tcpTransport) Inbox(node int) <-chan Message { return t.boxes[node].out }
+
+func (t *tcpTransport) Close() {
+	select {
+	case <-t.closed:
+		return
+	default:
+	}
+	close(t.closed)
+	for _, ln := range t.listeners {
+		if ln != nil {
+			ln.Close()
+		}
+	}
+	t.mu.Lock()
+	for _, c := range t.conns {
+		c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	for _, b := range t.boxes {
+		if b != nil {
+			b.close()
+		}
+	}
+}

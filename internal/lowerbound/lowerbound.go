@@ -1,0 +1,115 @@
+// Package lowerbound provides the empirical harness for Theorem 1.3's
+// Ω(log log n + log 1/ε) lower bound.
+//
+// The theorem's information-theoretic core: take the two scenarios of §4
+// (values {1..n} versus {1+⌊2εn⌋ .. n+⌊2εn⌋}). Only nodes that have seen a
+// value from the distinguishing set S — the bottom and top ⌊2εn⌋+1 values —
+// can tell the scenarios apart, and a node that cannot tell them apart
+// answers any ε-approximate quantile query correctly with probability at
+// most 1/2 (the correct answers of the two scenarios are disjoint). So any
+// algorithm needs every node to hear from S, and §4 shows that spreading S
+// takes Ω(log log n + log 1/ε) rounds regardless of message size.
+//
+// This package simulates that spreading process at its *fastest possible*
+// rate — every node both pushes and pulls every round, unlimited message
+// sizes — so the measured rounds-to-full-coverage is a genuine empirical
+// lower bound on any gossip algorithm's round count.
+package lowerbound
+
+import (
+	"math"
+
+	"gossipq/internal/sim"
+)
+
+// GoodCount returns the initial number of informed nodes: 2·(⌊2εn⌋+1),
+// clamped to n.
+func GoodCount(n int, eps float64) int {
+	c := 2 * (int(2*eps*float64(n)) + 1)
+	if c > n {
+		c = n
+	}
+	return c
+}
+
+// InitialGood marks a uniformly random set of GoodCount(n, ε) nodes as
+// informed, standing for the nodes holding values in S (value placement is
+// uniform because node values are assigned in random order).
+func InitialGood(e *sim.Engine, eps float64) []bool {
+	n := e.N()
+	good := make([]bool, n)
+	rng := e.AlgorithmRNG(0x4c424e44) // "LBND"
+	perm := rng.Perm(n)
+	for i := 0; i < GoodCount(n, eps); i++ {
+		good[perm[i]] = true
+	}
+	return good
+}
+
+// Spread runs the §4 information-spreading process until every node is
+// informed or maxRounds elapses. Each round every node pulls AND every
+// informed node pushes (the most generous reading of the model — one round
+// here is at least as powerful as one round of any gossip algorithm).
+// It returns the number of rounds until full coverage (or maxRounds if not
+// reached) and the bad-node count after every round.
+func Spread(e *sim.Engine, good []bool, maxRounds int) (rounds int, badPerRound []int) {
+	n := e.N()
+	if len(good) != n {
+		panic("lowerbound: good length does not match population")
+	}
+	cur := make([]bool, n)
+	copy(cur, good)
+	dst := make([]int32, n)
+	if maxRounds <= 0 {
+		maxRounds = 4 * (sim.CeilLog2(n) + 16)
+	}
+	for r := 0; r < maxRounds; r++ {
+		next := make([]bool, n)
+		copy(next, cur)
+		// Pull half-round: v learns if its source knows.
+		e.Pull(dst, 64)
+		for v := 0; v < n; v++ {
+			if p := dst[v]; p != sim.NoPeer && cur[p] {
+				next[v] = true
+			}
+		}
+		// Push half-round: informed nodes inform their targets.
+		sim.Push(e, 64,
+			func(v int) (struct{}, bool) { return struct{}{}, cur[v] },
+			func(v int, in []sim.Delivery[struct{}]) { next[v] = true })
+		// The two half-rounds count as ONE round of the spreading process
+		// (strictly more generous than the model's one-op-per-round).
+		cur = next
+		bad := 0
+		for _, g := range cur {
+			if !g {
+				bad++
+			}
+		}
+		badPerRound = append(badPerRound, bad)
+		if bad == 0 {
+			return r + 1, badPerRound
+		}
+	}
+	return maxRounds, badPerRound
+}
+
+// TheoremBound returns Theorem 1.3's round lower bound
+// min((1/2)·log2 log2 n, log4(8/ε)) — an algorithm faster than EITHER term
+// fails with constant probability. (The statement requires
+// 10·log(n)/n < ε < 1/8.)
+func TheoremBound(n int, eps float64) (logLogTerm, epsTerm float64) {
+	l2 := math.Log2(float64(n))
+	if l2 < 2 {
+		l2 = 2
+	}
+	logLogTerm = 0.5 * math.Log2(l2)
+	epsTerm = math.Log(8/eps) / math.Log(4)
+	return logLogTerm, epsTerm
+}
+
+// EpsRangeValid reports whether (n, ε) satisfies the theorem's hypothesis
+// 10·log(n)/n < ε < 1/8 (natural log, matching the paper's usage).
+func EpsRangeValid(n int, eps float64) bool {
+	return eps > 10*math.Log(float64(n))/float64(n) && eps < 0.125
+}

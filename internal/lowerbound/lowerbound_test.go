@@ -1,0 +1,142 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"gossipq/internal/sim"
+)
+
+func TestGoodCount(t *testing.T) {
+	if got := GoodCount(1000, 0.05); got != 2*(100+1) {
+		t.Errorf("GoodCount(1000, 0.05) = %d", got)
+	}
+	if got := GoodCount(10, 1); got != 10 {
+		t.Errorf("GoodCount should clamp to n, got %d", got)
+	}
+}
+
+func TestInitialGoodSize(t *testing.T) {
+	e := sim.New(5000, 1)
+	good := InitialGood(e, 0.03)
+	c := 0
+	for _, g := range good {
+		if g {
+			c++
+		}
+	}
+	if c != GoodCount(5000, 0.03) {
+		t.Errorf("%d initial good nodes, want %d", c, GoodCount(5000, 0.03))
+	}
+}
+
+func TestSpreadCompletes(t *testing.T) {
+	const n = 10000
+	e := sim.New(n, 2)
+	good := InitialGood(e, 0.05)
+	rounds, bad := Spread(e, good, 0)
+	if bad[len(bad)-1] != 0 {
+		t.Fatalf("spread incomplete after %d rounds: %d bad nodes", rounds, bad[len(bad)-1])
+	}
+	if rounds > 3*sim.CeilLog2(n) {
+		t.Errorf("spread took %d rounds, want O(log n)", rounds)
+	}
+}
+
+func TestSpreadRespectsTheoremBound(t *testing.T) {
+	// The measured spread time must be at least the theorem's bound (it is
+	// a lower bound on exactly this process).
+	for _, tc := range []struct {
+		n   int
+		eps float64
+	}{{20000, 0.01}, {50000, 0.004}, {100000, 0.05}} {
+		e := sim.New(tc.n, 3)
+		if !EpsRangeValid(tc.n, tc.eps) {
+			t.Fatalf("test case (%d, %v) outside theorem hypothesis", tc.n, tc.eps)
+		}
+		good := InitialGood(e, tc.eps)
+		rounds, _ := Spread(e, good, 0)
+		llTerm, epsTerm := TheoremBound(tc.n, tc.eps)
+		bound := llTerm
+		if epsTerm < bound {
+			bound = epsTerm
+		}
+		if float64(rounds) < bound {
+			t.Errorf("n=%d eps=%v: spread in %d rounds, below theorem bound %.1f",
+				tc.n, tc.eps, rounds, bound)
+		}
+	}
+}
+
+func TestSpreadSlowerForSmallerEps(t *testing.T) {
+	// Fewer initially-informed nodes (smaller ε) must not speed spreading.
+	const n = 50000
+	run := func(eps float64) int {
+		e := sim.New(n, 4)
+		rounds, _ := Spread(e, InitialGood(e, eps), 0)
+		return rounds
+	}
+	if run(0.05) > run(0.0005) {
+		t.Error("spread with eps=0.05 took longer than with eps=0.0005")
+	}
+}
+
+func TestBadCountMonotone(t *testing.T) {
+	const n = 5000
+	e := sim.New(n, 5)
+	good := InitialGood(e, 0.02)
+	_, bad := Spread(e, good, 0)
+	for i := 1; i < len(bad); i++ {
+		if bad[i] > bad[i-1] {
+			t.Fatalf("bad count increased at round %d: %d -> %d", i, bad[i-1], bad[i])
+		}
+	}
+}
+
+func TestSpreadMaxRoundsCap(t *testing.T) {
+	const n = 1000
+	e := sim.New(n, 6)
+	good := make([]bool, n)
+	good[0] = true
+	rounds, bad := Spread(e, good, 3)
+	if rounds != 3 || len(bad) != 3 {
+		t.Errorf("rounds=%d len(bad)=%d with cap 3", rounds, len(bad))
+	}
+	if bad[2] == 0 {
+		t.Error("single-source spread finished in 3 rounds — implausible")
+	}
+}
+
+func TestTheoremBoundShapes(t *testing.T) {
+	ll1, _ := TheoremBound(1<<16, 0.01)
+	ll2, _ := TheoremBound(1<<32, 0.01)
+	if ll2 <= ll1 {
+		t.Error("log log term must grow with n")
+	}
+	_, e1 := TheoremBound(1000, 0.01)
+	_, e2 := TheoremBound(1000, 0.0001)
+	if e2 <= e1 {
+		t.Error("eps term must grow as eps shrinks")
+	}
+}
+
+func TestEpsRangeValid(t *testing.T) {
+	if !EpsRangeValid(100000, 0.01) {
+		t.Error("typical case rejected")
+	}
+	if EpsRangeValid(100000, 0.2) {
+		t.Error("eps above 1/8 accepted")
+	}
+	if EpsRangeValid(100, 0.001) {
+		t.Error("eps below 10 log n / n accepted")
+	}
+}
+
+func TestSpreadPanicsOnLengthMismatch(t *testing.T) {
+	e := sim.New(10, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Spread(e, make([]bool, 9), 0)
+}

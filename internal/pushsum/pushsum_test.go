@@ -1,0 +1,232 @@
+package pushsum
+
+import (
+	"math"
+	"testing"
+
+	"gossipq/internal/dist"
+	"gossipq/internal/sim"
+)
+
+func TestAverageConverges(t *testing.T) {
+	for _, n := range []int{10, 100, 5000} {
+		e := sim.New(n, uint64(n))
+		values := make([]float64, n)
+		var want float64
+		for i := range values {
+			values[i] = float64(i)
+			want += float64(i)
+		}
+		want /= float64(n)
+		got := Average(e, values, 0)
+		for v, x := range got {
+			if rel := math.Abs(x-want) / want; rel > 1e-6 {
+				t.Fatalf("n=%d node %d average %v, want %v (rel %v)", n, v, x, want, rel)
+			}
+		}
+	}
+}
+
+func TestSumConverges(t *testing.T) {
+	const n = 2000
+	e := sim.New(n, 5)
+	values := make([]float64, n)
+	var want float64
+	for i := range values {
+		values[i] = float64(i%7) + 0.5
+		want += values[i]
+	}
+	got := Sum(e, values, 0)
+	for v, x := range got {
+		if rel := math.Abs(x-want) / want; rel > 1e-6 {
+			t.Fatalf("node %d sum %v, want %v", v, x, want)
+		}
+	}
+}
+
+func TestCountExactIsExact(t *testing.T) {
+	const n = 3000
+	for seed := uint64(0); seed < 5; seed++ {
+		e := sim.New(n, seed)
+		pred := make([]bool, n)
+		want := int64(0)
+		rng := seed
+		for i := range pred {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			pred[i] = rng%3 == 0
+			if pred[i] {
+				want++
+			}
+		}
+		got := CountExact(e, pred, 0)
+		for v, c := range got {
+			if c != want {
+				t.Fatalf("seed %d node %d count %d, want %d", seed, v, c, want)
+			}
+		}
+	}
+}
+
+func TestRankOfMatchesOracle(t *testing.T) {
+	const n = 2000
+	values := dist.Generate(dist.Sequential, n, 7)
+	e := sim.New(n, 8)
+	// Rank of value 500 in a permutation of 1..n is exactly 500.
+	got := RankOf(e, values, 500, 0)
+	for v, r := range got {
+		if r != 500 {
+			t.Fatalf("node %d rank %d, want 500", v, r)
+		}
+	}
+}
+
+func TestRankOfBelowMin(t *testing.T) {
+	const n = 500
+	values := dist.Generate(dist.Sequential, n, 9)
+	e := sim.New(n, 10)
+	got := RankOf(e, values, 0, 0)
+	for v, r := range got {
+		if r != 0 {
+			t.Fatalf("node %d rank %d, want 0", v, r)
+		}
+	}
+}
+
+func TestMassConservation(t *testing.T) {
+	const n = 1000
+	e := sim.New(n, 11)
+	values := make([]float64, n)
+	var totalS float64
+	for i := range values {
+		values[i] = float64(i*i%997) - 200
+		totalS += values[i]
+	}
+	_, masses := RunInstrumented(e, values, 60)
+	for r, m := range masses {
+		if math.Abs(m.SumS-totalS) > 1e-6*math.Abs(totalS)+1e-9 {
+			t.Fatalf("round %d: Σs = %v, want %v", r, m.SumS, totalS)
+		}
+		if math.Abs(m.SumW-float64(n)) > 1e-9 {
+			t.Fatalf("round %d: Σw = %v, want %d", r, m.SumW, n)
+		}
+	}
+}
+
+func TestMassConservationUnderFailures(t *testing.T) {
+	// Failed nodes do not split; conservation must hold regardless.
+	const n = 1000
+	e := sim.New(n, 12, sim.WithFailures(sim.UniformFailures(0.4)))
+	values := make([]float64, n)
+	var totalS float64
+	for i := range values {
+		values[i] = float64(i % 13)
+		totalS += values[i]
+	}
+	_, masses := RunInstrumented(e, values, 80)
+	for r, m := range masses {
+		if math.Abs(m.SumS-totalS) > 1e-6 {
+			t.Fatalf("round %d under failures: Σs = %v, want %v", r, m.SumS, totalS)
+		}
+		if math.Abs(m.SumW-float64(n)) > 1e-9 {
+			t.Fatalf("round %d under failures: Σw = %v, want %d", r, m.SumW, n)
+		}
+	}
+}
+
+func TestAverageUnderFailuresStillConverges(t *testing.T) {
+	const n = 2000
+	e := sim.New(n, 13, sim.WithFailures(sim.UniformFailures(0.5)))
+	values := make([]float64, n)
+	var want float64
+	for i := range values {
+		values[i] = float64(i)
+		want += float64(i)
+	}
+	want /= n
+	// Double budget for μ=0.5 (constant-factor delay, Thm 1.4).
+	got := Average(e, values, 2*DefaultRounds(n, 1e-9))
+	for v, x := range got {
+		if rel := math.Abs(x-want) / want; rel > 1e-6 {
+			t.Fatalf("node %d average %v, want %v under failures", v, x, want)
+		}
+	}
+}
+
+func TestCountExactUnderFailures(t *testing.T) {
+	const n = 1000
+	e := sim.New(n, 14, sim.WithFailures(sim.UniformFailures(0.3)))
+	pred := make([]bool, n)
+	for i := 0; i < 250; i++ {
+		pred[i] = true
+	}
+	got := CountExact(e, pred, 2*DefaultRounds(n, 1.0/(4*float64(n))))
+	for v, c := range got {
+		if c != 250 {
+			t.Fatalf("node %d count %d, want 250 under failures", v, c)
+		}
+	}
+}
+
+func TestErrorDecaysWithRounds(t *testing.T) {
+	// More rounds → strictly better worst-node error (sampled at a few
+	// budgets); verifies the exponential-convergence shape.
+	const n = 4096
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	want := float64(n-1) / 2
+	worst := func(rounds int) float64 {
+		e := sim.New(n, 15)
+		got := Average(e, values, rounds)
+		w := 0.0
+		for _, x := range got {
+			if d := math.Abs(x-want) / want; d > w {
+				w = d
+			}
+		}
+		return w
+	}
+	e10, e25, e60 := worst(10), worst(25), worst(60)
+	if !(e10 > e25 && e25 > e60) {
+		t.Fatalf("error not decreasing: %v, %v, %v", e10, e25, e60)
+	}
+	if e60 > 1e-6 {
+		t.Fatalf("error after 60 rounds still %v", e60)
+	}
+}
+
+func TestDefaultRoundsMonotone(t *testing.T) {
+	if DefaultRounds(1000, 0.1) >= DefaultRounds(1000, 0.0001) {
+		t.Error("rounds should grow as eps shrinks")
+	}
+	if DefaultRounds(100, 0.01) >= DefaultRounds(100000, 0.01) {
+		t.Error("rounds should grow with n")
+	}
+	if DefaultRounds(100, 0) <= 0 {
+		t.Error("eps=0 must still give a positive budget")
+	}
+}
+
+func TestAveragePanicsOnLengthMismatch(t *testing.T) {
+	e := sim.New(10, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched values")
+		}
+	}()
+	Average(e, make([]float64, 9), 0)
+}
+
+func TestMessageBitsAccounting(t *testing.T) {
+	const n = 100
+	e := sim.New(n, 16)
+	Average(e, make([]float64, n), 10)
+	m := e.Metrics()
+	if m.MaxMessageBits != MessageBits {
+		t.Errorf("max message bits %d, want %d", m.MaxMessageBits, MessageBits)
+	}
+	if m.Messages != int64(10*n) {
+		t.Errorf("messages %d, want %d", m.Messages, 10*n)
+	}
+}

@@ -1,0 +1,214 @@
+// Package sampling implements the Appendix A baselines for approximate
+// quantile computation:
+//
+//   - Direct: every node pulls Θ(log n/ε²) independent samples and answers
+//     from its local sample (Lemma A.1) — O(log n/ε²) rounds, O(log n)-bit
+//     messages.
+//   - Doubling: buffers of whole sample sets merge pairwise each round, so
+//     Θ(log n/ε²) samples accumulate in O(log log n + log 1/ε) rounds at
+//     the price of Θ(log² n/ε²)-bit messages (Lemma A.2).
+//   - Compacted: the doubling algorithm with the Appendix A.1 compaction
+//     rule, shrinking messages to Θ((1/ε)(log log n + log 1/ε)) entries
+//     (Theorem A.6).
+//
+// All three exist to quantify the round/message trade-off that the
+// tournament algorithm dominates (experiment E4).
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gossipq/internal/sim"
+	"gossipq/internal/sketch"
+)
+
+// SampleSize returns the Θ(log n/ε²) sample count that makes an empirical
+// φ-quantile an ε-approximation w.h.p. (Lemma A.1). The constant 2 is
+// validated by the package tests across workloads and seeds.
+func SampleSize(n int, eps float64) int {
+	if eps <= 0 {
+		eps = 1e-3
+	}
+	s := int(math.Ceil(2 * math.Log(float64(n)+1) / (eps * eps)))
+	if s < 8 {
+		s = 8
+	}
+	return s
+}
+
+// Direct runs the direct-sampling algorithm: SampleSize(n, ε) pull rounds,
+// each node answering the empirical φ-quantile of its own samples. Returns
+// each node's output.
+func Direct(e *sim.Engine, values []int64, phi, eps float64) []int64 {
+	n := e.N()
+	if len(values) != n {
+		panic(fmt.Sprintf("sampling: %d values for %d nodes", len(values), n))
+	}
+	t := SampleSize(n, eps)
+	samples := make([][]int64, n)
+	for v := range samples {
+		samples[v] = make([]int64, 0, t)
+	}
+	dst := make([]int32, n)
+	for r := 0; r < t; r++ {
+		e.Pull(dst, 64)
+		for v := 0; v < n; v++ {
+			if p := dst[v]; p != sim.NoPeer {
+				samples[v] = append(samples[v], values[p])
+			}
+		}
+	}
+	out := make([]int64, n)
+	for v := range out {
+		out[v] = empiricalQuantile(samples[v], phi, values[v])
+	}
+	return out
+}
+
+// DoublingRounds returns the round budget of the doubling algorithm:
+// ceil(log2(SampleSize)) + 1, i.e. O(log log n + log 1/ε).
+func DoublingRounds(n int, eps float64) int {
+	return sim.CeilLog2(SampleSize(n, eps)) + 1
+}
+
+// Doubling runs the buffer-doubling algorithm: each node starts with one
+// sampled value and each round unions its buffer with a random peer's,
+// until buffers hold at least SampleSize(n, ε) entries. Message size grows
+// to buffer-size · 64 bits, which the engine's accounting records — that
+// violation of the O(log n) discipline is the point of the experiment.
+func Doubling(e *sim.Engine, values []int64, phi, eps float64) []int64 {
+	n := e.N()
+	if len(values) != n {
+		panic(fmt.Sprintf("sampling: %d values for %d nodes", len(values), n))
+	}
+	bufs := make([][]int64, n)
+	dst := make([]int32, n)
+
+	// S_v(0) = {x_{t0(v)}}: one sampling pull.
+	e.Pull(dst, 64)
+	for v := 0; v < n; v++ {
+		if p := dst[v]; p != sim.NoPeer {
+			bufs[v] = append(bufs[v], values[p])
+		} else {
+			bufs[v] = append(bufs[v], values[v])
+		}
+	}
+
+	rounds := DoublingRounds(n, eps) - 1
+	next := make([][]int64, n)
+	for r := 0; r < rounds; r++ {
+		// Message size this round: the partner's whole buffer (sizes are
+		// uniform across nodes in failure-free runs; charge the max).
+		maxLen := 0
+		for v := 0; v < n; v++ {
+			if len(bufs[v]) > maxLen {
+				maxLen = len(bufs[v])
+			}
+		}
+		e.Pull(dst, maxLen*64)
+		for v := 0; v < n; v++ {
+			if p := dst[v]; p != sim.NoPeer {
+				merged := make([]int64, 0, len(bufs[v])+len(bufs[p]))
+				merged = append(merged, bufs[v]...)
+				merged = append(merged, bufs[p]...)
+				next[v] = merged
+			} else {
+				next[v] = bufs[v]
+			}
+		}
+		bufs, next = next, bufs
+	}
+	out := make([]int64, n)
+	for v := range out {
+		out[v] = empiricalQuantile(bufs[v], phi, values[v])
+	}
+	return out
+}
+
+// CompactedK returns the Appendix A.1 buffer capacity
+// Θ((1/ε)(log log n + log 1/ε)), rounded up to a power of two (the
+// compaction schedule assumes it).
+func CompactedK(n int, eps float64) int {
+	if eps <= 0 {
+		eps = 1e-3
+	}
+	raw := 4 / eps * (math.Log2(math.Log2(float64(n)+2)+1) + math.Log2(1/eps) + 1)
+	k := 2
+	for float64(k) < raw {
+		k *= 2
+	}
+	return k
+}
+
+// Compacted runs the doubling algorithm with compaction: buffers are
+// sketch.Buffers of capacity CompactedK(n, ε), so messages stay at
+// k·64 bits while the represented sample still reaches Θ(log n/ε²).
+func Compacted(e *sim.Engine, values []int64, phi, eps float64) []int64 {
+	n := e.N()
+	if len(values) != n {
+		panic(fmt.Sprintf("sampling: %d values for %d nodes", len(values), n))
+	}
+	k := CompactedK(n, eps)
+	bufs := make([]*sketch.Buffer, n)
+	dst := make([]int32, n)
+
+	e.Pull(dst, 64)
+	for v := 0; v < n; v++ {
+		if p := dst[v]; p != sim.NoPeer {
+			bufs[v] = sketch.NewSeeded(k, values[p])
+		} else {
+			bufs[v] = sketch.NewSeeded(k, values[v])
+		}
+	}
+
+	rounds := DoublingRounds(n, eps) - 1
+	for r := 0; r < rounds; r++ {
+		e.Pull(dst, k*64)
+		snapshot := make([]*sketch.Buffer, n)
+		for v := 0; v < n; v++ {
+			snapshot[v] = bufs[v]
+		}
+		for v := 0; v < n; v++ {
+			p := dst[v]
+			if p == sim.NoPeer {
+				continue
+			}
+			// Under failures the synchronized compaction schedule can
+			// desync buffer weights; skipping the merge (keeping the own
+			// buffer) degrades sample size gracefully instead of breaking
+			// the weight invariant. Failure-free runs never hit this.
+			if snapshot[p].Weight() != snapshot[v].Weight() {
+				continue
+			}
+			merged := snapshot[v].Clone()
+			merged.Merge(snapshot[p])
+			bufs[v] = merged
+		}
+	}
+	out := make([]int64, n)
+	for v := range out {
+		out[v] = bufs[v].Quantile(phi)
+	}
+	return out
+}
+
+// empiricalQuantile returns the ⌈φ·|s|⌉-smallest sample, or fallback for an
+// empty sample (possible only under failures).
+func empiricalQuantile(s []int64, phi float64, fallback int64) int64 {
+	if len(s) == 0 {
+		return fallback
+	}
+	sorted := make([]int64, len(s))
+	copy(sorted, s)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	k := int(math.Ceil(phi * float64(len(sorted))))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[k-1]
+}

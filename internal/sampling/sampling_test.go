@@ -1,0 +1,216 @@
+package sampling
+
+import (
+	"testing"
+
+	"gossipq/internal/dist"
+	"gossipq/internal/sim"
+	"gossipq/internal/stats"
+)
+
+func fracCorrect(o *stats.Oracle, out []int64, phi, eps float64) float64 {
+	ok := 0
+	for _, x := range out {
+		if o.WithinEpsilon(x, phi, eps) {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(out))
+}
+
+func TestDirectApproximation(t *testing.T) {
+	const n = 4096
+	const eps = 0.1
+	values := dist.Generate(dist.Uniform, n, 1)
+	o := stats.NewOracle(values)
+	for _, phi := range []float64{0.2, 0.5, 0.8} {
+		e := sim.New(n, 61)
+		out := Direct(e, values, phi, eps)
+		if frac := fracCorrect(o, out, phi, eps); frac < 0.999 {
+			t.Errorf("phi=%v: only %.4f correct", phi, frac)
+		}
+	}
+}
+
+func TestDirectRoundsAreSampleSize(t *testing.T) {
+	const n = 1024
+	const eps = 0.15
+	values := dist.Generate(dist.Uniform, n, 2)
+	e := sim.New(n, 67)
+	Direct(e, values, 0.5, eps)
+	if got, want := e.Rounds(), SampleSize(n, eps); got != want {
+		t.Errorf("rounds = %d, want %d", got, want)
+	}
+}
+
+func TestDirectMessageDiscipline(t *testing.T) {
+	const n = 1024
+	values := dist.Generate(dist.Uniform, n, 3)
+	e := sim.New(n, 71)
+	Direct(e, values, 0.5, 0.15)
+	if got := e.Metrics().MaxMessageBits; got != 64 {
+		t.Errorf("max message bits = %d, want 64", got)
+	}
+}
+
+func TestDoublingApproximation(t *testing.T) {
+	const n = 4096
+	const eps = 0.1
+	values := dist.Generate(dist.Uniform, n, 4)
+	o := stats.NewOracle(values)
+	e := sim.New(n, 73)
+	out := Doubling(e, values, 0.5, eps)
+	if frac := fracCorrect(o, out, 0.5, eps); frac < 0.999 {
+		t.Errorf("only %.4f correct", frac)
+	}
+}
+
+func TestDoublingIsExponentiallyFasterThanDirect(t *testing.T) {
+	const n = 4096
+	const eps = 0.1
+	values := dist.Generate(dist.Uniform, n, 5)
+	eDirect := sim.New(n, 79)
+	Direct(eDirect, values, 0.5, eps)
+	eDbl := sim.New(n, 79)
+	Doubling(eDbl, values, 0.5, eps)
+	if eDbl.Rounds()*10 > eDirect.Rounds() {
+		t.Errorf("doubling %d rounds vs direct %d: expected >=10x gap",
+			eDbl.Rounds(), eDirect.Rounds())
+	}
+}
+
+func TestDoublingMessageBlowup(t *testing.T) {
+	// The doubling algorithm's defining cost: message size far above the
+	// 64-bit discipline.
+	const n = 2048
+	const eps = 0.1
+	values := dist.Generate(dist.Uniform, n, 6)
+	e := sim.New(n, 83)
+	Doubling(e, values, 0.5, eps)
+	if got := e.Metrics().MaxMessageBits; got < 64*SampleSize(n, eps)/4 {
+		t.Errorf("max message bits = %d, expected a large buffer transfer", got)
+	}
+}
+
+func TestCompactedApproximation(t *testing.T) {
+	const n = 4096
+	const eps = 0.1
+	values := dist.Generate(dist.Uniform, n, 7)
+	o := stats.NewOracle(values)
+	e := sim.New(n, 89)
+	out := Compacted(e, values, 0.5, eps)
+	if frac := fracCorrect(o, out, 0.5, eps); frac < 0.99 {
+		t.Errorf("only %.4f correct", frac)
+	}
+}
+
+func TestCompactedAcrossQuantiles(t *testing.T) {
+	const n = 2048
+	const eps = 0.12
+	values := dist.Generate(dist.Sequential, n, 8)
+	o := stats.NewOracle(values)
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		e := sim.New(n, 97)
+		out := Compacted(e, values, phi, eps)
+		if frac := fracCorrect(o, out, phi, eps); frac < 0.99 {
+			t.Errorf("phi=%v: only %.4f correct", phi, frac)
+		}
+	}
+}
+
+func TestCompactedMessageSizeBetweenDirectAndDoubling(t *testing.T) {
+	const n = 4096
+	const eps = 0.1
+	values := dist.Generate(dist.Uniform, n, 9)
+	eDbl := sim.New(n, 101)
+	Doubling(eDbl, values, 0.5, eps)
+	eCmp := sim.New(n, 101)
+	Compacted(eCmp, values, 0.5, eps)
+	dblBits := eDbl.Metrics().MaxMessageBits
+	cmpBits := eCmp.Metrics().MaxMessageBits
+	if cmpBits >= dblBits {
+		t.Errorf("compacted messages (%d bits) not smaller than doubling (%d bits)",
+			cmpBits, dblBits)
+	}
+	if cmpBits != CompactedK(n, eps)*64 {
+		t.Errorf("compacted message bits = %d, want k*64 = %d", cmpBits, CompactedK(n, eps)*64)
+	}
+}
+
+func TestCompactedRoundsMatchDoubling(t *testing.T) {
+	const n = 2048
+	const eps = 0.1
+	values := dist.Generate(dist.Uniform, n, 10)
+	eDbl := sim.New(n, 103)
+	Doubling(eDbl, values, 0.5, eps)
+	eCmp := sim.New(n, 103)
+	Compacted(eCmp, values, 0.5, eps)
+	if eDbl.Rounds() != eCmp.Rounds() {
+		t.Errorf("doubling %d rounds, compacted %d: same schedule expected",
+			eDbl.Rounds(), eCmp.Rounds())
+	}
+}
+
+func TestSampleSizeScaling(t *testing.T) {
+	if SampleSize(1000, 0.1) >= SampleSize(1000, 0.05) {
+		t.Error("sample size must grow as eps shrinks")
+	}
+	if SampleSize(100, 0.1) >= SampleSize(1000000, 0.1) {
+		t.Error("sample size must grow with n")
+	}
+	if SampleSize(2, 0) < 8 {
+		t.Error("degenerate inputs must still give a usable size")
+	}
+}
+
+func TestCompactedKPowerOfTwo(t *testing.T) {
+	for _, n := range []int{100, 10000, 1000000} {
+		for _, eps := range []float64{0.2, 0.05, 0.01} {
+			k := CompactedK(n, eps)
+			if k < 2 || k&(k-1) != 0 {
+				t.Fatalf("CompactedK(%d, %v) = %d not a power of two", n, eps, k)
+			}
+		}
+	}
+}
+
+func TestDirectUnderFailures(t *testing.T) {
+	// Failed pulls shrink samples; accuracy should degrade gracefully, not
+	// collapse (the sample is still unbiased).
+	const n = 2048
+	const eps = 0.15
+	values := dist.Generate(dist.Uniform, n, 11)
+	o := stats.NewOracle(values)
+	e := sim.New(n, 107, sim.WithFailures(sim.UniformFailures(0.3)))
+	out := Direct(e, values, 0.5, eps)
+	if frac := fracCorrect(o, out, 0.5, eps); frac < 0.99 {
+		t.Errorf("only %.4f correct under failures", frac)
+	}
+}
+
+func TestCompactedUnderFailuresDoesNotPanic(t *testing.T) {
+	const n = 1024
+	values := dist.Generate(dist.Uniform, n, 12)
+	e := sim.New(n, 109, sim.WithFailures(sim.UniformFailures(0.4)))
+	out := Compacted(e, values, 0.5, 0.15)
+	if len(out) != n {
+		t.Fatalf("got %d outputs", len(out))
+	}
+}
+
+func TestEmpiricalQuantile(t *testing.T) {
+	s := []int64{5, 1, 3}
+	if got := empiricalQuantile(s, 0.5, 0); got != 3 {
+		t.Errorf("median of {1,3,5} = %d", got)
+	}
+	if got := empiricalQuantile(nil, 0.5, 42); got != 42 {
+		t.Errorf("empty fallback = %d", got)
+	}
+	if got := empiricalQuantile([]int64{7}, 0, 0); got != 7 {
+		t.Errorf("phi=0 on singleton = %d", got)
+	}
+	// Input must not be mutated (sorted copy).
+	if s[0] != 5 || s[1] != 1 {
+		t.Error("empiricalQuantile mutated input")
+	}
+}

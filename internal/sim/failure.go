@@ -1,0 +1,74 @@
+package sim
+
+// FailureModel assigns each (node, round) pair a failure probability, the
+// model of §5 of the paper: probabilities are pre-determined before the
+// execution, each bounded by a constant μ < 1, and during round i node v
+// independently fails to perform its push or pull with probability p_{v,i}.
+type FailureModel interface {
+	// Prob returns node v's failure probability in the given round.
+	Prob(node, round int) float64
+}
+
+type noFailures struct{}
+
+func (noFailures) Prob(int, int) float64 { return 0 }
+
+// NoFailures returns the failure-free model (every probability is zero).
+func NoFailures() FailureModel { return noFailures{} }
+
+type uniformFailures struct{ p float64 }
+
+func (u uniformFailures) Prob(int, int) float64 { return u.p }
+
+// UniformFailures returns a model where every node fails every round with
+// the same probability p.
+func UniformFailures(p float64) FailureModel { return uniformFailures{p: p} }
+
+type perNodeFailures struct{ ps []float64 }
+
+func (m perNodeFailures) Prob(node, _ int) float64 {
+	if node < len(m.ps) {
+		return m.ps[node]
+	}
+	return 0
+}
+
+// PerNodeFailures returns a model with heterogeneous per-node probabilities,
+// constant across rounds (the "potentially different" clause of Thm 1.4).
+// Nodes beyond len(ps) never fail.
+func PerNodeFailures(ps []float64) FailureModel {
+	cp := make([]float64, len(ps))
+	copy(cp, ps)
+	return perNodeFailures{ps: cp}
+}
+
+type roundDependent struct {
+	f func(node, round int) float64
+}
+
+func (m roundDependent) Prob(node, round int) float64 { return m.f(node, round) }
+
+// FailureFunc adapts an arbitrary deterministic function into a
+// FailureModel, for round-dependent schedules in tests.
+func FailureFunc(f func(node, round int) float64) FailureModel {
+	return roundDependent{f: f}
+}
+
+// MaxProb returns an upper bound μ on the model's probabilities over the
+// given node count, probing round 0..7 for round-dependent models. Robust
+// protocol variants size their redundancy from this bound.
+func MaxProb(m FailureModel, n int) float64 {
+	var mu float64
+	probe := n
+	if probe > 1024 {
+		probe = 1024
+	}
+	for v := 0; v < probe; v++ {
+		for r := 0; r < 8; r++ {
+			if p := m.Prob(v, r); p > mu {
+				mu = p
+			}
+		}
+	}
+	return mu
+}

@@ -1,0 +1,410 @@
+// Package sim implements the synchronous uniform-gossip round model of the
+// paper: n nodes proceed in synchronized rounds, and in each round every
+// node either pushes one message to, or pulls one message from, a uniformly
+// random other node. Message sizes are accounted in bits so experiments can
+// verify the O(log n) message-size discipline, and an optional failure model
+// (§5) makes any node silently skip its operation in any round.
+//
+// The engine is deliberately mechanism-only: it supplies peer sampling,
+// failure coins, and round/message/bit accounting, while protocol state
+// lives in the algorithm packages. All randomness is drawn from per-node
+// streams derived from one seed, so a simulation transcript is reproducible
+// bit-for-bit regardless of GOMAXPROCS.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"gossipq/internal/xrand"
+)
+
+// NoPeer marks a failed pull in the destination slice of Pull.
+const NoPeer int32 = -1
+
+// parallelThreshold is the population size below which rounds execute on the
+// calling goroutine; sharding overhead dominates below this.
+const parallelThreshold = 8192
+
+// Metrics is a snapshot of the engine's complexity accounting.
+type Metrics struct {
+	// Rounds is the number of synchronous gossip rounds executed.
+	Rounds int
+	// Messages is the number of messages successfully sent.
+	Messages int64
+	// Bits is the total message payload volume.
+	Bits int64
+	// MaxMessageBits is the largest single-message payload seen, the
+	// quantity the paper bounds by O(log n).
+	MaxMessageBits int
+}
+
+// Sub returns the difference m - prev, for metering a protocol phase.
+func (m Metrics) Sub(prev Metrics) Metrics {
+	return Metrics{
+		Rounds:         m.Rounds - prev.Rounds,
+		Messages:       m.Messages - prev.Messages,
+		Bits:           m.Bits - prev.Bits,
+		MaxMessageBits: m.MaxMessageBits,
+	}
+}
+
+// Engine drives synchronous gossip rounds over a fixed population.
+type Engine struct {
+	n       int
+	src     xrand.Source
+	rngs    []xrand.RNG // one stream per node
+	fail    FailureModel
+	workers int
+
+	round    int
+	messages int64
+	bits     int64
+	maxBits  int
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithFailures installs a failure model (default: no failures).
+func WithFailures(m FailureModel) Option {
+	return func(e *Engine) {
+		if m != nil {
+			e.fail = m
+		}
+	}
+}
+
+// WithWorkers fixes the number of goroutines used per round (default:
+// GOMAXPROCS). The transcript is identical for any worker count.
+func WithWorkers(k int) Option {
+	return func(e *Engine) {
+		if k > 0 {
+			e.workers = k
+		}
+	}
+}
+
+// New creates an engine for n >= 2 nodes seeded by seed.
+func New(n int, seed uint64, opts ...Option) *Engine {
+	if n < 2 {
+		panic(fmt.Sprintf("sim: population must have at least 2 nodes, got %d", n))
+	}
+	e := &Engine{
+		n:       n,
+		src:     xrand.NewSource(seed),
+		fail:    NoFailures(),
+		workers: runtime.GOMAXPROCS(0),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	e.rngs = make([]xrand.RNG, n)
+	e.forEach(func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			e.src.SeedInto(&e.rngs[v], uint64(v))
+		}
+	})
+	return e
+}
+
+// N returns the population size.
+func (e *Engine) N() int { return e.n }
+
+// Seed returns the root seed.
+func (e *Engine) Seed() uint64 { return e.src.Seed() }
+
+// Failures returns the installed failure model.
+func (e *Engine) Failures() FailureModel { return e.fail }
+
+// Metrics returns the current complexity counters.
+func (e *Engine) Metrics() Metrics {
+	return Metrics{Rounds: e.round, Messages: e.messages, Bits: e.bits, MaxMessageBits: e.maxBits}
+}
+
+// Rounds returns the number of rounds executed so far.
+func (e *Engine) Rounds() int { return e.round }
+
+// AlgorithmRNG returns a private random stream for algorithm-level choices
+// (e.g. Algorithm 1's δ coin), derived from the engine seed and a tag so
+// different protocol phases never share randomness with peer sampling.
+func (e *Engine) AlgorithmRNG(tag uint64) *xrand.RNG {
+	return e.src.Sub(0x416c676f).Stream(tag)
+}
+
+// AlgorithmSource returns a private stream-deriving source in the same
+// namespace as AlgorithmRNG, for protocols that need per-node algorithm
+// coins (one stream per node) independent of the engine's peer sampling.
+func (e *Engine) AlgorithmSource(tag uint64) xrand.Source {
+	return e.src.Sub(0x416c676f).Sub(tag)
+}
+
+// forEach runs f over contiguous shards of [0, n), in parallel when the
+// population is large. f must only touch per-node state indexed by its shard.
+func (e *Engine) forEach(f func(lo, hi int)) {
+	if e.workers <= 1 || e.n < parallelThreshold {
+		f(0, e.n)
+		return
+	}
+	chunk := (e.n + e.workers - 1) / e.workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < e.n; lo += chunk {
+		hi := lo + chunk
+		if hi > e.n {
+			hi = e.n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// failed draws node v's failure coin for the current round from v's stream.
+func (e *Engine) failed(v int) bool {
+	p := e.fail.Prob(v, e.round)
+	if p <= 0 {
+		// Keep per-node stream consumption independent of the failure
+		// model so transcripts with p=0 match NoFailures exactly: no draw.
+		return false
+	}
+	return e.rngs[v].Bool(p)
+}
+
+// peer samples a uniformly random node other than v from v's stream.
+func (e *Engine) peer(v int) int32 {
+	j := e.rngs[v].Intn(e.n - 1)
+	if j >= v {
+		j++
+	}
+	return int32(j)
+}
+
+// Pull executes one synchronous round in which every node pulls from one
+// uniformly random other node. dst must have length n; on return dst[v] is
+// the index pulled from, or NoPeer if v failed this round. msgBits is the
+// payload size of each pulled message, charged per successful pull.
+func (e *Engine) Pull(dst []int32, msgBits int) {
+	if len(dst) != e.n {
+		panic(fmt.Sprintf("sim: Pull dst length %d, want %d", len(dst), e.n))
+	}
+	var ok int64
+	var mu sync.Mutex
+	e.forEach(func(lo, hi int) {
+		var local int64
+		for v := lo; v < hi; v++ {
+			if e.failed(v) {
+				dst[v] = NoPeer
+				continue
+			}
+			dst[v] = e.peer(v)
+			local++
+		}
+		mu.Lock()
+		ok += local
+		mu.Unlock()
+	})
+	e.round++
+	e.messages += ok
+	e.bits += ok * int64(msgBits)
+	if msgBits > e.maxBits && ok > 0 {
+		e.maxBits = msgBits
+	}
+}
+
+// Delivery is one received message together with its sender.
+type Delivery[M any] struct {
+	From int32
+	Msg  M
+}
+
+// Push executes one synchronous round in which every live node may push one
+// message to a uniformly random other node. send is invoked for every live
+// node and returns the message and whether to send at all; recv is invoked
+// once for every node that received at least one message, with deliveries
+// ordered by sender id. send and recv may run concurrently across nodes but
+// never for the same node at once; send must not mutate shared state.
+func Push[M any](e *Engine, msgBits int, send func(v int) (M, bool), recv func(v int, in []Delivery[M])) {
+	n := e.n
+	targets := make([]int32, n)
+	msgs := make([]M, n)
+	e.forEach(func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if e.failed(v) {
+				targets[v] = NoPeer
+				continue
+			}
+			t := e.peer(v)
+			m, sendIt := send(v)
+			if !sendIt {
+				targets[v] = NoPeer
+				continue
+			}
+			targets[v] = t
+			msgs[v] = m
+		}
+	})
+
+	// Group deliveries by target with a counting sort; iterating senders in
+	// increasing order makes each inbox sender-ordered and deterministic.
+	counts := make([]int32, n+1)
+	var sent int64
+	for v := 0; v < n; v++ {
+		if targets[v] != NoPeer {
+			counts[targets[v]+1]++
+			sent++
+		}
+	}
+	offsets := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		offsets[i+1] = offsets[i] + counts[i+1]
+	}
+	inbox := make([]Delivery[M], sent)
+	fill := make([]int32, n)
+	copy(fill, offsets[:n])
+	for v := 0; v < n; v++ {
+		t := targets[v]
+		if t == NoPeer {
+			continue
+		}
+		inbox[fill[t]] = Delivery[M]{From: int32(v), Msg: msgs[v]}
+		fill[t]++
+	}
+
+	e.forEach(func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			in := inbox[offsets[v]:fill[v]]
+			if len(in) > 0 {
+				recv(v, in)
+			}
+		}
+	})
+
+	e.round++
+	e.messages += sent
+	e.bits += sent * int64(msgBits)
+	if msgBits > e.maxBits && sent > 0 {
+		e.maxBits = msgBits
+	}
+}
+
+// PushBatch executes one protocol *phase* in which each live node may push
+// several messages, each to an independent uniformly random other node. In
+// the round model a node sends one message per round, so the phase costs
+// max_v(#messages of v) rounds (at least 1); per-message failure coins use
+// the per-round probabilities across the phase's rounds. Token distribution
+// (Algorithm 3, Step 7) is the sole client. Deliveries are ordered by
+// (sender, position). onDrop, if non-nil, is invoked (sender-side, possibly
+// concurrently across senders) for every message whose sending round failed
+// — §5.2's "if the push fails, merge them back". Returns the number of
+// rounds charged.
+func PushBatch[M any](e *Engine, msgBits int, send func(v int) []M, recv func(v int, in []Delivery[M]), onDrop func(v int, msg M)) int {
+	n := e.n
+	type out struct {
+		targets []int32 // NoPeer for dropped (failed) messages
+		msgs    []M
+	}
+	outs := make([]out, n)
+	phaseRounds := 1
+	var mu sync.Mutex
+	e.forEach(func(lo, hi int) {
+		localMax := 0
+		for v := lo; v < hi; v++ {
+			ms := send(v)
+			if len(ms) == 0 {
+				continue
+			}
+			if len(ms) > localMax {
+				localMax = len(ms)
+			}
+			o := out{targets: make([]int32, len(ms)), msgs: ms}
+			for j := range ms {
+				// Per-message failure coin at the j-th round of the phase.
+				p := e.fail.Prob(v, e.round+j)
+				if p > 0 && e.rngs[v].Bool(p) {
+					o.targets[j] = NoPeer
+					if onDrop != nil {
+						onDrop(v, ms[j])
+					}
+					continue
+				}
+				o.targets[j] = e.peer(v)
+			}
+			outs[v] = o
+		}
+		mu.Lock()
+		if localMax > phaseRounds {
+			phaseRounds = localMax
+		}
+		mu.Unlock()
+	})
+
+	counts := make([]int32, n+1)
+	var sent int64
+	for v := 0; v < n; v++ {
+		for _, t := range outs[v].targets {
+			if t != NoPeer {
+				counts[t+1]++
+				sent++
+			}
+		}
+	}
+	offsets := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		offsets[i+1] = offsets[i] + counts[i+1]
+	}
+	inbox := make([]Delivery[M], sent)
+	fill := make([]int32, n)
+	copy(fill, offsets[:n])
+	for v := 0; v < n; v++ {
+		o := outs[v]
+		for j, t := range o.targets {
+			if t == NoPeer {
+				continue
+			}
+			inbox[fill[t]] = Delivery[M]{From: int32(v), Msg: o.msgs[j]}
+			fill[t]++
+		}
+	}
+	e.forEach(func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			in := inbox[offsets[v]:fill[v]]
+			if len(in) > 0 {
+				recv(v, in)
+			}
+		}
+	})
+
+	e.round += phaseRounds
+	e.messages += sent
+	e.bits += sent * int64(msgBits)
+	if msgBits > e.maxBits && sent > 0 {
+		e.maxBits = msgBits
+	}
+	return phaseRounds
+}
+
+// ChargeRounds accounts extra rounds without communication, used when a
+// protocol step is idle-waiting for a fixed schedule.
+func (e *Engine) ChargeRounds(k int) {
+	if k > 0 {
+		e.round += k
+	}
+}
+
+// Log2N returns ceil(log2(n)), the natural unit for round budgets.
+func (e *Engine) Log2N() int {
+	return CeilLog2(e.n)
+}
+
+// CeilLog2 returns ceil(log2(x)) for x >= 1.
+func CeilLog2(x int) int {
+	k := 0
+	for v := 1; v < x; v <<= 1 {
+		k++
+	}
+	return k
+}

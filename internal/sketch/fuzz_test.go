@@ -1,0 +1,50 @@
+package sketch
+
+import (
+	"testing"
+
+	"gossipq/internal/xrand"
+)
+
+// FuzzMergeInvariants drives arbitrary doubling-merge schedules and checks
+// the structural invariants of the compactor: capacity respected, weight a
+// power of two, items sorted, and total weight conserved.
+func FuzzMergeInvariants(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(16))
+	f.Add(uint64(42), uint8(6), uint8(64))
+	f.Fuzz(func(t *testing.T, seed uint64, levels, kRaw uint8) {
+		k := 2 << (kRaw % 6) // 2..64, power of two
+		nLeaves := 1 << (levels % 8)
+		rng := xrand.New(seed)
+		bufs := make([]*Buffer, nLeaves)
+		var total int64
+		for i := range bufs {
+			bufs[i] = NewSeeded(k, rng.Int64()%1000)
+			total++
+		}
+		for len(bufs) > 1 {
+			next := bufs[:0]
+			for i := 0; i+1 < len(bufs); i += 2 {
+				bufs[i].Merge(bufs[i+1])
+				next = append(next, bufs[i])
+			}
+			bufs = next
+		}
+		b := bufs[0]
+		if b.Len() > k {
+			t.Fatalf("capacity violated: %d > %d", b.Len(), k)
+		}
+		if w := b.Weight(); w < 1 || w&(w-1) != 0 {
+			t.Fatalf("weight %d not a power of two", w)
+		}
+		items := b.Items()
+		for i := 1; i < len(items); i++ {
+			if items[i] < items[i-1] {
+				t.Fatalf("items not sorted at %d", i)
+			}
+		}
+		if b.TotalWeight() != total {
+			t.Fatalf("total weight %d, want %d", b.TotalWeight(), total)
+		}
+	})
+}

@@ -1,0 +1,124 @@
+// Package sketch implements the compaction buffer of Appendix A.1: a
+// KLL-style quantile summary whose only operations are the ones the gossip
+// doubling algorithm needs. A buffer holds at most k items, all sharing one
+// power-of-two weight; merging two equal-weight buffers unions them and,
+// if the union exceeds k, compacts: sort and keep the items at even
+// (1-based) positions, doubling the weight. Corollary A.4 bounds the rank
+// error accumulated by a doubling schedule by (n′/2k)·log₂(n′/k), which the
+// property tests check directly.
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Buffer is a weighted quantile summary. The zero value is unusable; use
+// New or NewSeeded.
+type Buffer struct {
+	k      int
+	weight int64
+	items  []int64 // sorted ascending
+}
+
+// New returns an empty buffer with capacity k (k >= 2) and weight 1.
+func New(k int) *Buffer {
+	if k < 2 {
+		panic(fmt.Sprintf("sketch: capacity %d < 2", k))
+	}
+	return &Buffer{k: k, weight: 1, items: make([]int64, 0, k)}
+}
+
+// NewSeeded returns a weight-1 buffer holding one item, the initial state
+// S̃_v(0) = {x_{t₀(v)}} of the doubling algorithm.
+func NewSeeded(k int, item int64) *Buffer {
+	b := New(k)
+	b.items = append(b.items, item)
+	return b
+}
+
+// K returns the capacity.
+func (b *Buffer) K() int { return b.k }
+
+// Weight returns the per-item weight (a power of two).
+func (b *Buffer) Weight() int64 { return b.weight }
+
+// Len returns the number of stored items.
+func (b *Buffer) Len() int { return len(b.items) }
+
+// TotalWeight returns weight·len, the size of the multiset represented.
+func (b *Buffer) TotalWeight() int64 { return b.weight * int64(len(b.items)) }
+
+// Items returns the stored items (sorted, shared backing array — callers
+// must not mutate).
+func (b *Buffer) Items() []int64 { return b.items }
+
+// Clone returns a deep copy.
+func (b *Buffer) Clone() *Buffer {
+	cp := &Buffer{k: b.k, weight: b.weight, items: make([]int64, len(b.items))}
+	copy(cp.items, b.items)
+	return cp
+}
+
+// Merge unions o into b (o is not modified), compacting if the union
+// exceeds capacity. Both buffers must have equal capacity and weight — the
+// doubling algorithm's synchronized schedule guarantees this; anything else
+// is a caller bug and panics.
+func (b *Buffer) Merge(o *Buffer) {
+	if b.k != o.k {
+		panic(fmt.Sprintf("sketch: merging capacities %d and %d", b.k, o.k))
+	}
+	if b.weight != o.weight {
+		panic(fmt.Sprintf("sketch: merging weights %d and %d", b.weight, o.weight))
+	}
+	merged := make([]int64, 0, len(b.items)+len(o.items))
+	merged = append(merged, b.items...)
+	merged = append(merged, o.items...)
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	if len(merged) <= b.k {
+		b.items = merged
+		return
+	}
+	// Compact: keep 1-based even positions, double the weight.
+	kept := merged[:0]
+	for i := 1; i < len(merged); i += 2 {
+		kept = append(kept, merged[i])
+	}
+	b.items = kept
+	b.weight *= 2
+}
+
+// WeightedRank returns the number of represented elements <= z, i.e.
+// weight · |{x in items : x <= z}|.
+func (b *Buffer) WeightedRank(z int64) int64 {
+	idx := sort.Search(len(b.items), func(i int) bool { return b.items[i] > z })
+	return b.weight * int64(idx)
+}
+
+// Quantile returns the stored item whose weighted rank best matches
+// φ·TotalWeight. It panics on an empty buffer.
+func (b *Buffer) Quantile(phi float64) int64 {
+	if len(b.items) == 0 {
+		panic("sketch: Quantile on empty buffer")
+	}
+	target := phi * float64(len(b.items))
+	idx := int(target+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(b.items) {
+		idx = len(b.items) - 1
+	}
+	return b.items[idx]
+}
+
+// ErrorBound returns Corollary A.4's bound on |rank_S(z) - weightedRank(z)|
+// for a buffer built from n′ samples by the doubling schedule with capacity
+// k: (n′/2k)·log₂(n′/k), or 0 when no compaction ever happened (n′ <= k).
+func ErrorBound(nPrime, k int) float64 {
+	if nPrime <= k {
+		return 0
+	}
+	return float64(nPrime) / (2 * float64(k)) * math.Log2(float64(nPrime)/float64(k))
+}

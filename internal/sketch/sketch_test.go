@@ -1,0 +1,222 @@
+package sketch
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"gossipq/internal/xrand"
+)
+
+func TestNewPanicsOnTinyCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(1) did not panic")
+		}
+	}()
+	New(1)
+}
+
+func TestSeededBuffer(t *testing.T) {
+	b := NewSeeded(8, 42)
+	if b.Len() != 1 || b.Weight() != 1 || b.TotalWeight() != 1 {
+		t.Fatalf("bad seeded buffer: len=%d w=%d", b.Len(), b.Weight())
+	}
+	if b.Items()[0] != 42 {
+		t.Fatalf("item = %d", b.Items()[0])
+	}
+}
+
+func TestMergeWithoutCompaction(t *testing.T) {
+	a := NewSeeded(8, 3)
+	b := NewSeeded(8, 1)
+	a.Merge(b)
+	if a.Len() != 2 || a.Weight() != 1 {
+		t.Fatalf("len=%d w=%d after small merge", a.Len(), a.Weight())
+	}
+	if a.Items()[0] != 1 || a.Items()[1] != 3 {
+		t.Fatalf("items not sorted: %v", a.Items())
+	}
+}
+
+func TestMergeCompacts(t *testing.T) {
+	// Two full weight-1 buffers of capacity 4 merge into 8 items, compact
+	// to the 4 items at even 1-based positions, weight 2.
+	a := New(4)
+	b := New(4)
+	for _, x := range []int64{1, 3, 5, 7} {
+		a.Merge(NewSeeded(4, x))
+	}
+	for _, x := range []int64{2, 4, 6, 8} {
+		b.Merge(NewSeeded(4, x))
+	}
+	a.Merge(b)
+	if a.Weight() != 2 {
+		t.Fatalf("weight = %d, want 2", a.Weight())
+	}
+	want := []int64{2, 4, 6, 8} // even positions of 1..8
+	if len(a.Items()) != len(want) {
+		t.Fatalf("items = %v", a.Items())
+	}
+	for i, x := range want {
+		if a.Items()[i] != x {
+			t.Fatalf("items = %v, want %v", a.Items(), want)
+		}
+	}
+	if a.TotalWeight() != 8 {
+		t.Fatalf("total weight = %d, want 8", a.TotalWeight())
+	}
+}
+
+func TestMergePanicsOnWeightMismatch(t *testing.T) {
+	a := New(4)
+	b := New(4)
+	for _, x := range []int64{1, 2, 3, 4} {
+		a.Merge(NewSeeded(4, x))
+		b.Merge(NewSeeded(4, x+4))
+	}
+	a.Merge(b) // full union of 8 -> compaction -> weight 2
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on weight mismatch")
+		}
+	}()
+	a.Merge(NewSeeded(4, 9))
+}
+
+func TestMergePanicsOnCapacityMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on capacity mismatch")
+		}
+	}()
+	New(4).Merge(New(8))
+}
+
+func TestMergeDoesNotModifyArgument(t *testing.T) {
+	a := NewSeeded(4, 1)
+	b := NewSeeded(4, 2)
+	a.Merge(b)
+	if b.Len() != 1 || b.Items()[0] != 2 {
+		t.Fatal("Merge modified its argument")
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := NewSeeded(4, 1)
+	c := a.Clone()
+	c.Merge(NewSeeded(4, 2))
+	if a.Len() != 1 {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+func TestWeightedRank(t *testing.T) {
+	b := New(4)
+	for _, x := range []int64{10, 20, 30, 40} {
+		b.Merge(NewSeeded(4, x))
+	}
+	cases := map[int64]int64{5: 0, 10: 1, 25: 2, 40: 4, 100: 4}
+	for z, want := range cases {
+		if got := b.WeightedRank(z); got != want {
+			t.Errorf("WeightedRank(%d) = %d, want %d", z, got, want)
+		}
+	}
+}
+
+func TestQuantilePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty Quantile")
+		}
+	}()
+	New(4).Quantile(0.5)
+}
+
+// doublingMerge simulates the synchronized doubling schedule over nPrime
+// weight-1 samples with capacity k and returns the final buffer alongside
+// the exact sorted sample, for error measurement.
+func doublingMerge(rng *xrand.RNG, nPrime, k int) (*Buffer, []int64) {
+	if nPrime&(nPrime-1) != 0 {
+		panic("nPrime must be a power of two")
+	}
+	exact := make([]int64, nPrime)
+	bufs := make([]*Buffer, nPrime)
+	for i := range bufs {
+		x := rng.Int64() % 1000000
+		exact[i] = x
+		bufs[i] = NewSeeded(k, x)
+	}
+	for len(bufs) > 1 {
+		next := make([]*Buffer, 0, len(bufs)/2)
+		for i := 0; i+1 < len(bufs); i += 2 {
+			bufs[i].Merge(bufs[i+1])
+			next = append(next, bufs[i])
+		}
+		bufs = next
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	return bufs[0], exact
+}
+
+func TestCorollaryA4ErrorBound(t *testing.T) {
+	// The compaction rank error must respect (n'/2k)·log2(n'/k) for every
+	// query point, across several (n', k) combinations.
+	rng := xrand.New(99)
+	for _, k := range []int{8, 16, 64} {
+		for _, nPrime := range []int{64, 256, 1024} {
+			if nPrime <= k {
+				continue
+			}
+			b, exact := doublingMerge(rng, nPrime, k)
+			if got, want := b.TotalWeight(), int64(nPrime); got != want {
+				t.Fatalf("k=%d n'=%d: total weight %d, want %d", k, nPrime, got, want)
+			}
+			bound := ErrorBound(nPrime, k)
+			for _, z := range exact {
+				exactRank := int64(sort.Search(len(exact), func(i int) bool { return exact[i] > z }))
+				err := math.Abs(float64(b.WeightedRank(z) - exactRank))
+				if err > bound {
+					t.Fatalf("k=%d n'=%d: rank error %v exceeds Cor A.4 bound %v at z=%d",
+						k, nPrime, err, bound, z)
+				}
+			}
+		}
+	}
+}
+
+func TestCompactionErrorBoundProperty(t *testing.T) {
+	// Randomized variant of the Cor A.4 check as a quick property.
+	rng := xrand.New(7)
+	f := func(seed uint16) bool {
+		r := xrand.New(uint64(seed))
+		const k, nPrime = 16, 256
+		b, exact := doublingMerge(r, nPrime, k)
+		bound := ErrorBound(nPrime, k)
+		z := exact[rng.Intn(len(exact))]
+		exactRank := int64(sort.Search(len(exact), func(i int) bool { return exact[i] > z }))
+		return math.Abs(float64(b.WeightedRank(z)-exactRank)) <= bound
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorBoundZeroWithoutCompaction(t *testing.T) {
+	if ErrorBound(8, 16) != 0 {
+		t.Error("bound should be 0 when n' <= k")
+	}
+	if ErrorBound(64, 16) <= 0 {
+		t.Error("bound should be positive when compaction happens")
+	}
+}
+
+func TestWeightAlwaysPowerOfTwo(t *testing.T) {
+	rng := xrand.New(3)
+	b, _ := doublingMerge(rng, 512, 8)
+	w := b.Weight()
+	if w < 1 || w&(w-1) != 0 {
+		t.Fatalf("weight %d not a power of two", w)
+	}
+}

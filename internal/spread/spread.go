@@ -1,0 +1,119 @@
+// Package spread implements epidemic information spreading over uniform
+// gossip: max/min broadcast (Algorithm 3, Step 4) and single-value rumor
+// spreading. Pull-based epidemics inform every node in O(log n) rounds
+// w.h.p. [FG85, Pit87], and the same bound holds under constant-probability
+// failures with a constant-factor delay [ES09] — the engine's failure model
+// applies transparently because an informed node simply keeps forwarding.
+package spread
+
+import (
+	"gossipq/internal/sim"
+)
+
+// DefaultSlack is the number of extra rounds added to the ceil(log2 n)
+// information-theoretic minimum. Pull epidemics have a doubling phase
+// (~log2 n rounds) followed by a quadratic-shrinking phase for the last
+// stragglers (~log2 log n + O(1)); the slack covers the second phase and the
+// w.h.p. tail at every population size the experiments use.
+const DefaultSlack = 12
+
+// Rounds returns the default round budget for spreading over n nodes.
+func Rounds(n int) int { return sim.CeilLog2(n) + DefaultSlack }
+
+// Max floods the maximum of values through pull gossip for the given number
+// of rounds (Rounds(n) if rounds <= 0) and returns each node's resulting
+// view. The returned slice has one entry per node; under failures a node's
+// view may lag but is always the max over some subset containing its own
+// value.
+func Max(e *sim.Engine, values []int64, rounds int) []int64 {
+	return flood(e, values, rounds, func(a, b int64) int64 {
+		if a >= b {
+			return a
+		}
+		return b
+	})
+}
+
+// Min is the min-flooding dual of Max.
+func Min(e *sim.Engine, values []int64, rounds int) []int64 {
+	return flood(e, values, rounds, func(a, b int64) int64 {
+		if a <= b {
+			return a
+		}
+		return b
+	})
+}
+
+func flood(e *sim.Engine, values []int64, rounds int, combine func(a, b int64) int64) []int64 {
+	n := e.N()
+	if len(values) != n {
+		panic("spread: values length does not match population")
+	}
+	if rounds <= 0 {
+		rounds = Rounds(n)
+	}
+	cur := make([]int64, n)
+	copy(cur, values)
+	next := make([]int64, n)
+	dst := make([]int32, n)
+	for r := 0; r < rounds; r++ {
+		e.Pull(dst, 64)
+		for v := 0; v < n; v++ {
+			if p := dst[v]; p != sim.NoPeer {
+				next[v] = combine(cur[v], cur[p])
+			} else {
+				next[v] = cur[v]
+			}
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// Rumor spreads the payloads of initially informed nodes through pull
+// gossip: informed[v] says whether node v starts informed with payload[v].
+// After the given rounds (Rounds(n) if <= 0), it returns which nodes are
+// informed and the payload each adopted (the first one it pulled). This is
+// the [KSSV00]-style single-rumor primitive used by the lower-bound harness
+// and by the robustness experiments' straggler analysis.
+func Rumor(e *sim.Engine, informed []bool, payload []int64, rounds int) (know []bool, got []int64) {
+	n := e.N()
+	if len(informed) != n || len(payload) != n {
+		panic("spread: informed/payload length does not match population")
+	}
+	if rounds <= 0 {
+		rounds = Rounds(n)
+	}
+	know = make([]bool, n)
+	copy(know, informed)
+	got = make([]int64, n)
+	copy(got, payload)
+	nextKnow := make([]bool, n)
+	nextGot := make([]int64, n)
+	dst := make([]int32, n)
+	for r := 0; r < rounds; r++ {
+		e.Pull(dst, 64)
+		for v := 0; v < n; v++ {
+			nextKnow[v] = know[v]
+			nextGot[v] = got[v]
+			if p := dst[v]; p != sim.NoPeer && !know[v] && know[p] {
+				nextKnow[v] = true
+				nextGot[v] = got[p]
+			}
+		}
+		know, nextKnow = nextKnow, know
+		got, nextGot = nextGot, got
+	}
+	return know, got
+}
+
+// CountInformed is a test helper returning how many entries are true.
+func CountInformed(know []bool) int {
+	c := 0
+	for _, k := range know {
+		if k {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,157 @@
+package spread
+
+import (
+	"testing"
+
+	"gossipq/internal/dist"
+	"gossipq/internal/sim"
+	"gossipq/internal/stats"
+)
+
+func TestMaxReachesAllNodes(t *testing.T) {
+	for _, n := range []int{2, 10, 1000, 20000} {
+		values := dist.Generate(dist.Uniform, n, uint64(n))
+		o := stats.NewOracle(values)
+		e := sim.New(n, 1)
+		got := Max(e, values, 0)
+		for v, x := range got {
+			if x != o.Max() {
+				t.Fatalf("n=%d node %d has %d, want max %d", n, v, x, o.Max())
+			}
+		}
+	}
+}
+
+func TestMinReachesAllNodes(t *testing.T) {
+	const n = 5000
+	values := dist.Generate(dist.Gaussian, n, 3)
+	o := stats.NewOracle(values)
+	e := sim.New(n, 2)
+	got := Min(e, values, 0)
+	for v, x := range got {
+		if x != o.Min() {
+			t.Fatalf("node %d has %d, want min %d", v, x, o.Min())
+		}
+	}
+}
+
+func TestMaxRoundBudgetIsLogarithmic(t *testing.T) {
+	// The default budget should be ceil(log2 n) + DefaultSlack exactly.
+	e := sim.New(1<<14, 3)
+	values := dist.Generate(dist.Uniform, 1<<14, 4)
+	Max(e, values, 0)
+	want := 14 + DefaultSlack
+	if e.Rounds() != want {
+		t.Errorf("rounds = %d, want %d", e.Rounds(), want)
+	}
+}
+
+func TestMaxDoesNotMutateInput(t *testing.T) {
+	values := []int64{5, 1, 9, 3}
+	orig := append([]int64(nil), values...)
+	e := sim.New(4, 5)
+	Max(e, values, 3)
+	for i := range values {
+		if values[i] != orig[i] {
+			t.Fatal("Max mutated its input")
+		}
+	}
+}
+
+func TestMaxUnderFailures(t *testing.T) {
+	// With 50% failures the epidemic still completes within the default
+	// budget plus a constant-factor allowance (Thm 1.4 / [ES09]).
+	const n = 10000
+	values := dist.Generate(dist.Uniform, n, 6)
+	o := stats.NewOracle(values)
+	e := sim.New(n, 7, sim.WithFailures(sim.UniformFailures(0.5)))
+	got := Max(e, values, 3*Rounds(n))
+	for v, x := range got {
+		if x != o.Max() {
+			t.Fatalf("node %d has %d, want %d (under failures)", v, x, o.Max())
+		}
+	}
+}
+
+func TestMaxViewIsAlwaysAValidPartialMax(t *testing.T) {
+	// Even with a tiny budget, every view must be >= own value and <= max.
+	const n = 1000
+	values := dist.Generate(dist.Uniform, n, 8)
+	o := stats.NewOracle(values)
+	e := sim.New(n, 9)
+	got := Max(e, values, 2)
+	for v, x := range got {
+		if x < values[v] || x > o.Max() {
+			t.Fatalf("node %d view %d outside [own=%d, max=%d]", v, x, values[v], o.Max())
+		}
+	}
+}
+
+func TestRumorInformsEveryone(t *testing.T) {
+	const n = 8192
+	informed := make([]bool, n)
+	payload := make([]int64, n)
+	informed[42] = true
+	payload[42] = 777
+	e := sim.New(n, 10)
+	know, got := Rumor(e, informed, payload, 0)
+	if c := CountInformed(know); c != n {
+		t.Fatalf("only %d/%d informed after default budget", c, n)
+	}
+	for v, k := range know {
+		if k && got[v] != 777 {
+			t.Fatalf("node %d adopted payload %d, want 777", v, got[v])
+		}
+	}
+}
+
+func TestRumorSpreadIsExponentiallyFast(t *testing.T) {
+	// After k rounds at most 2^k nodes can know a single rumor (pull can at
+	// most double the informed set), and empirically the growth should be
+	// near-doubling in the early phase.
+	const n = 1 << 15
+	const rounds = 15
+	informed := make([]bool, n)
+	informed[0] = true
+	payload := make([]int64, n)
+	e := sim.New(n, 11)
+	know, _ := Rumor(e, informed, payload, rounds)
+	c := CountInformed(know)
+	if c > 1<<rounds {
+		t.Fatalf("%d nodes informed after %d rounds; pull can at most double per round", c, rounds)
+	}
+	// The early branching process has high variance, so only require clear
+	// exponential progress rather than full doubling.
+	if c < 1<<(rounds/3) {
+		t.Fatalf("only %d nodes informed after %d rounds; epidemic too slow", c, rounds)
+	}
+}
+
+func TestRumorNoSourceStaysUninformed(t *testing.T) {
+	const n = 100
+	e := sim.New(n, 12)
+	know, _ := Rumor(e, make([]bool, n), make([]int64, n), 20)
+	if c := CountInformed(know); c != 0 {
+		t.Fatalf("%d nodes informed with no initial source", c)
+	}
+}
+
+func TestFloodPanicsOnLengthMismatch(t *testing.T) {
+	e := sim.New(10, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched values length")
+		}
+	}()
+	Max(e, make([]int64, 9), 0)
+}
+
+func TestRumorPanicsOnLengthMismatch(t *testing.T) {
+	e := sim.New(10, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched informed length")
+		}
+	}()
+	Rumor(e, make([]bool, 9), make([]int64, 10), 0)
+}

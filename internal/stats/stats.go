@@ -1,0 +1,231 @@
+// Package stats provides the exact order-statistics oracle used to verify
+// every gossip protocol in this repository, plus small numeric helpers for
+// the experiment harness (error metrics and log-log scaling fits).
+//
+// Terminology follows the paper: values are a multiset of n int64s, ranks
+// are 1-based, Rank(x) is the number of values <= x, and the φ-quantile is
+// the ⌈φn⌉-smallest value (with φ = 0 mapping to rank 1).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Oracle answers exact rank and quantile queries over a fixed value multiset.
+// It sorts a private copy once at construction; queries are O(log n).
+type Oracle struct {
+	sorted []int64
+}
+
+// NewOracle builds an oracle over a copy of values. It panics on an empty
+// input: rank and quantile are undefined for n = 0 and every caller in this
+// repository constructs oracles from non-empty node populations.
+func NewOracle(values []int64) *Oracle {
+	if len(values) == 0 {
+		panic("stats: NewOracle on empty value set")
+	}
+	sorted := make([]int64, len(values))
+	copy(sorted, values)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return &Oracle{sorted: sorted}
+}
+
+// N returns the number of values.
+func (o *Oracle) N() int { return len(o.sorted) }
+
+// Rank returns the number of values <= x (0 if x is below the minimum).
+func (o *Oracle) Rank(x int64) int {
+	return sort.Search(len(o.sorted), func(i int) bool { return o.sorted[i] > x })
+}
+
+// StrictRank returns the number of values < x.
+func (o *Oracle) StrictRank(x int64) int {
+	return sort.Search(len(o.sorted), func(i int) bool { return o.sorted[i] >= x })
+}
+
+// KthSmallest returns the value of 1-based rank k, clamping k into [1, n].
+func (o *Oracle) KthSmallest(k int) int64 {
+	if k < 1 {
+		k = 1
+	}
+	if k > len(o.sorted) {
+		k = len(o.sorted)
+	}
+	return o.sorted[k-1]
+}
+
+// TargetRank converts a quantile φ ∈ [0,1] into the paper's 1-based target
+// rank ⌈φn⌉, clamped to [1, n].
+func TargetRank(phi float64, n int) int {
+	k := int(math.Ceil(phi * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// Quantile returns the exact φ-quantile, i.e. the ⌈φn⌉-smallest value.
+func (o *Oracle) Quantile(phi float64) int64 {
+	return o.KthSmallest(TargetRank(phi, len(o.sorted)))
+}
+
+// QuantileOf returns the normalized rank of x: Rank(x)/n ∈ [0, 1].
+func (o *Oracle) QuantileOf(x int64) float64 {
+	return float64(o.Rank(x)) / float64(len(o.sorted))
+}
+
+// RankError returns |Rank(x) - ⌈φn⌉| for a claimed φ-quantile x. An
+// ε-approximate answer must satisfy RankError <= εn (up to rounding; see
+// WithinEpsilon for the inclusive check used by the tests).
+func (o *Oracle) RankError(x int64, phi float64) int {
+	k := TargetRank(phi, len(o.sorted))
+	r := o.Rank(x)
+	if r < k {
+		// x may sit strictly between two present values; any rank in
+		// [StrictRank+1, Rank] is achievable, so use the closest.
+		return k - r
+	}
+	// When x is present with multiplicity, the smallest rank x can claim is
+	// StrictRank(x)+1.
+	lo := o.StrictRank(x) + 1
+	if lo > k {
+		return lo - k
+	}
+	return 0
+}
+
+// WithinEpsilon reports whether x is an acceptable ε-approximate φ-quantile:
+// some achievable rank of x lies within [⌈(φ-ε)n⌉, ⌈(φ+ε)n⌉] — equivalently
+// the paper's "rank between (φ-ε)n and (φ+ε)n" with inclusive rounding slack.
+func (o *Oracle) WithinEpsilon(x int64, phi, eps float64) bool {
+	n := float64(len(o.sorted))
+	loRank := float64(o.StrictRank(x) + 1)
+	hiRank := float64(o.Rank(x))
+	lo := math.Floor((phi-eps)*n) - 1
+	hi := math.Ceil((phi+eps)*n) + 1
+	return hiRank >= lo && loRank <= hi
+}
+
+// Min returns the minimum value.
+func (o *Oracle) Min() int64 { return o.sorted[0] }
+
+// Max returns the maximum value.
+func (o *Oracle) Max() int64 { return o.sorted[len(o.sorted)-1] }
+
+// Summary holds basic descriptive statistics of a float64 sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes descriptive statistics of xs. It returns a zero Summary
+// for an empty sample.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Min = xs[0]
+	s.Max = xs[0]
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f",
+		s.N, s.Mean, s.Stddev, s.Min, s.Max)
+}
+
+// FitPowerLaw fits y = a * x^b by least squares in log-log space and returns
+// (a, b). Points with non-positive coordinates are skipped. It is used by the
+// experiment harness to estimate empirical scaling exponents (e.g. rounds vs
+// n for the KDG baseline should fit b ≈ the log factor's local slope).
+func FitPowerLaw(xs, ys []float64) (a, b float64) {
+	var lx, ly []float64
+	for i := range xs {
+		if i < len(ys) && xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	slope, intercept := linearFit(lx, ly)
+	return math.Exp(intercept), slope
+}
+
+// FitLogLinear fits y = a + b*log2(x) by least squares and returns (a, b).
+// An O(log n) round complexity shows up as a stable positive b with small
+// residuals, while an O(log² n) one shows b growing with x.
+func FitLogLinear(xs, ys []float64) (a, b float64) {
+	var lx, ly []float64
+	for i := range xs {
+		if i < len(ys) && xs[i] > 0 {
+			lx = append(lx, math.Log2(xs[i]))
+			ly = append(ly, ys[i])
+		}
+	}
+	slope, intercept := linearFit(lx, ly)
+	return intercept, slope
+}
+
+// linearFit returns (slope, intercept) of the least-squares line through
+// (xs, ys). Degenerate inputs (fewer than two points, or zero variance)
+// return (0, mean(ys)).
+func linearFit(xs, ys []float64) (slope, intercept float64) {
+	n := float64(len(xs))
+	if len(xs) < 2 || len(xs) != len(ys) {
+		if len(ys) > 0 {
+			return 0, Summarize(ys).Mean
+		}
+		return 0, 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / n
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept
+}
+
+// BinomialCI returns the half-width of a normal-approximation 95% confidence
+// interval for a success frequency p̂ measured over n trials. The experiment
+// tables report success rates with this error bar.
+func BinomialCI(phat float64, n int) float64 {
+	if n <= 0 {
+		return 1
+	}
+	return 1.96 * math.Sqrt(phat*(1-phat)/float64(n))
+}

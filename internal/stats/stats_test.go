@@ -1,0 +1,256 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"gossipq/internal/xrand"
+)
+
+func TestOraclePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewOracle(nil) did not panic")
+		}
+	}()
+	NewOracle(nil)
+}
+
+func TestOracleDoesNotMutateInput(t *testing.T) {
+	in := []int64{3, 1, 2}
+	NewOracle(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestRankBasics(t *testing.T) {
+	o := NewOracle([]int64{10, 20, 30, 40, 50})
+	cases := []struct {
+		x    int64
+		rank int
+	}{
+		{5, 0}, {10, 1}, {15, 1}, {20, 2}, {50, 5}, {60, 5},
+	}
+	for _, c := range cases {
+		if got := o.Rank(c.x); got != c.rank {
+			t.Errorf("Rank(%d) = %d, want %d", c.x, got, c.rank)
+		}
+	}
+}
+
+func TestStrictRankWithDuplicates(t *testing.T) {
+	o := NewOracle([]int64{1, 2, 2, 2, 3})
+	if got := o.Rank(2); got != 4 {
+		t.Errorf("Rank(2) = %d, want 4", got)
+	}
+	if got := o.StrictRank(2); got != 1 {
+		t.Errorf("StrictRank(2) = %d, want 1", got)
+	}
+}
+
+func TestKthSmallestClamps(t *testing.T) {
+	o := NewOracle([]int64{7, 3, 9})
+	if got := o.KthSmallest(0); got != 3 {
+		t.Errorf("KthSmallest(0) = %d, want 3", got)
+	}
+	if got := o.KthSmallest(99); got != 9 {
+		t.Errorf("KthSmallest(99) = %d, want 9", got)
+	}
+	if got := o.KthSmallest(2); got != 7 {
+		t.Errorf("KthSmallest(2) = %d, want 7", got)
+	}
+}
+
+func TestTargetRank(t *testing.T) {
+	cases := []struct {
+		phi  float64
+		n, k int
+	}{
+		{0, 10, 1},
+		{0.05, 10, 1},
+		{0.1, 10, 1},
+		{0.11, 10, 2},
+		{0.5, 10, 5},
+		{1, 10, 10},
+		{0.5, 11, 6},
+		{1.5, 10, 10}, // clamped
+	}
+	for _, c := range cases {
+		if got := TargetRank(c.phi, c.n); got != c.k {
+			t.Errorf("TargetRank(%v, %d) = %d, want %d", c.phi, c.n, got, c.k)
+		}
+	}
+}
+
+func TestQuantileMatchesSortDefinition(t *testing.T) {
+	rng := xrand.New(1)
+	values := make([]int64, 1001)
+	for i := range values {
+		values[i] = rng.Int64() % 100000
+	}
+	o := NewOracle(values)
+	sorted := make([]int64, len(values))
+	copy(sorted, values)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, phi := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.99, 1} {
+		k := TargetRank(phi, len(values))
+		if got, want := o.Quantile(phi), sorted[k-1]; got != want {
+			t.Errorf("Quantile(%v) = %d, want %d", phi, got, want)
+		}
+	}
+}
+
+func TestQuantileOfRoundTrip(t *testing.T) {
+	rng := xrand.New(2)
+	values := make([]int64, 500)
+	for i := range values {
+		values[i] = rng.Int64() % 1000
+	}
+	o := NewOracle(values)
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		x := o.Quantile(phi)
+		q := o.QuantileOf(x)
+		if q < phi-0.01 {
+			t.Errorf("QuantileOf(Quantile(%v)) = %v, want >= %v", phi, q, phi)
+		}
+	}
+}
+
+func TestWithinEpsilonExact(t *testing.T) {
+	o := NewOracle([]int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	x := o.Quantile(0.5) // value 5
+	if !o.WithinEpsilon(x, 0.5, 0) {
+		t.Error("exact quantile rejected at eps=0")
+	}
+	if o.WithinEpsilon(10, 0.5, 0.1) {
+		t.Error("max accepted as 0.1-approximate median")
+	}
+	if !o.WithinEpsilon(6, 0.5, 0.1) {
+		t.Error("rank-6 value rejected as 0.1-approximate median of n=10")
+	}
+}
+
+func TestWithinEpsilonDuplicateValues(t *testing.T) {
+	// With heavy duplication, the duplicated value spans many ranks and must
+	// be accepted for any phi whose target rank falls inside the span.
+	values := make([]int64, 100)
+	for i := range values {
+		values[i] = 42
+	}
+	values[0] = 1
+	values[99] = 100
+	o := NewOracle(values)
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		if !o.WithinEpsilon(42, phi, 0.02) {
+			t.Errorf("duplicated middle value rejected at phi=%v", phi)
+		}
+	}
+}
+
+func TestRankErrorZeroForExact(t *testing.T) {
+	rng := xrand.New(3)
+	values := make([]int64, 256)
+	for i := range values {
+		values[i] = rng.Int64() % (1 << 40)
+	}
+	o := NewOracle(values)
+	for _, phi := range []float64{0.05, 0.33, 0.5, 0.77, 0.95} {
+		if e := o.RankError(o.Quantile(phi), phi); e != 0 {
+			t.Errorf("RankError of exact quantile at phi=%v is %d", phi, e)
+		}
+	}
+}
+
+func TestRankErrorProperty(t *testing.T) {
+	// RankError is 0 iff WithinEpsilon(x, phi, 0) up to rounding slack.
+	rng := xrand.New(4)
+	values := make([]int64, 100)
+	for i := range values {
+		values[i] = int64(rng.Intn(50))
+	}
+	o := NewOracle(values)
+	f := func(raw uint8, phiRaw uint8) bool {
+		x := int64(raw % 60)
+		phi := float64(phiRaw%101) / 100
+		e := o.RankError(x, phi)
+		if e == 0 && !o.WithinEpsilon(x, phi, 0) {
+			return false
+		}
+		// and error is monotone: always accepted at eps >= e/n (+slack).
+		return o.WithinEpsilon(x, phi, float64(e)/float64(o.N())+0.02)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	o := NewOracle([]int64{5, -3, 12, 0})
+	if o.Min() != -3 || o.Max() != 12 {
+		t.Fatalf("Min/Max = %d/%d, want -3/12", o.Min(), o.Max())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("bad summary %+v", s)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("stddev = %v", s.Stddev)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Fatalf("empty summary %+v", z)
+	}
+}
+
+func TestFitPowerLawRecoversExponent(t *testing.T) {
+	var xs, ys []float64
+	for x := 1.0; x <= 1024; x *= 2 {
+		xs = append(xs, x)
+		ys = append(ys, 3*math.Pow(x, 1.7))
+	}
+	a, b := FitPowerLaw(xs, ys)
+	if math.Abs(b-1.7) > 1e-9 || math.Abs(a-3) > 1e-9 {
+		t.Fatalf("FitPowerLaw = (%v, %v), want (3, 1.7)", a, b)
+	}
+}
+
+func TestFitLogLinearRecoversSlope(t *testing.T) {
+	var xs, ys []float64
+	for x := 2.0; x <= 1<<20; x *= 4 {
+		xs = append(xs, x)
+		ys = append(ys, 5+2.5*math.Log2(x))
+	}
+	a, b := FitLogLinear(xs, ys)
+	if math.Abs(b-2.5) > 1e-9 || math.Abs(a-5) > 1e-9 {
+		t.Fatalf("FitLogLinear = (%v, %v), want (5, 2.5)", a, b)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	s, i := linearFit(nil, nil)
+	if s != 0 || i != 0 {
+		t.Fatalf("empty fit = (%v, %v)", s, i)
+	}
+	s, i = linearFit([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if s != 0 || math.Abs(i-2) > 1e-12 {
+		t.Fatalf("zero-variance fit = (%v, %v), want (0, 2)", s, i)
+	}
+}
+
+func TestBinomialCI(t *testing.T) {
+	if w := BinomialCI(0.5, 0); w != 1 {
+		t.Fatalf("CI with n=0 is %v, want 1", w)
+	}
+	w := BinomialCI(0.5, 100)
+	if math.Abs(w-1.96*0.05) > 1e-12 {
+		t.Fatalf("CI = %v", w)
+	}
+	if BinomialCI(0, 100) != 0 {
+		t.Fatal("CI of phat=0 should be 0")
+	}
+}

@@ -1,0 +1,237 @@
+// Package tokens implements the token split-and-distribute protocol of
+// Algorithm 3, Step 7: every valued node mints one token (value, weight=m)
+// with m a power of two; split phases halve weights and scatter halves to
+// random nodes until all weights are 1; spread phases then push surplus
+// tokens until every node holds at most one. The whole process takes
+// O(log n) rounds w.h.p. and, under the §5 failure model, failed pushes
+// simply return the half to the sender (the "merge back" rule), preserving
+// the weight-conservation invariant exactly.
+package tokens
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"gossipq/internal/sim"
+)
+
+// MessageBits is the payload of a token message: value + weight.
+const MessageBits = 128
+
+// Token is a value carrying a power-of-two replication weight.
+type Token struct {
+	Value  int64
+	Weight int64
+}
+
+// Result reports the outcome of Distribute.
+type Result struct {
+	// Value[v] is the token value node v ends with; meaningful iff Has[v].
+	Value []int64
+	// Has[v] reports whether node v holds a token.
+	Has []bool
+	// SplitPhases and SpreadPhases count protocol phases executed.
+	SplitPhases  int
+	SpreadPhases int
+	// MaxLoad is the largest number of tokens co-resident at one node at
+	// any phase boundary — the quantity the paper bounds by O(1) w.h.p.
+	MaxLoad int
+}
+
+// Holders returns how many nodes hold a token.
+func (r Result) Holders() int {
+	c := 0
+	for _, h := range r.Has {
+		if h {
+			c++
+		}
+	}
+	return c
+}
+
+// ErrOverfull is returned when valuedCount*copies exceeds the population:
+// the pigeonhole principle makes one-token-per-node impossible.
+var ErrOverfull = errors.New("tokens: total token weight exceeds population")
+
+// ChooseCopies returns the paper's m_i: the smallest power of two larger
+// than target/valuedCount, additionally capped so the total token count
+// stays at or below capacity (to keep the protocol feasible at laptop-scale
+// n where the paper's n^0.99/2 target may collide with small populations).
+func ChooseCopies(valuedCount, target, capacity int) int64 {
+	if valuedCount <= 0 {
+		return 1
+	}
+	need := (target + valuedCount - 1) / valuedCount
+	if need < 1 {
+		need = 1
+	}
+	m := int64(1) << bits.Len64(uint64(need))
+	if m < 1 {
+		m = 1
+	}
+	for m > 1 && m*int64(valuedCount) > int64(capacity) {
+		m >>= 1
+	}
+	return m
+}
+
+// Distribute replicates each valued node's value copies times (a power of
+// two) and spreads the unit tokens so every node ends with at most one.
+// valued and values must have length n; only values[v] with valued[v] are
+// read. maxPhases <= 0 selects a 6·log2(n)+64 cap (never hit in practice;
+// exceeding it returns an error rather than looping forever).
+func Distribute(e *sim.Engine, valued []bool, values []int64, copies int64, maxPhases int) (Result, error) {
+	n := e.N()
+	if len(valued) != n || len(values) != n {
+		panic(fmt.Sprintf("tokens: inputs length %d/%d for %d nodes", len(valued), len(values), n))
+	}
+	if copies < 1 || copies&(copies-1) != 0 {
+		return Result{}, fmt.Errorf("tokens: copies %d is not a positive power of two", copies)
+	}
+	valuedCount := 0
+	for _, ok := range valued {
+		if ok {
+			valuedCount++
+		}
+	}
+	if int64(valuedCount)*copies > int64(n) {
+		return Result{}, fmt.Errorf("%w: %d tokens for %d nodes", ErrOverfull, int64(valuedCount)*copies, n)
+	}
+	if maxPhases <= 0 {
+		maxPhases = 6*sim.CeilLog2(n) + 64
+	}
+
+	held := make([][]Token, n)
+	for v := 0; v < n; v++ {
+		if valued[v] {
+			held[v] = append(held[v], Token{Value: values[v], Weight: copies})
+		}
+	}
+	res := Result{MaxLoad: 1}
+
+	// Split phases: every token of weight > 1 halves; one half is pushed.
+	// lg(copies) phases suffice without failures; with failures the
+	// potential Φ = Σw² halves in expectation per phase (§5.2), so the cap
+	// scales the same way.
+	for phase := 0; phase < maxPhases; phase++ {
+		if !anyHeavy(held) {
+			break
+		}
+		res.SplitPhases++
+		sim.PushBatch(e, MessageBits,
+			func(v int) []Token {
+				var out []Token
+				kept := held[v][:0]
+				for _, tok := range held[v] {
+					if tok.Weight > 1 {
+						half := Token{Value: tok.Value, Weight: tok.Weight / 2}
+						kept = append(kept, half)
+						out = append(out, half)
+					} else {
+						kept = append(kept, tok)
+					}
+				}
+				held[v] = kept
+				return out
+			},
+			func(v int, in []sim.Delivery[Token]) {
+				for _, d := range in {
+					held[v] = append(held[v], d.Msg)
+				}
+			},
+			func(v int, tok Token) {
+				// Failed push: the half returns home (merge-back; onDrop
+				// runs on v's own shard so held[v] is touched only by v).
+				// It is kept as a separate token and keeps splitting in
+				// later phases, weight-equivalent to the paper's merge.
+				held[v] = append(held[v], tok)
+			})
+		res.MaxLoad = maxInt(res.MaxLoad, maxLoad(held))
+	}
+	if anyHeavy(held) {
+		return res, fmt.Errorf("tokens: weights not unit after %d split phases", res.SplitPhases)
+	}
+
+	// Spread phases: overloaded nodes push all but one token.
+	for phase := 0; phase < maxPhases; phase++ {
+		if maxLoad(held) <= 1 {
+			break
+		}
+		res.SpreadPhases++
+		sim.PushBatch(e, MessageBits,
+			func(v int) []Token {
+				if len(held[v]) <= 1 {
+					return nil
+				}
+				out := make([]Token, len(held[v])-1)
+				copy(out, held[v][1:])
+				held[v] = held[v][:1]
+				return out
+			},
+			func(v int, in []sim.Delivery[Token]) {
+				for _, d := range in {
+					held[v] = append(held[v], d.Msg)
+				}
+			},
+			func(v int, tok Token) {
+				held[v] = append(held[v], tok)
+			})
+		res.MaxLoad = maxInt(res.MaxLoad, maxLoad(held))
+	}
+	if maxLoad(held) > 1 {
+		return res, fmt.Errorf("tokens: load not unit after %d spread phases", res.SpreadPhases)
+	}
+
+	res.Value = make([]int64, n)
+	res.Has = make([]bool, n)
+	for v := 0; v < n; v++ {
+		if len(held[v]) == 1 {
+			res.Value[v] = held[v][0].Value
+			res.Has[v] = true
+		}
+	}
+	return res, nil
+}
+
+// TotalWeight sums all token weights over a held-token table. Conservation
+// (TotalWeight constant across phases) is the protocol's core invariant;
+// Distribute's end state implies it — every value ends with exactly
+// `copies` unit tokens — and the tests verify exactly that.
+func TotalWeight(held [][]Token) int64 {
+	var t int64
+	for _, hs := range held {
+		for _, tok := range hs {
+			t += tok.Weight
+		}
+	}
+	return t
+}
+
+func anyHeavy(held [][]Token) bool {
+	for _, hs := range held {
+		for _, tok := range hs {
+			if tok.Weight > 1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func maxLoad(held [][]Token) int {
+	m := 0
+	for _, hs := range held {
+		if len(hs) > m {
+			m = len(hs)
+		}
+	}
+	return m
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,231 @@
+package tokens
+
+import (
+	"errors"
+	"testing"
+
+	"gossipq/internal/sim"
+)
+
+// setup builds a population where the first `valuedCount` nodes hold
+// distinct values i+1.
+func setup(n, valuedCount int) (valued []bool, values []int64) {
+	valued = make([]bool, n)
+	values = make([]int64, n)
+	for i := 0; i < valuedCount; i++ {
+		valued[i] = true
+		values[i] = int64(i + 1)
+	}
+	return valued, values
+}
+
+func TestChooseCopies(t *testing.T) {
+	cases := []struct {
+		valued, target, capacity int
+		want                     int64
+	}{
+		{10, 100, 1000, 16},  // 100/10=10 -> next pow2 above is 16
+		{10, 80, 1000, 16},   // need=8 -> strictly larger power of two: 16
+		{1, 1, 1000, 2},      // need=1 -> 2 (strictly larger power of two)
+		{0, 100, 1000, 1},    // no valued nodes
+		{100, 1000, 400, 4},  // capped by capacity: 16*100 > 400 -> 4
+		{1000, 10, 10000, 2}, // need=1 -> 2
+	}
+	for _, c := range cases {
+		if got := ChooseCopies(c.valued, c.target, c.capacity); got != c.want {
+			t.Errorf("ChooseCopies(%d, %d, %d) = %d, want %d",
+				c.valued, c.target, c.capacity, got, c.want)
+		}
+	}
+}
+
+func TestChooseCopiesAlwaysPowerOfTwo(t *testing.T) {
+	for valued := 1; valued < 200; valued += 7 {
+		for target := 1; target < 3000; target += 113 {
+			m := ChooseCopies(valued, target, 4000)
+			if m < 1 || m&(m-1) != 0 {
+				t.Fatalf("ChooseCopies(%d,%d) = %d not a power of two", valued, target, m)
+			}
+			if m*int64(valued) > 4000 && m > 1 {
+				t.Fatalf("ChooseCopies(%d,%d) = %d exceeds capacity", valued, target, m)
+			}
+		}
+	}
+}
+
+func TestDistributeExactMultiplicity(t *testing.T) {
+	// Conservation: every original value ends with exactly `copies` holders.
+	const n = 4096
+	const valuedCount = 32
+	const copies = 64
+	valued, values := setup(n, valuedCount)
+	e := sim.New(n, 1)
+	res, err := Distribute(e, valued, values, copies, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int64]int)
+	for v := 0; v < n; v++ {
+		if res.Has[v] {
+			counts[res.Value[v]]++
+		}
+	}
+	if len(counts) != valuedCount {
+		t.Fatalf("%d distinct values survived, want %d", len(counts), valuedCount)
+	}
+	for val, c := range counts {
+		if c != copies {
+			t.Errorf("value %d has %d copies, want %d", val, c, copies)
+		}
+	}
+	if res.Holders() != valuedCount*copies {
+		t.Errorf("holders = %d, want %d", res.Holders(), valuedCount*copies)
+	}
+}
+
+func TestDistributeCopiesOne(t *testing.T) {
+	// copies=1 should be a near no-op: values stay put, zero split phases.
+	const n = 100
+	valued, values := setup(n, 20)
+	e := sim.New(n, 2)
+	res, err := Distribute(e, valued, values, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SplitPhases != 0 {
+		t.Errorf("split phases = %d, want 0", res.SplitPhases)
+	}
+	if res.Holders() != 20 {
+		t.Errorf("holders = %d, want 20", res.Holders())
+	}
+}
+
+func TestDistributeRejectsNonPowerOfTwo(t *testing.T) {
+	valued, values := setup(16, 2)
+	e := sim.New(16, 3)
+	if _, err := Distribute(e, valued, values, 3, 0); err == nil {
+		t.Fatal("copies=3 accepted")
+	}
+}
+
+func TestDistributeRejectsOverfull(t *testing.T) {
+	valued, values := setup(64, 32)
+	e := sim.New(64, 4)
+	_, err := Distribute(e, valued, values, 4, 0) // 128 tokens for 64 nodes
+	if !errors.Is(err, ErrOverfull) {
+		t.Fatalf("err = %v, want ErrOverfull", err)
+	}
+}
+
+func TestDistributePanicsOnBadLengths(t *testing.T) {
+	e := sim.New(16, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	_, _ = Distribute(e, make([]bool, 15), make([]int64, 16), 2, 0)
+}
+
+func TestDistributeRoundsLogarithmic(t *testing.T) {
+	// O(log n) rounds: the round count at n=16384 should be modest and the
+	// max token load bounded by a small constant (E10's claims).
+	const n = 16384
+	valuedCount := 64
+	valued, values := setup(n, valuedCount)
+	copies := ChooseCopies(valuedCount, n/4, n/2)
+	e := sim.New(n, 6)
+	res, err := Distribute(e, valued, values, copies, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Rounds() > 12*sim.CeilLog2(n) {
+		t.Errorf("rounds = %d exceeds 12·log2(n) = %d", e.Rounds(), 12*sim.CeilLog2(n))
+	}
+	if res.MaxLoad > 40 {
+		t.Errorf("max co-resident tokens = %d, want O(1)", res.MaxLoad)
+	}
+}
+
+func TestDistributeUnderFailures(t *testing.T) {
+	// §5.2: the protocol completes with merge-back under constant failure
+	// probability, conserving multiplicities exactly.
+	const n = 4096
+	const valuedCount = 16
+	const copies = 32
+	valued, values := setup(n, valuedCount)
+	e := sim.New(n, 7, sim.WithFailures(sim.UniformFailures(0.3)))
+	res, err := Distribute(e, valued, values, copies, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int64]int)
+	for v := 0; v < n; v++ {
+		if res.Has[v] {
+			counts[res.Value[v]]++
+		}
+	}
+	for val, c := range counts {
+		if c != copies {
+			t.Errorf("value %d has %d copies under failures, want %d", val, c, copies)
+		}
+	}
+	if len(counts) != valuedCount {
+		t.Errorf("%d values survived, want %d", len(counts), valuedCount)
+	}
+}
+
+func TestDistributeHighFailureRate(t *testing.T) {
+	const n = 2048
+	valued, values := setup(n, 8)
+	e := sim.New(n, 8, sim.WithFailures(sim.UniformFailures(0.7)))
+	res, err := Distribute(e, valued, values, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holders() != 8*16 {
+		t.Errorf("holders = %d, want %d", res.Holders(), 8*16)
+	}
+}
+
+func TestDistributeDeterministic(t *testing.T) {
+	const n = 1024
+	valued, values := setup(n, 16)
+	run := func() Result {
+		e := sim.New(n, 9)
+		res, err := Distribute(e, valued, values, 8, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	for v := 0; v < n; v++ {
+		if a.Has[v] != b.Has[v] || (a.Has[v] && a.Value[v] != b.Value[v]) {
+			t.Fatalf("nondeterministic outcome at node %d", v)
+		}
+	}
+}
+
+func TestTotalWeight(t *testing.T) {
+	held := [][]Token{
+		{{Value: 1, Weight: 4}, {Value: 2, Weight: 1}},
+		nil,
+		{{Value: 3, Weight: 2}},
+	}
+	if w := TotalWeight(held); w != 7 {
+		t.Errorf("TotalWeight = %d, want 7", w)
+	}
+}
+
+func TestDistributeNoValuedNodes(t *testing.T) {
+	const n = 64
+	e := sim.New(n, 10)
+	res, err := Distribute(e, make([]bool, n), make([]int64, n), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holders() != 0 {
+		t.Errorf("holders = %d with no valued nodes", res.Holders())
+	}
+}

@@ -1,0 +1,46 @@
+package tournament
+
+import (
+	"fmt"
+
+	"gossipq/internal/sim"
+)
+
+// MedianRule runs the plain median dynamic of Doerr et al. [DGM+11] — every
+// iteration, every node replaces its value with the median of three
+// uniformly sampled values — for the given number of iterations (3 pull
+// rounds each), returning each node's final value.
+//
+// This is 3-TOURNAMENT without a stopping schedule: run for Θ(log n)
+// iterations it converges to a ±O(√(log n / n))-approximate median (far
+// tighter than any fixed ε), which is the related-work baseline the paper
+// contrasts with its O(log log n)-round ε-approximation. The E13 experiment
+// maps the accuracy-versus-rounds frontier of the two.
+func MedianRule(e *sim.Engine, values []int64, iterations int, opt Options) []int64 {
+	n := e.N()
+	if len(values) != n {
+		panic(fmt.Sprintf("tournament: %d values for %d nodes", len(values), n))
+	}
+	if iterations <= 0 {
+		iterations = sim.CeilLog2(n)
+	}
+	cur := make([]int64, n)
+	copy(cur, values)
+	next := make([]int64, n)
+	dst1 := make([]int32, n)
+	dst2 := make([]int32, n)
+	dst3 := make([]int32, n)
+	for i := 0; i < iterations; i++ {
+		e.Pull(dst1, MessageBits)
+		e.Pull(dst2, MessageBits)
+		e.Pull(dst3, MessageBits)
+		for v := 0; v < n; v++ {
+			next[v] = median3Pulled(cur, v, dst1[v], dst2[v], dst3[v])
+		}
+		cur, next = next, cur
+		if opt.OnIteration != nil {
+			opt.OnIteration(2, i, cur)
+		}
+	}
+	return cur
+}

@@ -1,0 +1,216 @@
+package tournament
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPlan2StopsBelowT(t *testing.T) {
+	for _, eps := range []float64{0.125, 0.05, 0.01, 0.001} {
+		for _, phi := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1} {
+			p := NewPlan2(phi, eps)
+			last := p.H[len(p.H)-1]
+			if last > p.T {
+				t.Errorf("phi=%v eps=%v: final h=%v > T=%v", phi, eps, last, p.T)
+			}
+			for i := 0; i+1 < len(p.H); i++ {
+				if p.H[i] <= p.T {
+					t.Errorf("phi=%v eps=%v: iterated past threshold at %d", phi, eps, i)
+				}
+				if want := p.H[i] * p.H[i]; math.Abs(p.H[i+1]-want) > 1e-15 {
+					t.Errorf("recursion violated at %d: %v vs %v", i, p.H[i+1], want)
+				}
+			}
+		}
+	}
+}
+
+func TestPlan2IterationBoundLemma22(t *testing.T) {
+	// Lemma 2.2: t <= log_{7/4}(4/ε) + 2.
+	for _, eps := range []float64{0.125, 0.06, 0.03, 0.01, 0.003, 0.001} {
+		for _, phi := range []float64{0, 0.2, 0.4, 0.5, 0.7, 1} {
+			p := NewPlan2(phi, eps)
+			if got, bound := p.Iterations(), Bound2(eps); got > bound {
+				t.Errorf("phi=%v eps=%v: %d iterations exceeds Lemma 2.2 bound %d",
+					phi, eps, got, bound)
+			}
+		}
+	}
+}
+
+func TestPlan2MedianNeedsNoIterations(t *testing.T) {
+	p := NewPlan2(0.5, 0.1)
+	if p.Iterations() != 0 {
+		t.Errorf("phi=0.5 should skip phase I, got %d iterations", p.Iterations())
+	}
+	if p.Rounds() != 0 {
+		t.Errorf("rounds = %d", p.Rounds())
+	}
+}
+
+func TestPlan2Direction(t *testing.T) {
+	if !NewPlan2(0.3, 0.05).UseMin {
+		t.Error("phi<1/2 must use min")
+	}
+	if NewPlan2(0.7, 0.05).UseMin {
+		t.Error("phi>1/2 must use max")
+	}
+}
+
+func TestPlan2Symmetry(t *testing.T) {
+	// The φ and 1-φ plans must have identical schedules (mirrored sets).
+	for _, eps := range []float64{0.1, 0.02} {
+		for _, phi := range []float64{0.05, 0.2, 0.45} {
+			a := NewPlan2(phi, eps)
+			b := NewPlan2(1-phi, eps)
+			if a.Iterations() != b.Iterations() {
+				t.Errorf("asymmetric iteration counts at phi=%v: %d vs %d",
+					phi, a.Iterations(), b.Iterations())
+			}
+			for i := range a.H {
+				if math.Abs(a.H[i]-b.H[i]) > 1e-12 {
+					t.Errorf("asymmetric schedule at phi=%v iter %d", phi, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPlan2DeltasAllOneButLast(t *testing.T) {
+	f := func(phiRaw, epsRaw uint16) bool {
+		phi := float64(phiRaw) / math.MaxUint16
+		eps := 0.001 + 0.124*float64(epsRaw)/math.MaxUint16
+		p := NewPlan2(phi, eps)
+		for i, d := range p.Deltas {
+			if i < len(p.Deltas)-1 && d != 1 {
+				return false
+			}
+			if d <= 0 || d > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlan2LastDeltaLandsOnT(t *testing.T) {
+	// The δ-truncated last iteration is designed so that the expected
+	// survivor fraction is exactly T: δ·h² + (1-δ)·h = T when δ < 1.
+	for _, eps := range []float64{0.1, 0.05, 0.01} {
+		p := NewPlan2(0.25, eps)
+		if p.Iterations() == 0 {
+			continue
+		}
+		d := p.Deltas[len(p.Deltas)-1]
+		if d >= 1 {
+			continue // landed exactly without truncation
+		}
+		h := p.H[len(p.H)-2]
+		expected := d*h*h + (1-d)*h
+		if math.Abs(expected-p.T) > 1e-12 {
+			t.Errorf("eps=%v: truncated expectation %v != T %v", eps, expected, p.T)
+		}
+	}
+}
+
+func TestPlan3StopsBelowThreshold(t *testing.T) {
+	for _, n := range []int{100, 10000, 1000000} {
+		for _, eps := range []float64{0.125, 0.01} {
+			p := NewPlan3(eps, n)
+			if last := p.L[len(p.L)-1]; last > p.T {
+				t.Errorf("n=%d eps=%v: final l=%v > T=%v", n, eps, last, p.T)
+			}
+			for i := 0; i+1 < len(p.L); i++ {
+				l := p.L[i]
+				want := 3*l*l - 2*l*l*l
+				if math.Abs(p.L[i+1]-want) > 1e-15 {
+					t.Errorf("3T recursion violated at %d", i)
+				}
+			}
+		}
+	}
+}
+
+func TestPlan3IterationBoundLemma212(t *testing.T) {
+	// Lemma 2.12: t <= log_{11/8}(1/(4ε)) + log2 log4 n (+O(1) slack for
+	// the constant-regime handoff; the lemma's own proof burns a constant).
+	for _, n := range []int{1000, 100000, 10000000} {
+		for _, eps := range []float64{0.125, 0.03, 0.01, 0.001} {
+			p := NewPlan3(eps, n)
+			bound := Bound3(eps, n) + 4
+			if p.Iterations() > bound {
+				t.Errorf("n=%d eps=%v: %d iterations exceeds bound %d",
+					n, eps, p.Iterations(), bound)
+			}
+		}
+	}
+}
+
+func TestPlan3MonotoneDecreasing(t *testing.T) {
+	p := NewPlan3(0.01, 100000)
+	for i := 1; i < len(p.L); i++ {
+		if p.L[i] >= p.L[i-1] {
+			t.Fatalf("l not strictly decreasing at %d: %v >= %v", i, p.L[i], p.L[i-1])
+		}
+	}
+}
+
+func TestPlan3IterationsGrowWithLogLogN(t *testing.T) {
+	// Iterations at n=2^32 should exceed n=2^8 by only a few (log log gap).
+	small := NewPlan3(0.1, 1<<8).Iterations()
+	large := NewPlan3(0.1, 1<<32).Iterations()
+	if large <= small {
+		t.Errorf("iterations did not grow with n: %d vs %d", small, large)
+	}
+	if large-small > 6 {
+		t.Errorf("iteration growth %d too large for a log log n term", large-small)
+	}
+}
+
+func TestClampEps(t *testing.T) {
+	if ClampEps(0.5) != 0.125 {
+		t.Error("large eps not clamped")
+	}
+	if ClampEps(-1) <= 0 {
+		t.Error("non-positive eps not clamped")
+	}
+	if ClampEps(0.01) != 0.01 {
+		t.Error("valid eps modified")
+	}
+}
+
+func TestMinEpsShrinksWithN(t *testing.T) {
+	if MinEps(1000) <= MinEps(1000000) {
+		t.Error("MinEps must shrink as n grows")
+	}
+	if MinEps(10000) <= 0 {
+		t.Error("MinEps must be positive")
+	}
+}
+
+func TestTotalRoundsShape(t *testing.T) {
+	// O(log log n + log 1/ε): doubling n many times adds few rounds;
+	// halving ε adds a bounded number of rounds per halving.
+	base := TotalRounds(1<<10, 0.25, 0.05, Options{})
+	bigN := TotalRounds(1<<30, 0.25, 0.05, Options{})
+	if bigN-base > 30 {
+		t.Errorf("n-scaling too steep: %d -> %d", base, bigN)
+	}
+	smallEps := TotalRounds(1<<10, 0.25, 0.05/32, Options{})
+	if smallEps-base > 60 {
+		t.Errorf("eps-scaling too steep: %d -> %d", base, smallEps)
+	}
+	if base <= 0 {
+		t.Error("non-positive round prediction")
+	}
+}
+
+func TestBound2MonotoneInEps(t *testing.T) {
+	if Bound2(0.1) > Bound2(0.001) {
+		t.Error("Bound2 should grow as eps shrinks")
+	}
+}

@@ -1,0 +1,179 @@
+package tournament
+
+import (
+	"testing"
+
+	"gossipq/internal/dist"
+	"gossipq/internal/sim"
+	"gossipq/internal/stats"
+)
+
+func TestPullsPerIteration(t *testing.T) {
+	if k := PullsPerIteration(0, 2); k < 4 {
+		t.Errorf("mu=0 k=%d too small", k)
+	}
+	if PullsPerIteration(0.5, 2) <= PullsPerIteration(0, 2) {
+		t.Error("redundancy must grow with mu")
+	}
+	if PullsPerIteration(0.9, 3) <= PullsPerIteration(0.5, 3) {
+		t.Error("redundancy must keep growing with mu")
+	}
+}
+
+func TestPullsPerIterationPanicsAtMuOne(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic at mu=1")
+		}
+	}()
+	PullsPerIteration(1, 2)
+}
+
+func TestFinalPulls(t *testing.T) {
+	if FinalPulls(0, 15) < 15 {
+		t.Error("final pulls below K")
+	}
+	if FinalPulls(0.6, 15) <= FinalPulls(0, 15) {
+		t.Error("final redundancy must grow with mu")
+	}
+}
+
+func TestRobustMatchesPlainWithoutFailures(t *testing.T) {
+	// With μ=0, the robust variant must still produce all-correct outputs
+	// (it pulls more but consumes the same first-good semantics).
+	const n = 8000
+	const eps = 0.06
+	values := dist.Generate(dist.Uniform, n, 51)
+	o := stats.NewOracle(values)
+	e := sim.New(n, 151)
+	res := RobustApproxQuantile(e, values, 0.3, eps, RobustOptions{})
+	if res.Covered() != n {
+		t.Fatalf("covered %d/%d without failures", res.Covered(), n)
+	}
+	bad := 0
+	for v := 0; v < n; v++ {
+		if !o.WithinEpsilon(res.Output[v], 0.3, eps) {
+			bad++
+		}
+	}
+	if bad > 0 {
+		t.Errorf("%d incorrect outputs without failures", bad)
+	}
+}
+
+func TestRobustUnderConstantFailures(t *testing.T) {
+	// Theorem 1.4 at μ=0.3: covered nodes must all be correct, and
+	// coverage must be a large constant fraction even with no extra rounds.
+	const n = 10000
+	const eps = 0.08
+	const mu = 0.3
+	values := dist.Generate(dist.Uniform, n, 53)
+	o := stats.NewOracle(values)
+	e := sim.New(n, 157, sim.WithFailures(sim.UniformFailures(mu)))
+	res := RobustApproxQuantile(e, values, 0.5, eps, RobustOptions{Mu: mu})
+	cov := float64(res.Covered()) / n
+	if cov < 0.5 {
+		t.Fatalf("coverage %.3f too low at mu=%v", cov, mu)
+	}
+	for v := 0; v < n; v++ {
+		if res.Has[v] && !o.WithinEpsilon(res.Output[v], 0.5, eps) {
+			t.Fatalf("covered node %d output %d not %v-approximate", v, res.Output[v], eps)
+		}
+	}
+}
+
+func TestRobustHighFailureRate(t *testing.T) {
+	const n = 8000
+	const eps = 0.1
+	const mu = 0.7
+	values := dist.Generate(dist.Sequential, n, 59)
+	o := stats.NewOracle(values)
+	e := sim.New(n, 163, sim.WithFailures(sim.UniformFailures(mu)))
+	res := RobustApproxQuantile(e, values, 0.25, eps, RobustOptions{Mu: mu, ExtraRounds: 10})
+	cov := float64(res.Covered()) / n
+	if cov < 0.9 {
+		t.Fatalf("coverage %.3f too low at mu=%v with extra rounds", cov, mu)
+	}
+	wrong := 0
+	for v := 0; v < n; v++ {
+		if res.Has[v] && !o.WithinEpsilon(res.Output[v], 0.25, eps) {
+			wrong++
+		}
+	}
+	if wrong > 0 {
+		t.Errorf("%d wrong outputs at mu=%v", wrong, mu)
+	}
+}
+
+func TestRobustExtraRoundsShrinkUncovered(t *testing.T) {
+	// The +t term of Theorem 1.4: uncovered count decays geometrically.
+	const n = 10000
+	const mu = 0.5
+	values := dist.Generate(dist.Uniform, n, 61)
+	uncovered := func(extra int) int {
+		e := sim.New(n, 167, sim.WithFailures(sim.UniformFailures(mu)))
+		res := RobustApproxQuantile(e, values, 0.5, 0.1,
+			RobustOptions{Mu: mu, ExtraRounds: extra})
+		return n - res.Covered()
+	}
+	u0 := uncovered(0)
+	u4 := uncovered(4)
+	u12 := uncovered(12)
+	if !(u0 > u4 && u4 >= u12) {
+		t.Errorf("uncovered counts not decreasing: %d, %d, %d", u0, u4, u12)
+	}
+	if u12 > u0/8 {
+		t.Errorf("12 extra rounds only reduced uncovered %d -> %d", u0, u12)
+	}
+}
+
+func TestRobustHeterogeneousFailures(t *testing.T) {
+	// "potentially different" probabilities: half the nodes flaky at 0.6,
+	// half at 0.1; bound μ=0.6 must still carry the algorithm.
+	const n = 6000
+	ps := make([]float64, n)
+	for i := range ps {
+		if i%2 == 0 {
+			ps[i] = 0.6
+		} else {
+			ps[i] = 0.1
+		}
+	}
+	values := dist.Generate(dist.Uniform, n, 67)
+	o := stats.NewOracle(values)
+	e := sim.New(n, 173, sim.WithFailures(sim.PerNodeFailures(ps)))
+	res := RobustApproxQuantile(e, values, 0.75, 0.1, RobustOptions{Mu: 0.6, ExtraRounds: 8})
+	if cov := float64(res.Covered()) / n; cov < 0.85 {
+		t.Fatalf("coverage %.3f with heterogeneous failures", cov)
+	}
+	for v := 0; v < n; v++ {
+		if res.Has[v] && !o.WithinEpsilon(res.Output[v], 0.75, 0.1) {
+			t.Fatalf("node %d wrong under heterogeneous failures", v)
+		}
+	}
+}
+
+func TestRobustAutoProbesMu(t *testing.T) {
+	// Mu=0 in options must probe the engine's model instead of assuming 0.
+	const n = 4000
+	const mu = 0.4
+	values := dist.Generate(dist.Uniform, n, 71)
+	o := stats.NewOracle(values)
+	e := sim.New(n, 179, sim.WithFailures(sim.UniformFailures(mu)))
+	res := RobustApproxQuantile(e, values, 0.5, 0.1, RobustOptions{}) // Mu unset
+	if cov := float64(res.Covered()) / n; cov < 0.5 {
+		t.Fatalf("auto-probed run coverage %.3f", cov)
+	}
+	for v := 0; v < n; v++ {
+		if res.Has[v] && !o.WithinEpsilon(res.Output[v], 0.5, 0.1) {
+			t.Fatalf("auto-probed run wrong at node %d", v)
+		}
+	}
+}
+
+func TestRobustResultCovered(t *testing.T) {
+	r := RobustResult{Has: []bool{true, false, true}}
+	if r.Covered() != 2 {
+		t.Errorf("Covered = %d", r.Covered())
+	}
+}

@@ -1,0 +1,237 @@
+package tournament
+
+import (
+	"fmt"
+
+	"gossipq/internal/sim"
+	"gossipq/internal/xrand"
+)
+
+// Options tunes the tournament runner. The zero value gives the paper's
+// defaults.
+type Options struct {
+	// K is the sample size of Algorithm 2's final step ("sample K = O(1)
+	// nodes and output the median"). Defaults to 15; forced odd.
+	K int
+	// OnIteration, when non-nil, is invoked after every tournament
+	// iteration with the phase (1 or 2), the iteration index within the
+	// phase, and the current value of every node. Used by the E9
+	// concentration experiment. The slice must not be retained.
+	OnIteration func(phase, iter int, values []int64)
+	// DisableTruncation is an ABLATION knob: it forces δ = 1 in the last
+	// 2-TOURNAMENT iteration, i.e. a full squaring instead of Algorithm
+	// 1's probabilistic landing on T = 1/2 - ε. The E9 ablation table
+	// shows the survivor fraction overshooting the window Lemma 2.6
+	// guarantees. Not for production use.
+	DisableTruncation bool
+}
+
+func (o Options) k() int {
+	k := o.K
+	if k <= 0 {
+		k = 15
+	}
+	if k%2 == 0 {
+		k++
+	}
+	return k
+}
+
+// ApproxQuantile runs the complete Theorem 2.1 algorithm on the engine:
+// Phase I (2-TOURNAMENT) shifts the quantile window [φ-ε, φ+ε] to the
+// median, Phase II (3-TOURNAMENT) approximates the median of the shifted
+// values, and the final K-sample step makes every node output a value. The
+// returned slice holds each node's output; w.h.p. (for ε >= MinEps(n))
+// every output's rank among the ORIGINAL values lies within [(φ-ε)n,
+// (φ+ε)n].
+func ApproxQuantile(e *sim.Engine, values []int64, phi, eps float64, opt Options) []int64 {
+	n := e.N()
+	if len(values) != n {
+		panic(fmt.Sprintf("tournament: %d values for %d nodes", len(values), n))
+	}
+	eps = ClampEps(eps)
+
+	cur := make([]int64, n)
+	copy(cur, values)
+	next := make([]int64, n)
+	dst1 := make([]int32, n)
+	dst2 := make([]int32, n)
+	dst3 := make([]int32, n)
+
+	// Phase I: 2-TOURNAMENT (Algorithm 1). Skipped entirely when the target
+	// is already the median (φ = 1/2 gives zero iterations).
+	plan2 := NewPlan2(phi, eps)
+	deltaRNG := deltaSource(e)
+	for i := 0; i < plan2.Iterations(); i++ {
+		e.Pull(dst1, MessageBits)
+		e.Pull(dst2, MessageBits)
+		delta := plan2.Deltas[i]
+		if opt.DisableTruncation {
+			delta = 1
+		}
+		for v := 0; v < n; v++ {
+			p1, p2 := dst1[v], dst2[v]
+			doTournament := delta >= 1 || deltaRNG(v, i).Bool(delta)
+			switch {
+			case p1 == sim.NoPeer && p2 == sim.NoPeer:
+				next[v] = cur[v] // both pulls failed; keep value
+			case !doTournament || p2 == sim.NoPeer:
+				// δ-branch line 10-11: adopt one sampled value.
+				if p1 == sim.NoPeer {
+					p1 = p2
+				}
+				next[v] = cur[p1]
+			case p1 == sim.NoPeer:
+				next[v] = cur[p2]
+			default:
+				next[v] = pick2(cur[p1], cur[p2], plan2.UseMin)
+			}
+		}
+		cur, next = next, cur
+		if opt.OnIteration != nil {
+			opt.OnIteration(1, i, cur)
+		}
+	}
+
+	// Phase II: 3-TOURNAMENT (Algorithm 2) with ε' = ε/4 per Lemma 2.11:
+	// after Phase I any quantile in [1/2 - ε/4, 1/2 + ε/4] of the shifted
+	// values is a correct answer, so approximating the median of the
+	// shifted values to ±ε/4 suffices.
+	plan3 := NewPlan3(eps/4, n)
+	for i := 0; i < plan3.Iterations(); i++ {
+		e.Pull(dst1, MessageBits)
+		e.Pull(dst2, MessageBits)
+		e.Pull(dst3, MessageBits)
+		for v := 0; v < n; v++ {
+			next[v] = median3Pulled(cur, v, dst1[v], dst2[v], dst3[v])
+		}
+		cur, next = next, cur
+		if opt.OnIteration != nil {
+			opt.OnIteration(2, i, cur)
+		}
+	}
+
+	// Final step: every node samples K values and outputs their median.
+	return sampleMedian(e, cur, opt.k())
+}
+
+// Median approximates the median to ±ε: the φ = 1/2 special case in which
+// Phase I vanishes, exposed because Phase II alone is the [DGM+11]-style
+// median dynamic that E-series ablations compare against.
+func Median(e *sim.Engine, values []int64, eps float64, opt Options) []int64 {
+	return ApproxQuantile(e, values, 0.5, eps, opt)
+}
+
+// pick2 implements the 2-TOURNAMENT selection: min of the two samples when
+// shrinking the high set (φ <= 1/2), max when shrinking the low set.
+func pick2(a, b int64, useMin bool) int64 {
+	if useMin == (a <= b) {
+		return a
+	}
+	return b
+}
+
+// median3Pulled returns the median of the up-to-three pulled values for
+// node v, degrading gracefully under failures: with two good pulls it uses
+// own value as the third (a failed node still holds a value); with one it
+// adopts that value; with none it keeps its own.
+func median3Pulled(cur []int64, v int, p1, p2, p3 int32) int64 {
+	var s [3]int64
+	cnt := 0
+	for _, p := range [3]int32{p1, p2, p3} {
+		if p != sim.NoPeer {
+			s[cnt] = cur[p]
+			cnt++
+		}
+	}
+	switch cnt {
+	case 3:
+		return median3(s[0], s[1], s[2])
+	case 2:
+		return median3(s[0], s[1], cur[v])
+	case 1:
+		return s[0]
+	default:
+		return cur[v]
+	}
+}
+
+// median3 returns the median of three values.
+func median3(a, b, c int64) int64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// sampleMedian performs Algorithm 2's final step: k pull rounds per node,
+// output the median of the pulled values (own value fills in for failed
+// pulls so every node outputs something even under failures).
+func sampleMedian(e *sim.Engine, cur []int64, k int) []int64 {
+	n := e.N()
+	samples := make([][]int64, n)
+	for v := range samples {
+		samples[v] = make([]int64, 0, k)
+	}
+	dst := make([]int32, n)
+	for r := 0; r < k; r++ {
+		e.Pull(dst, MessageBits)
+		for v := 0; v < n; v++ {
+			if p := dst[v]; p != sim.NoPeer {
+				samples[v] = append(samples[v], cur[p])
+			} else {
+				samples[v] = append(samples[v], cur[v])
+			}
+		}
+	}
+	out := make([]int64, n)
+	for v := range out {
+		out[v] = medianOf(samples[v])
+	}
+	return out
+}
+
+// medianOf returns the lower median of xs, sorting in place.
+func medianOf(xs []int64) int64 {
+	insertionSort(xs)
+	return xs[(len(xs)-1)/2]
+}
+
+// insertionSort sorts the small fixed-size sample slices without the
+// allocation overhead of sort.Slice.
+func insertionSort(xs []int64) {
+	for i := 1; i < len(xs); i++ {
+		x := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > x {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = x
+	}
+}
+
+// deltaSource returns a lazily seeded per-node coin for the δ-truncated
+// iteration of Algorithm 1, drawn from the engine's algorithm namespace so
+// it never correlates with peer sampling.
+func deltaSource(e *sim.Engine) func(v, iter int) *xrand.RNG {
+	src := e.AlgorithmSource(0x32544F55) // "2TOU"
+	var r xrand.RNG
+	return func(v, iter int) *xrand.RNG {
+		src.SeedInto(&r, uint64(v)<<20|uint64(iter))
+		return &r
+	}
+}
+
+// TotalRounds predicts the full round cost of ApproxQuantile for the given
+// parameters — the quantity Theorem 1.2 bounds by O(log log n + log 1/ε).
+func TotalRounds(n int, phi, eps float64, opt Options) int {
+	eps = ClampEps(eps)
+	return NewPlan2(phi, eps).Rounds() + NewPlan3(eps/4, n).Rounds() + opt.k()
+}

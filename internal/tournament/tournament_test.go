@@ -1,0 +1,353 @@
+package tournament
+
+import (
+	"testing"
+
+	"gossipq/internal/dist"
+	"gossipq/internal/sim"
+	"gossipq/internal/stats"
+)
+
+// checkAll verifies that every node's output is an ε-approximate φ-quantile
+// of the original values and returns the fraction of correct nodes.
+func checkAll(t *testing.T, o *stats.Oracle, out []int64, phi, eps float64) float64 {
+	t.Helper()
+	ok := 0
+	for _, x := range out {
+		if o.WithinEpsilon(x, phi, eps) {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(out))
+}
+
+func TestApproxQuantileAllNodesCorrect(t *testing.T) {
+	const n = 20000
+	const eps = 0.05
+	for _, phi := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		values := dist.Generate(dist.Uniform, n, 11)
+		o := stats.NewOracle(values)
+		e := sim.New(n, 101)
+		out := ApproxQuantile(e, values, phi, eps, Options{})
+		if frac := checkAll(t, o, out, phi, eps); frac < 1 {
+			t.Errorf("phi=%v: only %.4f of nodes correct", phi, frac)
+		}
+	}
+}
+
+func TestApproxQuantileAcrossWorkloads(t *testing.T) {
+	const n = 10000
+	const eps = 0.06
+	for _, k := range dist.Kinds() {
+		values := dist.Generate(k, n, 13)
+		o := stats.NewOracle(values)
+		e := sim.New(n, 103)
+		out := ApproxQuantile(e, values, 0.3, eps, Options{})
+		if frac := checkAll(t, o, out, 0.3, eps); frac < 1 {
+			t.Errorf("workload %v: only %.4f of nodes correct", k, frac)
+		}
+	}
+}
+
+func TestApproxQuantileExtremes(t *testing.T) {
+	// φ = 0 and φ = 1 target the min/max; ε-approximation still applies.
+	const n = 10000
+	const eps = 0.05
+	values := dist.Generate(dist.Sequential, n, 17)
+	o := stats.NewOracle(values)
+	for _, phi := range []float64{0, 1} {
+		e := sim.New(n, 107)
+		out := ApproxQuantile(e, values, phi, eps, Options{})
+		if frac := checkAll(t, o, out, phi, eps); frac < 1 {
+			t.Errorf("phi=%v: only %.4f correct", phi, frac)
+		}
+	}
+}
+
+func TestApproxQuantileManySeeds(t *testing.T) {
+	// The w.h.p. claim: success on every one of many independent runs.
+	const n = 5000
+	const eps = 0.08
+	const phi = 0.5
+	values := dist.Generate(dist.Uniform, n, 19)
+	o := stats.NewOracle(values)
+	for seed := uint64(0); seed < 20; seed++ {
+		e := sim.New(n, seed)
+		out := ApproxQuantile(e, values, phi, eps, Options{})
+		if frac := checkAll(t, o, out, phi, eps); frac < 1 {
+			t.Errorf("seed %d: only %.4f of nodes correct", seed, frac)
+		}
+	}
+}
+
+func TestMedianShortcut(t *testing.T) {
+	const n = 8000
+	values := dist.Generate(dist.Gaussian, n, 23)
+	o := stats.NewOracle(values)
+	e := sim.New(n, 109)
+	out := Median(e, values, 0.05, Options{})
+	if frac := checkAll(t, o, out, 0.5, 0.05); frac < 1 {
+		t.Errorf("median: only %.4f correct", frac)
+	}
+}
+
+func TestRoundsMatchPrediction(t *testing.T) {
+	const n = 10000
+	values := dist.Generate(dist.Uniform, n, 29)
+	for _, phi := range []float64{0.2, 0.5} {
+		for _, eps := range []float64{0.1, 0.02} {
+			e := sim.New(n, 113)
+			ApproxQuantile(e, values, phi, eps, Options{})
+			want := TotalRounds(n, phi, eps, Options{})
+			if e.Rounds() != want {
+				t.Errorf("phi=%v eps=%v: engine rounds %d != predicted %d",
+					phi, eps, e.Rounds(), want)
+			}
+		}
+	}
+}
+
+func TestRoundsAreLogLog(t *testing.T) {
+	// Empirical check of the O(log log n + log 1/ε) claim at fixed eps:
+	// squaring n must add only O(1) rounds.
+	r1 := TotalRounds(1<<10, 0.3, 0.05, Options{})
+	r2 := TotalRounds(1<<20, 0.3, 0.05, Options{})
+	if r2-r1 > 9 { // 3 rounds per extra 3T iteration, ~1 extra iteration + slack
+		t.Errorf("rounds grew by %d when n squared (1K -> 1M)", r2-r1)
+	}
+}
+
+func TestMessageDiscipline(t *testing.T) {
+	const n = 5000
+	values := dist.Generate(dist.Uniform, n, 31)
+	e := sim.New(n, 127)
+	ApproxQuantile(e, values, 0.4, 0.05, Options{})
+	if got := e.Metrics().MaxMessageBits; got != MessageBits {
+		t.Errorf("max message bits = %d, want %d (O(log n) discipline)", got, MessageBits)
+	}
+}
+
+func TestOutputsAreInputValues(t *testing.T) {
+	// Tournaments only move existing values around; every output must be
+	// one of the original values.
+	const n = 2000
+	values := dist.Generate(dist.Clustered, n, 37)
+	present := make(map[int64]bool, n)
+	for _, v := range values {
+		present[v] = true
+	}
+	e := sim.New(n, 131)
+	out := ApproxQuantile(e, values, 0.6, 0.1, Options{})
+	for v, x := range out {
+		if !present[x] {
+			t.Fatalf("node %d output %d is not an input value", v, x)
+		}
+	}
+}
+
+func TestOnIterationCallback(t *testing.T) {
+	const n = 1000
+	values := dist.Generate(dist.Uniform, n, 41)
+	e := sim.New(n, 137)
+	var phases []int
+	var lens []int
+	ApproxQuantile(e, values, 0.25, 0.1, Options{
+		OnIteration: func(phase, iter int, vals []int64) {
+			phases = append(phases, phase)
+			lens = append(lens, len(vals))
+		},
+	})
+	p2 := NewPlan2(0.25, 0.1).Iterations()
+	p3 := NewPlan3(0.1/4, n).Iterations()
+	if len(phases) != p2+p3 {
+		t.Fatalf("callback fired %d times, want %d", len(phases), p2+p3)
+	}
+	for i, ph := range phases {
+		want := 1
+		if i >= p2 {
+			want = 2
+		}
+		if ph != want {
+			t.Errorf("callback %d phase = %d, want %d", i, ph, want)
+		}
+		if lens[i] != n {
+			t.Errorf("callback %d saw %d values", i, lens[i])
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	const n = 3000
+	values := dist.Generate(dist.Uniform, n, 43)
+	run := func() []int64 {
+		e := sim.New(n, 139)
+		return ApproxQuantile(e, values, 0.7, 0.05, Options{})
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outputs differ at node %d", i)
+		}
+	}
+}
+
+func TestPick2(t *testing.T) {
+	if pick2(3, 5, true) != 3 || pick2(5, 3, true) != 3 {
+		t.Error("min selection broken")
+	}
+	if pick2(3, 5, false) != 5 || pick2(5, 3, false) != 5 {
+		t.Error("max selection broken")
+	}
+	if pick2(4, 4, true) != 4 {
+		t.Error("tie broken")
+	}
+}
+
+func TestMedian3(t *testing.T) {
+	perms := [][3]int64{{1, 2, 3}, {1, 3, 2}, {2, 1, 3}, {2, 3, 1}, {3, 1, 2}, {3, 2, 1}}
+	for _, p := range perms {
+		if m := median3(p[0], p[1], p[2]); m != 2 {
+			t.Errorf("median3(%v) = %d", p, m)
+		}
+	}
+	if median3(5, 5, 1) != 5 || median3(5, 1, 5) != 5 || median3(1, 5, 5) != 5 {
+		t.Error("median3 with duplicates broken")
+	}
+}
+
+func TestMedianOf(t *testing.T) {
+	if m := medianOf([]int64{9}); m != 9 {
+		t.Errorf("medianOf singleton = %d", m)
+	}
+	if m := medianOf([]int64{4, 1, 3, 2, 5}); m != 3 {
+		t.Errorf("medianOf odd = %d", m)
+	}
+	if m := medianOf([]int64{4, 1, 2, 3}); m != 2 {
+		t.Errorf("medianOf even (lower) = %d", m)
+	}
+}
+
+func TestPanicsOnLengthMismatch(t *testing.T) {
+	e := sim.New(10, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched values length")
+		}
+	}()
+	ApproxQuantile(e, make([]int64, 9), 0.5, 0.1, Options{})
+}
+
+func TestSmallEpsStillWorksAtModerateN(t *testing.T) {
+	// The calibration claim behind MinEps: at n=50000, eps=0.02 is safely
+	// in the valid region.
+	const n = 50000
+	const eps = 0.02
+	values := dist.Generate(dist.Uniform, n, 47)
+	o := stats.NewOracle(values)
+	e := sim.New(n, 149)
+	out := ApproxQuantile(e, values, 0.35, eps, Options{})
+	if frac := checkAll(t, o, out, 0.35, eps); frac < 1 {
+		t.Errorf("only %.4f correct at eps=%v n=%d", frac, eps, n)
+	}
+}
+
+func TestDisableTruncationAblation(t *testing.T) {
+	// With truncation disabled, the Phase I survivor fraction should
+	// overshoot (fall below) the T - eps/2 window floor of Lemma 2.6,
+	// which is exactly what the δ coin exists to prevent.
+	const n = 20000
+	const phi, eps = 0.25, 0.05
+	values := dist.Generate(dist.Uniform, n, 71)
+	o := stats.NewOracle(values)
+	plan := NewPlan2(phi, eps)
+	finalH := func(disable bool) float64 {
+		var h float64
+		e := sim.New(n, 211)
+		ApproxQuantile(e, values, phi, eps, Options{
+			DisableTruncation: disable,
+			OnIteration: func(phase, iter int, vals []int64) {
+				if phase == 1 && iter == plan.Iterations()-1 {
+					c := 0
+					for _, x := range vals {
+						if o.QuantileOf(x) > phi+eps {
+							c++
+						}
+					}
+					h = float64(c) / float64(n)
+				}
+			},
+		})
+		return h
+	}
+	withTrunc := finalH(false)
+	withoutTrunc := finalH(true)
+	if withTrunc < plan.T-eps/2 || withTrunc > plan.T+eps/2 {
+		t.Errorf("truncated |H_t|/n = %v outside Lemma 2.6 window [%v, %v]",
+			withTrunc, plan.T-eps/2, plan.T+eps/2)
+	}
+	if withoutTrunc >= plan.T-eps/2 {
+		t.Errorf("ablated |H_t|/n = %v did not overshoot below %v; ablation shows nothing",
+			withoutTrunc, plan.T-eps/2)
+	}
+}
+
+func TestMedianRuleConverges(t *testing.T) {
+	// Run for 2·log2(n) iterations: every node should land extremely close
+	// to the true median (the ±O(sqrt(log n / n)) regime of [DGM+11]).
+	const n = 20000
+	values := dist.Generate(dist.Uniform, n, 73)
+	o := stats.NewOracle(values)
+	e := sim.New(n, 223)
+	out := MedianRule(e, values, 2*sim.CeilLog2(n), Options{})
+	worst := 0.0
+	for _, x := range out {
+		d := o.QuantileOf(x) - 0.5
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.01 {
+		t.Errorf("median rule worst rank error %.4f after 2 log n iterations", worst)
+	}
+}
+
+func TestMedianRuleDefaultIterations(t *testing.T) {
+	const n = 1024
+	values := dist.Generate(dist.Uniform, n, 79)
+	e := sim.New(n, 227)
+	MedianRule(e, values, 0, Options{})
+	if want := 3 * sim.CeilLog2(n); e.Rounds() != want {
+		t.Errorf("default median rule rounds = %d, want %d", e.Rounds(), want)
+	}
+}
+
+func TestMedianRulePanicsOnLengthMismatch(t *testing.T) {
+	e := sim.New(10, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MedianRule(e, make([]int64, 9), 1, Options{})
+}
+
+func TestAdversarialValuePlacement(t *testing.T) {
+	// Uniform gossip is oblivious to which node holds which value; verify
+	// with the worst-case placement (values sorted by node id, so low ids
+	// hold low values).
+	const n = 10000
+	const phi, eps = 0.75, 0.06
+	values := make([]int64, n)
+	for i := range values {
+		values[i] = int64(i + 1) // fully sorted placement
+	}
+	o := stats.NewOracle(values)
+	e := sim.New(n, 229)
+	out := ApproxQuantile(e, values, phi, eps, Options{})
+	if frac := checkAll(t, o, out, phi, eps); frac < 1 {
+		t.Errorf("sorted placement: only %.4f correct", frac)
+	}
+}

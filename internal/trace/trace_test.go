@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Demo", "n", "rounds")
+	tb.AddRow("1000", "42")
+	tb.AddRow("1000000", "55")
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "Demo\n====") {
+		t.Errorf("missing title underline:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + underline + header + separator + 2 rows = 6 lines.
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// The rounds column should start at the same offset in both data rows.
+	if strings.Index(lines[4], "42") != strings.Index(lines[5], "55") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("1")
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	if tb.NumRows() != 1 {
+		t.Fatal("row not added")
+	}
+}
+
+func TestNotes(t *testing.T) {
+	tb := NewTable("T", "x")
+	tb.AddNote("slope = %.2f", 1.5)
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	if !strings.Contains(sb.String(), "note: slope = 1.50") {
+		t.Errorf("note missing:\n%s", sb.String())
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("T", "name", "value")
+	tb.AddRow(`with "quote"`, "a,b")
+	var sb strings.Builder
+	tb.CSV(&sb)
+	want := "name,value\n\"with \"\"quote\"\"\",\"a,b\"\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if D(5) != "5" || D64(-7) != "-7" {
+		t.Error("int formatters broken")
+	}
+	if F(1.23456, 2) != "1.23" {
+		t.Errorf("F = %s", F(1.23456, 2))
+	}
+	if Pct(0.123) != "12.3%" {
+		t.Errorf("Pct = %s", Pct(0.123))
+	}
+	if G(0.000125) != "0.000125" {
+		t.Errorf("G = %s", G(0.000125))
+	}
+}

@@ -1,0 +1,189 @@
+// Package xrand provides a deterministic, splittable pseudo-random number
+// generator used by every randomized protocol in this repository.
+//
+// The gossip simulator executes rounds in parallel across goroutine shards,
+// so reproducibility cannot rely on a single shared generator: the order in
+// which goroutines consume random numbers is not deterministic. Instead,
+// xrand derives an independent stream per (seed, node) pair with SplitMix64,
+// and each stream is itself a small-state xoshiro-style generator. Given the
+// same seed, every node observes the same random choices regardless of
+// GOMAXPROCS or scheduling.
+package xrand
+
+import (
+	"math"
+	"math/bits"
+)
+
+// splitmix64 advances the state and returns the next output of the
+// SplitMix64 generator (Steele, Lea, Flood 2014). It is used both as a seed
+// scrambler and as the stream-derivation function.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// RNG is a single pseudo-random stream (xoshiro256**). The zero value is not
+// usable; obtain instances from New or Source.Stream.
+type RNG struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a stream seeded from the given seed. Two different seeds yield
+// streams that are, for all practical purposes, independent.
+func New(seed uint64) *RNG {
+	var r RNG
+	r.Reseed(seed)
+	return &r
+}
+
+// Reseed resets the stream to the state derived from seed.
+func (r *RNG) Reseed(seed uint64) {
+	sm := seed
+	r.s0 = splitmix64(&sm)
+	r.s1 = splitmix64(&sm)
+	r.s2 = splitmix64(&sm)
+	r.s3 = splitmix64(&sm)
+	// xoshiro requires a nonzero state; SplitMix64 output is zero for all
+	// four words only with negligible probability, but guard anyway.
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 0x9e3779b97f4a7c15
+	}
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = bits.RotateLeft64(r.s3, 45)
+	return result
+}
+
+// Int63 returns a non-negative random int64.
+func (r *RNG) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Intn returns a uniformly random int in [0, n). It panics if n <= 0.
+// It uses Lemire's nearly-divisionless bounded rejection method.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniformly random uint64 in [0, n). It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n called with zero n")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Float64 returns a uniformly random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p. Values of p outside [0, 1] are
+// clamped by construction (p <= 0 never, p >= 1 always).
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Int64 returns a uniformly random int64 over the full range.
+func (r *RNG) Int64() int64 {
+	return int64(r.Uint64())
+}
+
+// NormFloat64 returns a standard normal variate using the polar Box-Muller
+// (Marsaglia) method. The spare value is intentionally discarded to keep RNG
+// stateless beyond its xoshiro words.
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n) as a slice.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle performs a Fisher-Yates shuffle of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Source derives per-node independent streams from a root seed. It is
+// immutable and safe for concurrent use.
+type Source struct {
+	seed uint64
+}
+
+// NewSource returns a stream-deriving source rooted at seed.
+func NewSource(seed uint64) Source { return Source{seed: seed} }
+
+// Seed returns the root seed of the source.
+func (s Source) Seed() uint64 { return s.seed }
+
+// StreamSeed returns the derived seed for the given stream id. Distinct ids
+// yield (practically) independent streams; the derivation is two rounds of
+// SplitMix64 mixing over (seed, id).
+func (s Source) StreamSeed(id uint64) uint64 {
+	sm := s.seed ^ (id * 0xd1342543de82ef95)
+	x := splitmix64(&sm)
+	return splitmix64(&sm) ^ x
+}
+
+// Stream returns a fresh RNG for the given stream id.
+func (s Source) Stream(id uint64) *RNG {
+	return New(s.StreamSeed(id))
+}
+
+// SeedInto reseeds an existing RNG for the given stream id, avoiding an
+// allocation in hot per-round loops.
+func (s Source) SeedInto(r *RNG, id uint64) {
+	r.Reseed(s.StreamSeed(id))
+}
+
+// Sub derives a child source, e.g. one per protocol phase, so that phases
+// consume independent randomness even if they run variable-length loops.
+func (s Source) Sub(id uint64) Source {
+	return Source{seed: s.StreamSeed(id ^ 0xa5a5a5a5a5a5a5a5)}
+}

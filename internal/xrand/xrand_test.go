@@ -1,0 +1,269 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with identical seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with distinct seeds collided %d/1000 times", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for _, n := range []int{1, 2, 3, 10, 1000, 1 << 30} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	// Chi-squared check on 16 buckets; loose threshold to stay robust.
+	r := New(99)
+	const buckets = 16
+	const draws = 160000
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	expected := float64(draws) / buckets
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 15 degrees of freedom; 99.99th percentile is ~44.3.
+	if chi2 > 60 {
+		t.Fatalf("Intn distribution too skewed: chi2=%.2f counts=%v", chi2, counts)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	var sum float64
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	mean := sum / draws
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(5)
+	for _, p := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		hits := 0
+		const draws = 50000
+		for i := 0; i < draws; i++ {
+			if r.Bool(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / draws
+		if math.Abs(got-p) > 0.02 {
+			t.Fatalf("Bool(%v) frequency = %v", p, got)
+		}
+	}
+}
+
+func TestBoolClamps(t *testing.T) {
+	r := New(11)
+	if r.Bool(-0.5) {
+		t.Fatal("Bool(-0.5) returned true")
+	}
+	if !r.Bool(1.5) {
+		t.Fatal("Bool(1.5) returned false")
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(17)
+	const draws = 200000
+	var sum, sumSq float64
+	for i := 0; i < draws; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / draws
+	variance := sumSq/draws - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(23)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	r := New(29)
+	const n = 5
+	const trials = 50000
+	var counts [n]int
+	for i := 0; i < trials; i++ {
+		counts[r.Perm(n)[0]]++
+	}
+	for i, c := range counts {
+		got := float64(c) / trials
+		if math.Abs(got-1.0/n) > 0.02 {
+			t.Fatalf("Perm first element %d frequency %v, want ~%v", i, got, 1.0/n)
+		}
+	}
+}
+
+func TestSourceStreamsIndependent(t *testing.T) {
+	src := NewSource(1234)
+	a := src.Stream(0)
+	b := src.Stream(1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("sibling streams collided %d/1000 times", same)
+	}
+}
+
+func TestSourceStreamDeterminism(t *testing.T) {
+	src := NewSource(1234)
+	a := src.Stream(77)
+	b := src.Stream(77)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same stream id produced different sequences")
+		}
+	}
+}
+
+func TestSeedIntoMatchesStream(t *testing.T) {
+	src := NewSource(99)
+	var r RNG
+	src.SeedInto(&r, 5)
+	s := src.Stream(5)
+	for i := 0; i < 100; i++ {
+		if r.Uint64() != s.Uint64() {
+			t.Fatal("SeedInto and Stream disagree")
+		}
+	}
+}
+
+func TestSubSourceDiffersFromParent(t *testing.T) {
+	src := NewSource(7)
+	sub := src.Sub(1)
+	if src.StreamSeed(0) == sub.StreamSeed(0) {
+		t.Fatal("child source derives identical stream seeds")
+	}
+}
+
+func TestStreamSeedInjectivityProperty(t *testing.T) {
+	// Distinct ids should essentially never produce equal stream seeds.
+	src := NewSource(31337)
+	f := func(a, b uint64) bool {
+		if a == b {
+			return true
+		}
+		return src.StreamSeed(a) != src.StreamSeed(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64nBoundProperty(t *testing.T) {
+	r := New(63)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return r.Uint64n(n) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = r.Intn(1000003)
+	}
+	_ = sink
+}

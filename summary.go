@@ -1,0 +1,114 @@
+package gossipq
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gossipq/internal/tournament"
+)
+
+// Summary is a reusable quantile summary built from one gossip computation:
+// a grid of ⌈2/ε⌉ approximate quantile cut points, each known at every
+// node. After the (1/ε)·O(log log n + log 1/ε)-round build — the same cost
+// as one Corollary 1.5 run — any node can answer any quantile query or rank
+// query locally, with ±ε accuracy, without further communication. This is
+// the natural production shape of the paper's algorithms: pay the gossip
+// once per monitoring interval, query for free.
+type Summary struct {
+	eps  float64
+	grid []float64 // ascending quantile targets
+	// cuts[g][v] is node v's estimate of the grid[g]-quantile.
+	cuts [][]int64
+	// Metrics is the build's complexity accounting.
+	Metrics Metrics
+}
+
+// BuildSummary runs the grid of approximate quantile computations. ε is the
+// summary's accuracy: Query and Rank answers are within ±ε of truth w.h.p.
+func BuildSummary(values []int64, eps float64, cfg Config) (*Summary, error) {
+	if err := validate(values, 0); err != nil {
+		return nil, err
+	}
+	if eps <= 0 || math.IsNaN(eps) || eps > 0.5 {
+		return nil, fmt.Errorf("%w in (0, 0.5], got %v", errBadEps, eps)
+	}
+	n := len(values)
+	step := eps / 2
+	gridEps := eps / 4
+	if m := tournament.MinEps(n); gridEps < m {
+		gridEps = m
+		if gridEps > step {
+			gridEps = step
+		}
+	}
+	e := cfg.engine(n)
+	s := &Summary{eps: eps}
+	for phi := step; phi < 1; phi += step {
+		out := tournament.ApproxQuantile(e, values, phi, gridEps, tournament.Options{K: cfg.K})
+		s.grid = append(s.grid, phi)
+		s.cuts = append(s.cuts, out)
+	}
+	s.Metrics = fromSim(e.Metrics())
+	return s, nil
+}
+
+// Eps returns the summary's accuracy parameter.
+func (s *Summary) Eps() float64 { return s.eps }
+
+// GridSize returns the number of stored cut points (per node).
+func (s *Summary) GridSize() int { return len(s.grid) }
+
+// Query returns node v's local estimate of the φ-quantile: the stored cut
+// point whose grid target is nearest to φ. The answer's rank is within
+// ±ε·n of ⌈φn⌉ w.h.p.
+func (s *Summary) Query(v int, phi float64) int64 {
+	if phi < 0 {
+		phi = 0
+	}
+	if phi > 1 {
+		phi = 1
+	}
+	// Nearest grid index: grid[g] = (g+1)·step.
+	step := s.grid[0]
+	g := int(math.Round(phi/step)) - 1
+	if g < 0 {
+		g = 0
+	}
+	if g >= len(s.grid) {
+		g = len(s.grid) - 1
+	}
+	return s.cuts[g][v]
+}
+
+// Rank returns node v's local estimate of the normalized rank of x among
+// the population's values, within ±ε w.h.p. — the Corollary 1.5 primitive
+// generalized to arbitrary query points.
+func (s *Summary) Rank(v int, x int64) float64 {
+	// The cut values at one node are non-decreasing in the grid target up
+	// to ±ε wiggle; binary search for robustness after a monotone repair.
+	est := s.grid[0] / 2
+	for g := range s.grid {
+		if s.cuts[g][v] < x {
+			est = s.grid[g] + s.grid[0]/2
+		}
+	}
+	if est > 1 {
+		est = 1
+	}
+	return est
+}
+
+// NodeView returns node v's full cut-point vector (ascending grid order) —
+// what a real deployment would hold in memory per node: GridSize values,
+// i.e. Θ(1/ε) words. The slice is a copy sorted ascending (individual grid
+// estimates may locally invert by ±ε; the sorted view is what a monotone
+// CDF consumer wants).
+func (s *Summary) NodeView(v int) []int64 {
+	out := make([]int64, len(s.grid))
+	for g := range s.grid {
+		out[g] = s.cuts[g][v]
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,119 @@
+package gossipq
+
+import (
+	"math"
+	"testing"
+
+	"gossipq/internal/dist"
+	"gossipq/internal/stats"
+)
+
+func TestBuildSummaryQueryAccuracy(t *testing.T) {
+	const n = 16384
+	const eps = 0.1
+	values := dist.Generate(dist.Uniform, n, 21)
+	o := stats.NewOracle(values)
+	s, err := BuildSummary(values, eps, Config{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.GridSize() != 19 { // step eps/2 = 0.05 -> phi = 0.05..0.95
+		t.Fatalf("grid size = %d, want 19", s.GridSize())
+	}
+	// Every node's answer to every queried phi must be within ±eps.
+	for _, phi := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		bad := 0
+		for v := 0; v < n; v++ {
+			if !o.WithinEpsilon(s.Query(v, phi), phi, eps) {
+				bad++
+			}
+		}
+		if bad > 0 {
+			t.Errorf("phi=%v: %d nodes answered outside ±εn", phi, bad)
+		}
+	}
+}
+
+func TestSummaryRankAccuracy(t *testing.T) {
+	const n = 8192
+	const eps = 0.125
+	values := dist.Generate(dist.Gaussian, n, 23)
+	o := stats.NewOracle(values)
+	s, err := BuildSummary(values, eps, Config{Seed: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nodes estimate the rank of their own value (Cor 1.5) and of a few
+	// fixed probes.
+	bad := 0
+	for v := 0; v < n; v += 7 {
+		truth := o.QuantileOf(values[v])
+		if math.Abs(s.Rank(v, values[v])-truth) > eps {
+			bad++
+		}
+	}
+	if bad > 0 {
+		t.Errorf("%d sampled nodes estimated own rank worse than ±%v", bad, eps)
+	}
+}
+
+func TestSummaryQueryClamps(t *testing.T) {
+	values := dist.Generate(dist.Sequential, 2048, 29)
+	s, err := BuildSummary(values, 0.25, Config{Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := s.Query(0, -5)
+	hi := s.Query(0, 5)
+	if lo > hi {
+		t.Errorf("clamped extremes inverted: %d > %d", lo, hi)
+	}
+	if s.Eps() != 0.25 {
+		t.Errorf("Eps = %v", s.Eps())
+	}
+}
+
+func TestSummaryNodeViewSortedAndSized(t *testing.T) {
+	values := dist.Generate(dist.Uniform, 4096, 31)
+	s, err := BuildSummary(values, 0.2, Config{Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := s.NodeView(17)
+	if len(view) != s.GridSize() {
+		t.Fatalf("view size %d, want %d", len(view), s.GridSize())
+	}
+	for i := 1; i < len(view); i++ {
+		if view[i] < view[i-1] {
+			t.Fatal("node view not sorted")
+		}
+	}
+}
+
+func TestSummaryAmortization(t *testing.T) {
+	// The whole point: the build cost is paid once; queries are local.
+	// Build rounds should be roughly GridSize × one approximate run.
+	const n = 8192
+	values := dist.Generate(dist.Uniform, n, 33)
+	s, err := BuildSummary(values, 0.25, Config{Seed: 47})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPoint := float64(s.Metrics.Rounds) / float64(s.GridSize())
+	single := float64(PredictApproxRounds(n, 0.5, 0.25/4, Config{}))
+	if perPoint > 2*single {
+		t.Errorf("per-grid-point cost %.0f rounds vs %.0f for one run", perPoint, single)
+	}
+}
+
+func TestBuildSummaryValidation(t *testing.T) {
+	if _, err := BuildSummary([]int64{1}, 0.1, Config{}); err == nil {
+		t.Error("single value accepted")
+	}
+	if _, err := BuildSummary([]int64{1, 2, 3}, 0, Config{}); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := BuildSummary([]int64{1, 2, 3}, 0.9, Config{}); err == nil {
+		t.Error("eps=0.9 accepted")
+	}
+}
