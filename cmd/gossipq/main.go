@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"gossipq"
 	"gossipq/internal/dist"
@@ -22,11 +23,13 @@ import (
 
 func main() {
 	var (
-		n        = flag.Int("n", 100000, "number of nodes")
-		phi      = flag.Float64("phi", 0.5, "target quantile in [0,1]")
-		eps      = flag.Float64("eps", 0.05, "approximation width (ignored with -exact)")
-		exactF   = flag.Bool("exact", false, "compute the exact quantile (Thm 1.1)")
-		workload = flag.String("workload", "uniform", "value distribution: uniform|sequential|gaussian|zipf|clustered|bimodal|duplicate-heavy")
+		n      = flag.Int("n", 100000, "number of nodes")
+		phi    = flag.Float64("phi", 0.5, "target quantile in [0,1]")
+		eps    = flag.Float64("eps", 0.05, "approximation width (ignored with -exact)")
+		exactF = flag.Bool("exact", false, "compute the exact quantile (Thm 1.1)")
+		// The help text is derived from the dist package itself, so the
+		// advertised kinds are exactly the ones ByName accepts.
+		workload = flag.String("workload", "uniform", "value distribution: "+strings.Join(dist.Names(), "|"))
 		seed     = flag.Uint64("seed", 1, "random seed (reruns with the same seed are identical)")
 		mu       = flag.Float64("mu", 0, "per-node per-round failure probability (Thm 1.4)")
 		extraT   = flag.Int("t", 0, "extra adoption rounds under failures (Thm 1.4's t)")

@@ -1,0 +1,3 @@
+module gossipq
+
+go 1.24

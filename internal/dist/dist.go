@@ -1,0 +1,281 @@
+// Package dist generates the synthetic value workloads that drive every
+// test, benchmark, example, and experiment in this repository, and provides
+// the paper's tie-breaking reduction (§2: "w.l.o.g. all values are
+// distinct") as MakeDistinct.
+//
+// Workloads matter because the paper's algorithms are rank-based: their
+// behavior depends only on the order structure of the input multiset, and
+// the interesting regimes are exactly the structured ones — heavy
+// duplication (exercising the tie-breaking reduction), tight clusters
+// separated by huge gaps (the adversarial case for interval contraction),
+// and skewed tails (realistic latency-style data). Each Kind below pins one
+// such regime.
+//
+// All generators draw from internal/xrand, so Generate(kind, n, seed) is
+// byte-for-byte identical for a fixed (kind, n, seed) across runs,
+// platforms, and GOMAXPROCS settings. Different kinds consume independent
+// streams derived from the same seed, so switching workloads never
+// perturbs an unrelated experiment's randomness.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"gossipq/internal/xrand"
+)
+
+// Kind selects one of the synthetic workload generators.
+type Kind int
+
+const (
+	// Uniform draws 55-bit non-negative values uniformly at random; at any
+	// population size used in this repository the values are distinct with
+	// overwhelming probability, making it the bland baseline workload.
+	Uniform Kind = iota
+	// Sequential is a seed-determined random placement of exactly the
+	// values 1..n, one each: the φ-quantile is ⌈φn⌉ by construction, which
+	// is what makes it the workload of choice for exactness assertions.
+	Sequential
+	// Gaussian draws values from a rounded normal distribution whose left
+	// tail crosses zero, so realistic collision-prone data with some
+	// negative values is covered.
+	Gaussian
+	// Zipf draws from a bounded Zipf distribution (s = 1.2, support
+	// 0..100000): most values tiny, a heavy tail of large ones, as in
+	// request-latency data.
+	Zipf
+	// Clustered places values in a few tight clusters separated by huge
+	// gaps — the adversarial case for interval-contraction algorithms,
+	// whose brackets repeatedly land inside one cluster.
+	Clustered
+	// Bimodal mixes two well-separated Gaussian modes (fast mode around
+	// 10000, slow mode around 1000000), the classic two-population shape.
+	Bimodal
+	// DuplicateHeavy draws from a pool of only twelve distinct values with
+	// geometric skew, so the most frequent value appears Θ(n) times —
+	// maximal stress for the tie-breaking reduction.
+	DuplicateHeavy
+
+	numKinds // sentinel; keep last
+)
+
+// names holds the canonical (CLI) spelling of each Kind, indexed by Kind.
+var names = [numKinds]string{
+	Uniform:        "uniform",
+	Sequential:     "sequential",
+	Gaussian:       "gaussian",
+	Zipf:           "zipf",
+	Clustered:      "clustered",
+	Bimodal:        "bimodal",
+	DuplicateHeavy: "duplicate-heavy",
+}
+
+// String returns the canonical name of the kind, e.g. "duplicate-heavy".
+func (k Kind) String() string {
+	if k < 0 || k >= numKinds {
+		return fmt.Sprintf("dist.Kind(%d)", int(k))
+	}
+	return names[k]
+}
+
+// Kinds returns every defined workload kind, in declaration order.
+func Kinds() []Kind {
+	ks := make([]Kind, numKinds)
+	for i := range ks {
+		ks[i] = Kind(i)
+	}
+	return ks
+}
+
+// Names returns the canonical name of every kind, in declaration order.
+// The cmd/gossipq -workload flag derives its help text from this list, so
+// the advertised spellings and the accepted ones cannot drift apart.
+func Names() []string {
+	ns := make([]string, numKinds)
+	for i := range ns {
+		ns[i] = names[i]
+	}
+	return ns
+}
+
+// ByName resolves a workload name to its Kind. Matching is
+// case-insensitive and ignores '-', '_', and spaces, so both the
+// hyphenated CLI spelling ("duplicate-heavy") and the canonical identifier
+// ("DuplicateHeavy") resolve. Unknown names yield an error listing every
+// valid kind.
+func ByName(name string) (Kind, error) {
+	want := normalizeName(name)
+	for k, n := range names {
+		if normalizeName(n) == want {
+			return Kind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("dist: unknown workload %q (valid kinds: %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+func normalizeName(s string) string {
+	s = strings.ToLower(s)
+	s = strings.ReplaceAll(s, "-", "")
+	s = strings.ReplaceAll(s, "_", "")
+	return strings.ReplaceAll(s, " ", "")
+}
+
+// Shape parameters of the generators. These are contracts, not tuning
+// knobs: tests and examples across the repository depend on them (e.g. the
+// latency example maps Zipf values to microseconds assuming zipfMax, and
+// exact-quantile tests require gaussian medians and all clustered values to
+// be positive).
+const (
+	// uniformBits bounds Uniform values to [0, 2^55), the same magnitude
+	// the fuzz corpus clamps to: even with duplicates, MakeDistinct's
+	// multiplier leaves ample headroom below int64 overflow.
+	uniformBits = 55
+
+	gaussMean = 6000
+	gaussStd  = 2500
+
+	zipfS   = 1.2
+	zipfMax = 100000
+
+	clusterCount = 8
+	clusterGap   = int64(1_000_000_000)
+	clusterWidth = 10_000
+
+	bimodalLoMean = 10_000
+	bimodalLoStd  = 1_000
+	bimodalHiMean = 1_000_000
+	bimodalHiStd  = 50_000
+
+	dupPoolSize = 12
+	dupStride   = int64(1000)
+)
+
+// Generate returns n values drawn from the given workload. The result is
+// deterministic: equal (kind, n, seed) triples produce identical slices.
+// n <= 0 yields an empty slice. Unknown kinds panic, as every call site
+// passes one of the declared constants.
+func Generate(kind Kind, n int, seed uint64) []int64 {
+	if kind < 0 || kind >= numKinds {
+		panic(fmt.Sprintf("dist: Generate with undefined kind %d", int(kind)))
+	}
+	if n <= 0 {
+		return []int64{}
+	}
+	// Each kind consumes its own stream of the seed so workloads are
+	// pairwise independent under a shared seed; the Sub tag ("dist")
+	// domain-separates generator streams from protocol streams (sim tags
+	// "Algo", livenet nodes use raw ids), so feeding one seed to both the
+	// workload and the run never correlates input data with coin flips.
+	r := xrand.NewSource(seed).Sub(0x64697374).Stream(uint64(kind))
+	v := make([]int64, n)
+	switch kind {
+	case Uniform:
+		for i := range v {
+			v[i] = int64(r.Uint64() >> (64 - uniformBits))
+		}
+	case Sequential:
+		for i, p := range r.Perm(n) {
+			v[i] = int64(p) + 1
+		}
+	case Gaussian:
+		for i := range v {
+			v[i] = gaussMean + int64(math.Round(gaussStd*r.NormFloat64()))
+		}
+	case Zipf:
+		z := rand.NewZipf(rand.New(xrandSource{r}), zipfS, 1, zipfMax)
+		for i := range v {
+			v[i] = int64(z.Uint64())
+		}
+	case Clustered:
+		for i := range v {
+			c := int64(r.Intn(clusterCount)) + 1
+			v[i] = c*clusterGap + int64(r.Intn(clusterWidth))
+		}
+	case Bimodal:
+		for i := range v {
+			if r.Bool(0.5) {
+				v[i] = bimodalLoMean + int64(math.Round(bimodalLoStd*r.NormFloat64()))
+			} else {
+				v[i] = bimodalHiMean + int64(math.Round(bimodalHiStd*r.NormFloat64()))
+			}
+		}
+	case DuplicateHeavy:
+		for i := range v {
+			// Geometric skew over the pool: index 0 carries half the
+			// mass, so the top value repeats Θ(n) times.
+			idx := 0
+			for idx < dupPoolSize-1 && r.Bool(0.5) {
+				idx++
+			}
+			v[i] = dupStride * int64(idx+1)
+		}
+	}
+	return v
+}
+
+// xrandSource adapts xrand.RNG to math/rand.Source64 so the standard
+// library's Zipf sampler (rejection-inversion) draws from our
+// deterministic stream.
+type xrandSource struct{ r *xrand.RNG }
+
+func (s xrandSource) Int63() int64   { return s.r.Int63() }
+func (s xrandSource) Uint64() uint64 { return s.r.Uint64() }
+func (s xrandSource) Seed(int64)     {} // reseeding is owned by xrand
+
+// MakeDistinct implements the paper's tie-breaking reduction: it maps a
+// value multiset to pairwise-distinct values while preserving strict order,
+// so that rank-based algorithms can assume distinctness w.l.o.g. (§2).
+//
+// It returns the transformed slice d and the multiplier mult, with
+//
+//	d[i] = values[i]*mult + offset[i],   0 <= offset[i] < mult,
+//
+// where mult is the maximum multiplicity of any value (1 for an
+// already-distinct input, in which case d is a plain copy) and offset[i]
+// counts earlier occurrences of values[i]. Consequently:
+//
+//   - d is pairwise distinct;
+//   - values[i] < values[j] implies d[i] < d[j] (strict order preserved);
+//   - floorDiv(d[i], mult) == values[i] (floor, not truncating, division —
+//     required for negative values), so callers invert the transform
+//     without any side table.
+//
+// Using the maximum multiplicity rather than len(values) as the multiplier
+// is what keeps near-limit inputs safe: n distinct values of magnitude up
+// to 2^55 transform with mult = 1 and cannot overflow, where the naive
+// x*n + i encoding already would. Inputs for which no int64 encoding
+// exists at all (duplicated values of magnitude around 2^63/multiplicity)
+// panic rather than silently corrupt ranks; every generator in this
+// package stays orders of magnitude below that boundary.
+func MakeDistinct(values []int64) ([]int64, int64) {
+	out := make([]int64, len(values))
+	counts := make(map[int64]int64, len(values))
+	mult := int64(1)
+	for _, v := range values {
+		counts[v]++
+		if counts[v] > mult {
+			mult = counts[v]
+		}
+	}
+	if mult == 1 {
+		copy(out, values)
+		return out, 1
+	}
+	for k := range counts {
+		counts[k] = 0
+	}
+	for i, v := range values {
+		off := counts[v]
+		counts[v] = off + 1
+		if v > (math.MaxInt64-off)/mult || v < math.MinInt64/mult {
+			panic(fmt.Sprintf(
+				"dist: MakeDistinct overflow: value %d with multiplier %d has no int64 encoding", v, mult))
+		}
+		out[i] = v*mult + off
+	}
+	return out, mult
+}

@@ -1,0 +1,102 @@
+package dist
+
+import (
+	"testing"
+)
+
+// FuzzMakeDistinct drives the tie-breaking reduction with arbitrary small
+// multisets, including forced duplicates, and checks the full contract:
+// pairwise distinctness, strict order preservation, and floor-division
+// round-trip. Magnitudes are clamped like the public fuzz corpus (±2^55) so
+// every input admits an int64 encoding.
+func FuzzMakeDistinct(f *testing.F) {
+	f.Add(int64(0), int64(5), int64(-7), uint8(0))
+	f.Add(int64(-1), int64(-1), int64(-1), uint8(7))
+	f.Add(int64(1)<<55, -(int64(1) << 55), int64(3), uint8(5))
+	f.Add(int64(1)<<55, int64(1)<<55, int64(1)<<55, uint8(3))
+	f.Fuzz(func(t *testing.T, a, b, c int64, dup uint8) {
+		const lim = int64(1) << 55
+		clamp := func(x int64) int64 {
+			if x > lim {
+				return lim
+			}
+			if x < -lim {
+				return -lim
+			}
+			return x
+		}
+		values := []int64{clamp(a), clamp(b), clamp(c)}
+		// dup's low bits force extra copies, exercising multiplicities > 1.
+		for i := 0; i < 3; i++ {
+			if dup&(1<<i) != 0 {
+				values = append(values, values[i])
+			}
+		}
+		d, mult := MakeDistinct(values)
+		if mult < 1 {
+			t.Fatalf("multiplier %d < 1", mult)
+		}
+		seen := make(map[int64]bool, len(d))
+		for i, x := range d {
+			if seen[x] {
+				t.Fatalf("duplicate after distinctify: %d", x)
+			}
+			seen[x] = true
+			if got := floorDiv(x, mult); got != values[i] {
+				t.Fatalf("floorDiv(%d, %d) = %d, want %d", x, mult, got, values[i])
+			}
+		}
+		for i := range values {
+			for j := range values {
+				if values[i] < values[j] && d[i] >= d[j] {
+					t.Fatalf("order broken: %d < %d but %d >= %d",
+						values[i], values[j], d[i], d[j])
+				}
+			}
+		}
+	})
+}
+
+// FuzzByName must never panic and must classify every input as either a
+// known kind (round-tripping through its canonical name) or an error that
+// lists the valid kinds.
+func FuzzByName(f *testing.F) {
+	f.Add("uniform")
+	f.Add("Duplicate-Heavy")
+	f.Add("")
+	f.Add("züpf")
+	f.Fuzz(func(t *testing.T, name string) {
+		k, err := ByName(name)
+		if err != nil {
+			return
+		}
+		if k < 0 || int(k) >= len(Kinds()) {
+			t.Fatalf("ByName(%q) returned out-of-range kind %d", name, int(k))
+		}
+		if again, err := ByName(k.String()); err != nil || again != k {
+			t.Fatalf("canonical name %q of accepted input %q does not round-trip",
+				k.String(), name)
+		}
+	})
+}
+
+// FuzzGenerateDeterministic pins the reproducibility guarantee for
+// arbitrary (kind, n, seed) triples.
+func FuzzGenerateDeterministic(f *testing.F) {
+	f.Add(uint8(0), uint16(100), uint64(1))
+	f.Add(uint8(6), uint16(1000), uint64(99))
+	f.Fuzz(func(t *testing.T, kindRaw uint8, nRaw uint16, seed uint64) {
+		kind := Kind(int(kindRaw) % len(Kinds()))
+		n := int(nRaw) % 2048
+		a := Generate(kind, n, seed)
+		b := Generate(kind, n, seed)
+		if len(a) != n || len(b) != n {
+			t.Fatalf("wrong length: %d/%d, want %d", len(a), len(b), n)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v n=%d seed=%d diverged at %d", kind, n, seed, i)
+			}
+		}
+	})
+}

@@ -59,6 +59,7 @@ func Quantile(e *sim.Engine, values []int64, phi float64, opt Options) (Result, 
 	// stand in for ±∞; rankLo/rankHi track their exact ranks.
 	lo, hi := int64(math.MinInt64), int64(math.MaxInt64)
 	var rankLo, rankHi int64 = 0, int64(n)
+	hiElected := false
 
 	prioritySrc := e.AlgorithmSource(0x4b444733) // "KDG3"
 	res := Result{}
@@ -85,9 +86,22 @@ func Quantile(e *sim.Engine, values []int64, phi float64, opt Options) (Result, 
 
 		if rank >= k {
 			hi, rankHi = pivot, rank
+			hiElected = true
 		} else {
 			lo, rankLo = pivot, rank
 		}
+	}
+	if !hiElected {
+		// Reachable only at k = n: every elected pivot had rank < n, so lo
+		// climbed to the second-largest value while hi still holds the +∞
+		// sentinel, which is not an input value. The answer is the unique
+		// remaining candidate in (lo, ∞]; one more election floods it.
+		pivot, ok := electPivot(e, values, lo, hi, prioritySrc, maxPhases)
+		if !ok {
+			return res, fmt.Errorf("kdg: no candidates left in (%d, %d]", lo, hi)
+		}
+		hi = pivot
+		res.Phases++
 	}
 	res.Value = hi
 	return res, nil
