@@ -1,0 +1,107 @@
+// Command benchjson runs the round-engine benchmark loops from
+// internal/sim/bench_test.go under testing.Benchmark and writes the results
+// as one machine-readable JSON file, so the engine's performance trajectory
+// can be tracked across commits (CI uploads it as an artifact).
+//
+// Usage:
+//
+//	benchjson                      # full sizes (n = 2^16, 2^20), write BENCH_sim.json
+//	benchjson -quick               # CI smoke: n = 2^16 only
+//	benchjson -out path.json       # choose the output path
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"gossipq/internal/enginebench"
+)
+
+// Result is one benchmark row of BENCH_sim.json. NsPerRound is the headline
+// number; AllocsPerRound and BytesPerRound must stay amortized O(1) (the
+// workspace design guarantees no per-round inbox/targets allocations).
+type Result struct {
+	Name           string  `json:"name"`
+	N              int     `json:"n"`
+	Rounds         int     `json:"rounds"`
+	NsPerRound     float64 `json:"ns_per_round"`
+	AllocsPerRound float64 `json:"allocs_per_round"`
+	BytesPerRound  float64 `json:"bytes_per_round"`
+}
+
+// File is the top-level schema of BENCH_sim.json.
+type File struct {
+	Suite      string   `json:"suite"`
+	Timestamp  string   `json:"timestamp"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out   = flag.String("out", "BENCH_sim.json", "output path for the JSON report")
+		quick = flag.Bool("quick", false, "CI smoke mode: benchmark only the small population")
+	)
+	flag.Parse()
+
+	sizes := []int{1 << 16, 1 << 20}
+	if *quick {
+		sizes = []int{1 << 16}
+	}
+
+	f := File{
+		Suite:      "sim",
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, n := range sizes {
+		f.Benchmarks = append(f.Benchmarks,
+			run("EngineRound/Pull", n, enginebench.Pull(n)),
+			run("EngineRound/Push", n, enginebench.Push(n)),
+			run("EngineRound/PushBatch", n, enginebench.PushBatch(n)),
+		)
+	}
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(f.Benchmarks))
+	for _, r := range f.Benchmarks {
+		fmt.Printf("  %-24s n=%-8d %12.0f ns/round %8.1f allocs/round\n",
+			r.Name, r.N, r.NsPerRound, r.AllocsPerRound)
+	}
+}
+
+// run executes one benchmark loop under testing.Benchmark and converts the
+// result. Iteration count is left to the testing package (~1s per
+// benchmark); overriding b.N from inside the loop would break its
+// convergence estimator.
+func run(name string, n int, loop func(b *testing.B)) Result {
+	res := testing.Benchmark(loop)
+	return Result{
+		Name:           name,
+		N:              n,
+		Rounds:         res.N,
+		NsPerRound:     float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerRound: float64(res.MemAllocs) / float64(res.N),
+		BytesPerRound:  float64(res.MemBytes) / float64(res.N),
+	}
+}

@@ -247,12 +247,10 @@ func OwnQuantiles(values []int64, eps float64, cfg Config) (OwnQuantileResult, e
 		}
 	}
 	e := cfg.engine(n)
-	var grid []float64
-	var cuts [][]int64
-	for phi := step; phi < 1; phi += step {
-		out := tournament.ApproxQuantile(e, values, phi, gridEps, tournament.Options{K: cfg.K})
-		grid = append(grid, phi)
-		cuts = append(cuts, out)
+	grid := tournament.QuantileGrid(step)
+	cuts := make([][]int64, 0, len(grid))
+	for _, phi := range grid {
+		cuts = append(cuts, tournament.ApproxQuantile(e, values, phi, gridEps, tournament.Options{K: cfg.K}))
 	}
 	q := make([]float64, n)
 	for v := 0; v < n; v++ {

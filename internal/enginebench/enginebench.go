@@ -1,0 +1,69 @@
+// Package enginebench holds the round-engine benchmark loop bodies shared by
+// the BenchmarkEngineRound suite (internal/sim/bench_test.go) and
+// cmd/benchjson, so BENCH_sim.json measures exactly the workload CI's
+// benchmark smoke step runs. Each loop allocates the engine and workspace
+// outside the timed region and runs one warm-up round so the workspace
+// buffers reach steady state — the regime every migrated protocol runs in;
+// -benchmem must then show amortized O(1) allocs/round.
+package enginebench
+
+import (
+	"testing"
+
+	"gossipq/internal/sim"
+)
+
+// Pull returns the benchmark body for one pull round at population n.
+func Pull(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		e := sim.New(n, 1)
+		ws := sim.NewPullWorkspace(e)
+		dst := ws.Dst(0)
+		ws.Pull(dst, 64) // warm-up: buffers reach steady state
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ws.Pull(dst, 64)
+		}
+	}
+}
+
+// Push returns the benchmark body for one push round at population n: every
+// node sends, every receiver keeps the first delivery.
+func Push(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		e := sim.New(n, 1)
+		ws := sim.NewWorkspace[int64](e)
+		vals := make([]int64, n)
+		send := func(v int) (int64, bool) { return vals[v], true }
+		recv := func(v int, in []sim.Delivery[int64]) { vals[v] = in[0].Msg }
+		ws.Push(64, send, recv)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ws.Push(64, send, recv)
+		}
+	}
+}
+
+// PushBatch returns the benchmark body for one batch-push phase at
+// population n: one message per sender from a caller-reused slice, the
+// steady state of the token protocol's spread phases.
+func PushBatch(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		e := sim.New(n, 1)
+		ws := sim.NewWorkspace[int64](e)
+		bufs := make([][]int64, n)
+		for v := range bufs {
+			bufs[v] = []int64{int64(v)}
+		}
+		send := func(v int) []int64 { return bufs[v] }
+		recv := func(v int, in []sim.Delivery[int64]) {}
+		ws.PushBatch(64, send, recv, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ws.PushBatch(64, send, recv, nil)
+		}
+	}
+}

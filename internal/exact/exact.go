@@ -122,6 +122,15 @@ func Quantile(e *sim.Engine, values []int64, phi float64, opt Options) (Result, 
 		valued[v] = true
 	}
 
+	// Round buffers for the whole run: one flooder for every epidemic
+	// broadcast and one set of bracket/count arrays reused per iteration.
+	fl := spread.NewFlooder(e)
+	lo := make([]int64, n)
+	hi := make([]int64, n)
+	below := make([]bool, n)
+	mins := make([]int64, n)
+	maxs := make([]int64, n)
+
 	// k is the target rank over the full n-element multiset (valueless
 	// nodes hold +∞ and rank above everything). The loop invariant — the
 	// paper's correctness argument — is that the ranks (k-M, k] of the
@@ -143,7 +152,7 @@ func Quantile(e *sim.Engine, values []int64, phi float64, opt Options) (Result, 
 		// (b) is the paper's own endgame (it stops once M_i >= n >= k);
 		// without it the bracket stalls as soon as its ±εn rank resolution
 		// exceeds the value granularity M.
-		vmin, vmax := floodRange(e, cur, valued, floodRounds)
+		vmin, vmax := floodRange(fl, cur, valued, mins, maxs, floodRounds)
 		if vmin == infinity && vmax == negInfinity {
 			return res, errors.New("exact: no valued nodes remain")
 		}
@@ -157,8 +166,6 @@ func Quantile(e *sim.Engine, values []int64, phi float64, opt Options) (Result, 
 		// φ' = k/n ∓ ε, each computed to ±ε/2, so the bracket's ends have
 		// ranks within [k-3εn/2, k-εn/2] and [k+εn/2, k+3εn/2] w.h.p.
 		phiK := float64(k) / float64(n)
-		lo := make([]int64, n)
-		hi := make([]int64, n)
 		if phiK-eps > eps/2 {
 			bracketApprox(e, cur, phiK-eps, eps/2, mu, opt.K, lo, infinity)
 		} else {
@@ -176,15 +183,13 @@ func Quantile(e *sim.Engine, values []int64, phi float64, opt Options) (Result, 
 
 		// Step 4: every node learns the global min of the lo-estimates and
 		// max of the hi-estimates, making the bracket consistent.
-		loAll := spread.Min(e, lo, floodRounds)[0]
-		hiAll := spread.Max(e, hi, floodRounds)[0]
+		loAll := fl.Min(lo, floodRounds)[0]
+		hiAll := fl.Max(hi, floodRounds)[0]
 		if loAll > hiAll {
 			return res, fmt.Errorf("%w: flooded bracket [%d, %d] inverted", ErrBracketMiss, loAll, hiAll)
 		}
 
 		// Step 5: exact count R of values strictly below the bracket.
-		var below []bool
-		below = make([]bool, n)
 		for v := 0; v < n; v++ {
 			below[v] = valued[v] && cur[v] < loAll
 		}
@@ -263,11 +268,8 @@ func bracketApprox(e *sim.Engine, cur []int64, phi, eps, mu float64, k int, out 
 // slack) rounds. The returned pair is node 0's view, which equals every
 // node's view w.h.p.; disagreement only delays collapse detection by one
 // iteration, never corrupts it, because collapse requires min == max.
-func floodRange(e *sim.Engine, cur []int64, valued []bool, rounds int) (int64, int64) {
-	n := e.N()
-	mins := make([]int64, n)
-	maxs := make([]int64, n)
-	for v := 0; v < n; v++ {
+func floodRange(fl *spread.Flooder, cur []int64, valued []bool, mins, maxs []int64, rounds int) (int64, int64) {
+	for v := range cur {
 		if valued[v] {
 			mins[v] = cur[v]
 			maxs[v] = cur[v]
@@ -276,7 +278,11 @@ func floodRange(e *sim.Engine, cur []int64, valued []bool, rounds int) (int64, i
 			maxs[v] = negInfinity
 		}
 	}
-	return spread.Min(e, mins, rounds)[0], spread.Max(e, maxs, rounds)[0]
+	// Two statements: each flood reuses the flooder's result buffer, so the
+	// min view must be read out before the max flood overwrites it.
+	vmin := fl.Min(mins, rounds)[0]
+	vmax := fl.Max(maxs, rounds)[0]
+	return vmin, vmax
 }
 
 // targetRank converts φ to the 1-based target rank ⌈φn⌉ clamped to [1, n].

@@ -184,10 +184,10 @@ func ownQuantileGrid(e *sim.Engine, values []int64, eps float64) (grid []float64
 	if m := tournament.MinEps(e.N()); gridEps < m {
 		gridEps = m
 	}
-	for phi := step; phi < 1; phi += step {
-		out := tournament.ApproxQuantile(e, values, phi, gridEps, tournament.Options{})
-		grid = append(grid, phi)
-		cuts = append(cuts, out)
+	grid = tournament.QuantileGrid(step)
+	cuts = make([][]int64, 0, len(grid))
+	for _, phi := range grid {
+		cuts = append(cuts, tournament.ApproxQuantile(e, values, phi, gridEps, tournament.Options{}))
 	}
 	return grid, cuts
 }

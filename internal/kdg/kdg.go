@@ -62,6 +62,7 @@ func Quantile(e *sim.Engine, values []int64, phi float64, opt Options) (Result, 
 	hiElected := false
 
 	prioritySrc := e.AlgorithmSource(0x4b444733) // "KDG3"
+	el := newElector(e)
 	res := Result{}
 	for phase := 0; rankHi-rankLo > 1; phase++ {
 		if phase >= maxPhases {
@@ -72,7 +73,7 @@ func Quantile(e *sim.Engine, values []int64, phi float64, opt Options) (Result, 
 		// Pivot election: every candidate draws a fresh random priority;
 		// flooding the max (priority, value) pair elects a uniformly
 		// random candidate's value in O(log n) rounds.
-		pivot, ok := electPivot(e, values, lo, hi, prioritySrc, phase)
+		pivot, ok := el.elect(values, lo, hi, prioritySrc, phase)
 		if !ok {
 			return res, fmt.Errorf("kdg: no candidates left in (%d, %d]", lo, hi)
 		}
@@ -96,7 +97,7 @@ func Quantile(e *sim.Engine, values []int64, phi float64, opt Options) (Result, 
 		// climbed to the second-largest value while hi still holds the +∞
 		// sentinel, which is not an input value. The answer is the unique
 		// remaining candidate in (lo, ∞]; one more election floods it.
-		pivot, ok := electPivot(e, values, lo, hi, prioritySrc, maxPhases)
+		pivot, ok := el.elect(values, lo, hi, prioritySrc, maxPhases)
 		if !ok {
 			return res, fmt.Errorf("kdg: no candidates left in (%d, %d]", lo, hi)
 		}
@@ -107,17 +108,36 @@ func Quantile(e *sim.Engine, values []int64, phi float64, opt Options) (Result, 
 	return res, nil
 }
 
-// electPivot floods the maximum (priority, value) pair over the candidate
-// set. Returns false if no node is a candidate.
-func electPivot(e *sim.Engine, values []int64, lo, hi int64, src xrand.Source, phase int) (int64, bool) {
+// pair is a pivot candidate: a random priority traveling with its value.
+type pair struct {
+	prio uint64
+	val  int64
+}
+
+// elector owns the buffers of the pivot-election flood, allocated once per
+// Quantile run and reused across its O(log n) phases.
+type elector struct {
+	ws        *sim.PullWorkspace
+	cur, next []pair
+}
+
+func newElector(e *sim.Engine) *elector {
 	n := e.N()
-	// The (priority, value) pair must travel together, so this is a custom
-	// epidemic flood over pairs rather than two separate spread.Max calls.
-	type pair struct {
-		prio uint64
-		val  int64
+	return &elector{
+		ws:   sim.NewPullWorkspace(e),
+		cur:  make([]pair, n),
+		next: make([]pair, n),
 	}
-	cur := make([]pair, n)
+}
+
+// elect floods the maximum (priority, value) pair over the candidate set.
+// Returns false if no node is a candidate. The (priority, value) pair must
+// travel together, so this is a custom epidemic flood over pairs rather
+// than two separate spread.Max calls.
+func (el *elector) elect(values []int64, lo, hi int64, src xrand.Source, phase int) (int64, bool) {
+	e := el.ws.Engine()
+	n := e.N()
+	cur, next := el.cur, el.next
 	any := false
 	for v := 0; v < n; v++ {
 		if values[v] > lo && values[v] <= hi {
@@ -130,10 +150,9 @@ func electPivot(e *sim.Engine, values []int64, lo, hi int64, src xrand.Source, p
 	if !any {
 		return 0, false
 	}
-	next := make([]pair, n)
-	dst := make([]int32, n)
+	dst := el.ws.Dst(0)
 	for r := 0; r < spread.Rounds(n); r++ {
-		e.Pull(dst, PriorityBits)
+		el.ws.Pull(dst, PriorityBits)
 		for v := 0; v < n; v++ {
 			next[v] = cur[v]
 			if p := dst[v]; p != sim.NoPeer {
@@ -144,6 +163,7 @@ func electPivot(e *sim.Engine, values []int64, lo, hi int64, src xrand.Source, p
 		}
 		cur, next = next, cur
 	}
+	el.cur, el.next = cur, next
 	// Node 0's view equals every node's view w.h.p. after the flood; using
 	// it (rather than a centralized max over views) keeps the baseline
 	// honest about its gossip-only information flow.

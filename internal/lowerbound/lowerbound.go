@@ -59,27 +59,28 @@ func Spread(e *sim.Engine, good []bool, maxRounds int) (rounds int, badPerRound 
 	}
 	cur := make([]bool, n)
 	copy(cur, good)
-	dst := make([]int32, n)
+	next := make([]bool, n)
+	ws := sim.NewWorkspace[struct{}](e)
+	dst := ws.Dst(0)
 	if maxRounds <= 0 {
 		maxRounds = 4 * (sim.CeilLog2(n) + 16)
 	}
 	for r := 0; r < maxRounds; r++ {
-		next := make([]bool, n)
 		copy(next, cur)
 		// Pull half-round: v learns if its source knows.
-		e.Pull(dst, 64)
+		ws.Pull(dst, 64)
 		for v := 0; v < n; v++ {
 			if p := dst[v]; p != sim.NoPeer && cur[p] {
 				next[v] = true
 			}
 		}
 		// Push half-round: informed nodes inform their targets.
-		sim.Push(e, 64,
+		ws.Push(64,
 			func(v int) (struct{}, bool) { return struct{}{}, cur[v] },
 			func(v int, in []sim.Delivery[struct{}]) { next[v] = true })
 		// The two half-rounds count as ONE round of the spreading process
 		// (strictly more generous than the model's one-op-per-round).
-		cur = next
+		cur, next = next, cur
 		bad := 0
 		for _, g := range cur {
 			if !g {

@@ -55,14 +55,16 @@ func Average(e *sim.Engine, values []float64, rounds int) []float64 {
 	for v := range state {
 		state[v] = pair{s: values[v], w: 1}
 	}
-	// halved[v] records whether v's send succeeded this round; the engine
-	// invokes send before recv, so each round first decides every node's
-	// split, then applies deliveries. sim.Push's send callback runs exactly
-	// once per live node.
+	ws := sim.NewWorkspace[pair](e)
+	// halves[v] records v's split and sent[v] whether its send happened this
+	// round; the engine invokes send before recv, so each round first
+	// decides every node's split, then applies deliveries. The send callback
+	// runs exactly once per live node.
+	halves := make([]pair, n)
+	sent := make([]bool, n)
 	for r := 0; r < rounds; r++ {
-		halves := make([]pair, n)
-		sent := make([]bool, n)
-		sim.Push(e, MessageBits,
+		clear(sent)
+		ws.Push(MessageBits,
 			func(v int) (pair, bool) {
 				h := pair{s: state[v].s / 2, w: state[v].w / 2}
 				halves[v] = h
@@ -164,11 +166,13 @@ func RunInstrumented(e *sim.Engine, values []float64, rounds int) (estimates []f
 	for v := range state {
 		state[v] = pair{s: values[v], w: 1}
 	}
+	ws := sim.NewWorkspace[pair](e)
+	halves := make([]pair, n)
+	sent := make([]bool, n)
 	masses = make([]MassInvariant, 0, rounds)
 	for r := 0; r < rounds; r++ {
-		halves := make([]pair, n)
-		sent := make([]bool, n)
-		sim.Push(e, MessageBits,
+		clear(sent)
+		ws.Push(MessageBits,
 			func(v int) (pair, bool) {
 				h := pair{s: state[v].s / 2, w: state[v].w / 2}
 				halves[v] = h

@@ -51,9 +51,10 @@ func Direct(e *sim.Engine, values []int64, phi, eps float64) []int64 {
 	for v := range samples {
 		samples[v] = make([]int64, 0, t)
 	}
-	dst := make([]int32, n)
+	ws := sim.NewPullWorkspace(e)
+	dst := ws.Dst(0)
 	for r := 0; r < t; r++ {
-		e.Pull(dst, 64)
+		ws.Pull(dst, 64)
 		for v := 0; v < n; v++ {
 			if p := dst[v]; p != sim.NoPeer {
 				samples[v] = append(samples[v], values[p])
@@ -84,10 +85,11 @@ func Doubling(e *sim.Engine, values []int64, phi, eps float64) []int64 {
 		panic(fmt.Sprintf("sampling: %d values for %d nodes", len(values), n))
 	}
 	bufs := make([][]int64, n)
-	dst := make([]int32, n)
+	ws := sim.NewPullWorkspace(e)
+	dst := ws.Dst(0)
 
 	// S_v(0) = {x_{t0(v)}}: one sampling pull.
-	e.Pull(dst, 64)
+	ws.Pull(dst, 64)
 	for v := 0; v < n; v++ {
 		if p := dst[v]; p != sim.NoPeer {
 			bufs[v] = append(bufs[v], values[p])
@@ -107,7 +109,7 @@ func Doubling(e *sim.Engine, values []int64, phi, eps float64) []int64 {
 				maxLen = len(bufs[v])
 			}
 		}
-		e.Pull(dst, maxLen*64)
+		ws.Pull(dst, maxLen*64)
 		for v := 0; v < n; v++ {
 			if p := dst[v]; p != sim.NoPeer {
 				merged := make([]int64, 0, len(bufs[v])+len(bufs[p]))
@@ -152,9 +154,10 @@ func Compacted(e *sim.Engine, values []int64, phi, eps float64) []int64 {
 	}
 	k := CompactedK(n, eps)
 	bufs := make([]*sketch.Buffer, n)
-	dst := make([]int32, n)
+	ws := sim.NewPullWorkspace(e)
+	dst := ws.Dst(0)
 
-	e.Pull(dst, 64)
+	ws.Pull(dst, 64)
 	for v := 0; v < n; v++ {
 		if p := dst[v]; p != sim.NoPeer {
 			bufs[v] = sketch.NewSeeded(k, values[p])
@@ -165,7 +168,7 @@ func Compacted(e *sim.Engine, values []int64, phi, eps float64) []int64 {
 
 	rounds := DoublingRounds(n, eps) - 1
 	for r := 0; r < rounds; r++ {
-		e.Pull(dst, k*64)
+		ws.Pull(dst, k*64)
 		snapshot := make([]*sketch.Buffer, n)
 		for v := 0; v < n; v++ {
 			snapshot[v] = bufs[v]

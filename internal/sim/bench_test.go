@@ -1,0 +1,37 @@
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gossipq/internal/enginebench"
+	"gossipq/internal/sim"
+)
+
+// BenchmarkEngineRound measures the raw cost of one engine round per
+// operation kind. The loop bodies live in internal/enginebench, shared with
+// cmd/benchjson so BENCH_sim.json tracks exactly this workload; see there
+// for the steady-state regime they set up.
+func BenchmarkEngineRound(b *testing.B) {
+	for _, n := range []int{1 << 16, 1 << 20} {
+		b.Run(fmt.Sprintf("Pull/n=%d", n), enginebench.Pull(n))
+		b.Run(fmt.Sprintf("Push/n=%d", n), enginebench.Push(n))
+		b.Run(fmt.Sprintf("PushBatch/n=%d", n), enginebench.PushBatch(n))
+	}
+}
+
+// BenchmarkEngineRoundFailures measures the failure-model overhead on the
+// push path (one extra coin per sender per round).
+func BenchmarkEngineRoundFailures(b *testing.B) {
+	const n = 1 << 20
+	e := sim.New(n, 1, sim.WithFailures(sim.UniformFailures(0.2)))
+	ws := sim.NewWorkspace[int64](e)
+	send := func(v int) (int64, bool) { return int64(v), true }
+	recv := func(v int, in []sim.Delivery[int64]) {}
+	ws.Push(64, send, recv) // warm-up: buffers reach steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.Push(64, send, recv)
+	}
+}

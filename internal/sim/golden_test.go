@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"hash/fnv"
+	"testing"
+)
+
+// The golden transcript hashes below were recorded from the pre-workspace
+// engine (serial counting sort, per-round allocations). The workspace engine
+// must reproduce them bit-for-bit: same peer choices, same failure coins,
+// same inbox grouping and ordering, same metrics — for every worker count.
+
+type goldenCase struct {
+	name string
+	n    int
+	seed uint64
+	fail FailureModel
+	want uint64
+}
+
+// hash64 mixes one 64-bit word into an FNV-1a accumulator.
+func hash64(h *uint64, x uint64) {
+	for i := 0; i < 8; i++ {
+		*h ^= x & 0xff
+		*h *= 1099511628211
+		x >>= 8
+	}
+}
+
+func hashMetrics(h *uint64, m Metrics) {
+	hash64(h, uint64(m.Rounds))
+	hash64(h, uint64(m.Messages))
+	hash64(h, uint64(m.Bits))
+	hash64(h, uint64(m.MaxMessageBits))
+}
+
+// goldenPull hashes 4 pull rounds: every dst entry plus final metrics.
+func goldenPull(n int, seed uint64, workers int, fail FailureModel) uint64 {
+	opts := []Option{WithWorkers(workers)}
+	if fail != nil {
+		opts = append(opts, WithFailures(fail))
+	}
+	e := New(n, seed, opts...)
+	ws := NewPullWorkspace(e)
+	dst := ws.Dst(0)
+	h := fnv.New64a().Sum64()
+	for r := 0; r < 4; r++ {
+		ws.Pull(dst, 64)
+		for _, p := range dst {
+			hash64(&h, uint64(uint32(p)))
+		}
+	}
+	hashMetrics(&h, e.Metrics())
+	return h
+}
+
+// goldenPush hashes 3 push rounds: per-node inbox digests (sender, message)
+// in delivery order, plus final metrics. Nodes v with v%7 == 3 do not send.
+func goldenPush(n int, seed uint64, workers int, fail FailureModel) uint64 {
+	opts := []Option{WithWorkers(workers)}
+	if fail != nil {
+		opts = append(opts, WithFailures(fail))
+	}
+	e := New(n, seed, opts...)
+	ws := NewWorkspace[int64](e)
+	slot := make([]uint64, n)
+	h := fnv.New64a().Sum64()
+	for r := 0; r < 3; r++ {
+		for v := range slot {
+			slot[v] = 0
+		}
+		ws.Push(64,
+			func(v int) (int64, bool) { return int64(v)*2 + 1, v%7 != 3 },
+			func(v int, in []Delivery[int64]) {
+				l := uint64(14695981039346656037)
+				for _, d := range in {
+					hash64(&l, uint64(uint32(d.From)))
+					hash64(&l, uint64(d.Msg))
+				}
+				slot[v] = l
+			})
+		for _, s := range slot {
+			hash64(&h, s)
+		}
+	}
+	hashMetrics(&h, e.Metrics())
+	return h
+}
+
+// goldenPushBatch hashes 2 batch phases where node v sends v%3 messages,
+// folding in per-node inbox digests, per-node drop counts, and the charged
+// round count, plus final metrics.
+func goldenPushBatch(n int, seed uint64, workers int, fail FailureModel) uint64 {
+	opts := []Option{WithWorkers(workers)}
+	if fail != nil {
+		opts = append(opts, WithFailures(fail))
+	}
+	e := New(n, seed, opts...)
+	ws := NewWorkspace[int64](e)
+	slot := make([]uint64, n)
+	drops := make([]uint64, n)
+	h := fnv.New64a().Sum64()
+	for r := 0; r < 2; r++ {
+		for v := range slot {
+			slot[v], drops[v] = 0, 0
+		}
+		rounds := ws.PushBatch(64,
+			func(v int) []int64 {
+				out := make([]int64, v%3)
+				for j := range out {
+					out[j] = int64(v)*10 + int64(j)
+				}
+				return out
+			},
+			func(v int, in []Delivery[int64]) {
+				l := uint64(14695981039346656037)
+				for _, d := range in {
+					hash64(&l, uint64(uint32(d.From)))
+					hash64(&l, uint64(d.Msg))
+				}
+				slot[v] = l
+			},
+			func(v int, msg int64) {
+				drops[v] += uint64(msg) | 1
+			})
+		hash64(&h, uint64(rounds))
+		for v := range slot {
+			hash64(&h, slot[v])
+			hash64(&h, drops[v])
+		}
+	}
+	hashMetrics(&h, e.Metrics())
+	return h
+}
+
+func goldenCases(kind string) []goldenCase {
+	// n = 300 exercises the serial path, n = 20000 the sharded parallel path
+	// (parallelThreshold = 8192). Recorded hashes are per (kind, n, fail).
+	small, large := 300, 20000
+	switch kind {
+	case "pull":
+		return []goldenCase{
+			{"small", small, 42, nil, 0x46964957e044bc09},
+			{"small/fail", small, 42, UniformFailures(0.3), 0x8a3ed3a9ac1fc6e9},
+			{"large", large, 42, nil, 0x428c5c62fa764b37},
+			{"large/fail", large, 42, UniformFailures(0.3), 0x8bf69b98e27c268e},
+		}
+	case "push":
+		return []goldenCase{
+			{"small", small, 7, nil, 0xc5bb9aa7d4734e36},
+			{"small/fail", small, 7, UniformFailures(0.25), 0xc5bd66d3278071b4},
+			{"large", large, 7, nil, 0xb6707953719c580c},
+			{"large/fail", large, 7, UniformFailures(0.25), 0xf86a59b4686823a0},
+		}
+	default: // pushbatch
+		return []goldenCase{
+			{"small", small, 99, nil, 0x16347f3f19ddc01b},
+			{"small/fail", small, 99, UniformFailures(0.4), 0x20102d325baf11d6},
+			{"large", large, 99, nil, 0xb1f02566f4bd6d02},
+			{"large/fail", large, 99, UniformFailures(0.4), 0x5df6ab7eff468b99},
+		}
+	}
+}
+
+// TestGoldenTranscripts pins the engine's observable behavior: every
+// operation, population regime, failure setting, and worker count must hash
+// to the transcript recorded from the pre-workspace engine.
+func TestGoldenTranscripts(t *testing.T) {
+	kinds := []struct {
+		name string
+		run  func(n int, seed uint64, workers int, fail FailureModel) uint64
+	}{
+		{"pull", goldenPull},
+		{"push", goldenPush},
+		{"pushbatch", goldenPushBatch},
+	}
+	for _, k := range kinds {
+		for _, c := range goldenCases(k.name) {
+			for _, workers := range []int{1, 2, 8} {
+				got := k.run(c.n, c.seed, workers, c.fail)
+				if got != c.want {
+					t.Errorf("%s/%s workers=%d: transcript hash %#x, want %#x",
+						k.name, c.name, workers, got, c.want)
+				}
+			}
+		}
+	}
+}

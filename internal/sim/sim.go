@@ -10,6 +10,10 @@
 // lives in the algorithm packages. All randomness is drawn from per-node
 // streams derived from one seed, so a simulation transcript is reproducible
 // bit-for-bit regardless of GOMAXPROCS.
+//
+// Per-round delivery buffers live in a Workspace (see workspace.go), which a
+// protocol allocates once per run and reuses across rounds, keeping the
+// round loop free of per-round allocations.
 package sim
 
 import (
@@ -27,6 +31,17 @@ const NoPeer int32 = -1
 // calling goroutine; sharding overhead dominates below this.
 const parallelThreshold = 8192
 
+// maxSortShards caps the shard count of the parallel counting sort. The
+// sort's histogram costs shards×n int32s of workspace memory and its merge
+// costs O(shards×n/P) wall time, so the cap bounds both on many-core
+// machines; eight shards saturate the memory bandwidth the scatter pass is
+// limited by. Shard count never affects transcripts.
+const maxSortShards = 8
+
+// cacheLineWords spaces per-shard accumulator slots so concurrent shard
+// writers never share a cache line.
+const cacheLineWords = 8
+
 // Metrics is a snapshot of the engine's complexity accounting.
 type Metrics struct {
 	// Rounds is the number of synchronous gossip rounds executed.
@@ -41,13 +56,24 @@ type Metrics struct {
 }
 
 // Sub returns the difference m - prev, for metering a protocol phase.
+//
+// Rounds, Messages, and Bits subtract exactly. MaxMessageBits is cumulative,
+// not additive, so the phase's true peak is only recoverable from snapshots
+// when the phase raised it: in that case the result carries the new peak
+// (every phase peak that sets a cumulative record was sent inside the
+// phase). Otherwise the result's MaxMessageBits is 0, meaning "no new peak;
+// the phase's largest message is unknown but at most prev.MaxMessageBits" —
+// never an overstatement.
 func (m Metrics) Sub(prev Metrics) Metrics {
-	return Metrics{
-		Rounds:         m.Rounds - prev.Rounds,
-		Messages:       m.Messages - prev.Messages,
-		Bits:           m.Bits - prev.Bits,
-		MaxMessageBits: m.MaxMessageBits,
+	d := Metrics{
+		Rounds:   m.Rounds - prev.Rounds,
+		Messages: m.Messages - prev.Messages,
+		Bits:     m.Bits - prev.Bits,
 	}
+	if m.MaxMessageBits > prev.MaxMessageBits {
+		d.MaxMessageBits = m.MaxMessageBits
+	}
+	return d
 }
 
 // Engine drives synchronous gossip rounds over a fixed population.
@@ -56,7 +82,18 @@ type Engine struct {
 	src     xrand.Source
 	rngs    []xrand.RNG // one stream per node
 	fail    FailureModel
+	noFail  bool // true iff fail is the NoFailures model (hot-path shortcut)
 	workers int
+
+	// bounds holds the contiguous node shards that parallel passes iterate
+	// ([0, n] when serial); sortBounds is the possibly-coarser partition the
+	// counting sort uses. Both are fixed at construction; neither affects
+	// transcripts.
+	bounds     []int
+	sortBounds []int
+	// shardAcc is the per-shard accumulator scratch (cache-line spaced) that
+	// replaces mutex-guarded metric reduction in the round hot path.
+	shardAcc []int64
 
 	round    int
 	messages int64
@@ -100,13 +137,43 @@ func New(n int, seed uint64, opts ...Option) *Engine {
 	for _, o := range opts {
 		o(e)
 	}
+	_, e.noFail = e.fail.(noFailures)
+	shards := 1
+	if e.workers > 1 && n >= parallelThreshold {
+		shards = e.workers
+		if shards > n {
+			shards = n
+		}
+	}
+	e.bounds = shardBounds(n, shards)
+	sortShards := len(e.bounds) - 1
+	if sortShards > maxSortShards {
+		sortShards = maxSortShards
+	}
+	e.sortBounds = shardBounds(n, sortShards)
+	e.shardAcc = make([]int64, (len(e.bounds)-1)*cacheLineWords)
+
 	e.rngs = make([]xrand.RNG, n)
-	e.forEach(func(lo, hi int) {
+	e.forEachShard(func(_, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			e.src.SeedInto(&e.rngs[v], uint64(v))
 		}
 	})
 	return e
+}
+
+// shardBounds partitions [0, n) into at most k balanced contiguous shards.
+func shardBounds(n, k int) []int {
+	chunk := (n + k - 1) / k
+	bounds := []int{0}
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		bounds = append(bounds, hi)
+	}
+	return bounds
 }
 
 // N returns the population size.
@@ -140,27 +207,28 @@ func (e *Engine) AlgorithmSource(tag uint64) xrand.Source {
 	return e.src.Sub(0x416c676f).Sub(tag)
 }
 
-// forEach runs f over contiguous shards of [0, n), in parallel when the
-// population is large. f must only touch per-node state indexed by its shard.
-func (e *Engine) forEach(f func(lo, hi int)) {
-	if e.workers <= 1 || e.n < parallelThreshold {
-		f(0, e.n)
+// runShards runs f once per shard of the given partition, in parallel when
+// it has more than one shard. f must only touch per-node state indexed by
+// its shard (plus any per-shard slot identified by s).
+func runShards(bounds []int, f func(s, lo, hi int)) {
+	if len(bounds) == 2 {
+		f(0, bounds[0], bounds[1])
 		return
 	}
-	chunk := (e.n + e.workers - 1) / e.workers
 	var wg sync.WaitGroup
-	for lo := 0; lo < e.n; lo += chunk {
-		hi := lo + chunk
-		if hi > e.n {
-			hi = e.n
-		}
+	for s := 0; s+1 < len(bounds); s++ {
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(s int) {
 			defer wg.Done()
-			f(lo, hi)
-		}(lo, hi)
+			f(s, bounds[s], bounds[s+1])
+		}(s)
 	}
 	wg.Wait()
+}
+
+// forEachShard runs f over the engine's worker shards.
+func (e *Engine) forEachShard(f func(s, lo, hi int)) {
+	runShards(e.bounds, f)
 }
 
 // failed draws node v's failure coin for the current round from v's stream.
@@ -187,30 +255,36 @@ func (e *Engine) peer(v int) int32 {
 // uniformly random other node. dst must have length n; on return dst[v] is
 // the index pulled from, or NoPeer if v failed this round. msgBits is the
 // payload size of each pulled message, charged per successful pull.
+// Workspace.Pull is the same operation with a workspace-owned dst.
 func (e *Engine) Pull(dst []int32, msgBits int) {
 	if len(dst) != e.n {
 		panic(fmt.Sprintf("sim: Pull dst length %d, want %d", len(dst), e.n))
 	}
-	var ok int64
-	var mu sync.Mutex
-	e.forEach(func(lo, hi int) {
+	e.forEachShard(func(s, lo, hi int) {
 		var local int64
 		for v := lo; v < hi; v++ {
-			if e.failed(v) {
+			if !e.noFail && e.failed(v) {
 				dst[v] = NoPeer
 				continue
 			}
 			dst[v] = e.peer(v)
 			local++
 		}
-		mu.Lock()
-		ok += local
-		mu.Unlock()
+		e.shardAcc[s*cacheLineWords] = local
 	})
-	e.round++
-	e.messages += ok
-	e.bits += ok * int64(msgBits)
-	if msgBits > e.maxBits && ok > 0 {
+	var ok int64
+	for s := 0; s+1 < len(e.bounds); s++ {
+		ok += e.shardAcc[s*cacheLineWords]
+	}
+	e.account(1, ok, msgBits)
+}
+
+// account charges rounds and sent messages of one payload size.
+func (e *Engine) account(rounds int, sent int64, msgBits int) {
+	e.round += rounds
+	e.messages += sent
+	e.bits += sent * int64(msgBits)
+	if msgBits > e.maxBits && sent > 0 {
 		e.maxBits = msgBits
 	}
 }
@@ -219,172 +293,6 @@ func (e *Engine) Pull(dst []int32, msgBits int) {
 type Delivery[M any] struct {
 	From int32
 	Msg  M
-}
-
-// Push executes one synchronous round in which every live node may push one
-// message to a uniformly random other node. send is invoked for every live
-// node and returns the message and whether to send at all; recv is invoked
-// once for every node that received at least one message, with deliveries
-// ordered by sender id. send and recv may run concurrently across nodes but
-// never for the same node at once; send must not mutate shared state.
-func Push[M any](e *Engine, msgBits int, send func(v int) (M, bool), recv func(v int, in []Delivery[M])) {
-	n := e.n
-	targets := make([]int32, n)
-	msgs := make([]M, n)
-	e.forEach(func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			if e.failed(v) {
-				targets[v] = NoPeer
-				continue
-			}
-			t := e.peer(v)
-			m, sendIt := send(v)
-			if !sendIt {
-				targets[v] = NoPeer
-				continue
-			}
-			targets[v] = t
-			msgs[v] = m
-		}
-	})
-
-	// Group deliveries by target with a counting sort; iterating senders in
-	// increasing order makes each inbox sender-ordered and deterministic.
-	counts := make([]int32, n+1)
-	var sent int64
-	for v := 0; v < n; v++ {
-		if targets[v] != NoPeer {
-			counts[targets[v]+1]++
-			sent++
-		}
-	}
-	offsets := make([]int32, n+1)
-	for i := 0; i < n; i++ {
-		offsets[i+1] = offsets[i] + counts[i+1]
-	}
-	inbox := make([]Delivery[M], sent)
-	fill := make([]int32, n)
-	copy(fill, offsets[:n])
-	for v := 0; v < n; v++ {
-		t := targets[v]
-		if t == NoPeer {
-			continue
-		}
-		inbox[fill[t]] = Delivery[M]{From: int32(v), Msg: msgs[v]}
-		fill[t]++
-	}
-
-	e.forEach(func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			in := inbox[offsets[v]:fill[v]]
-			if len(in) > 0 {
-				recv(v, in)
-			}
-		}
-	})
-
-	e.round++
-	e.messages += sent
-	e.bits += sent * int64(msgBits)
-	if msgBits > e.maxBits && sent > 0 {
-		e.maxBits = msgBits
-	}
-}
-
-// PushBatch executes one protocol *phase* in which each live node may push
-// several messages, each to an independent uniformly random other node. In
-// the round model a node sends one message per round, so the phase costs
-// max_v(#messages of v) rounds (at least 1); per-message failure coins use
-// the per-round probabilities across the phase's rounds. Token distribution
-// (Algorithm 3, Step 7) is the sole client. Deliveries are ordered by
-// (sender, position). onDrop, if non-nil, is invoked (sender-side, possibly
-// concurrently across senders) for every message whose sending round failed
-// — §5.2's "if the push fails, merge them back". Returns the number of
-// rounds charged.
-func PushBatch[M any](e *Engine, msgBits int, send func(v int) []M, recv func(v int, in []Delivery[M]), onDrop func(v int, msg M)) int {
-	n := e.n
-	type out struct {
-		targets []int32 // NoPeer for dropped (failed) messages
-		msgs    []M
-	}
-	outs := make([]out, n)
-	phaseRounds := 1
-	var mu sync.Mutex
-	e.forEach(func(lo, hi int) {
-		localMax := 0
-		for v := lo; v < hi; v++ {
-			ms := send(v)
-			if len(ms) == 0 {
-				continue
-			}
-			if len(ms) > localMax {
-				localMax = len(ms)
-			}
-			o := out{targets: make([]int32, len(ms)), msgs: ms}
-			for j := range ms {
-				// Per-message failure coin at the j-th round of the phase.
-				p := e.fail.Prob(v, e.round+j)
-				if p > 0 && e.rngs[v].Bool(p) {
-					o.targets[j] = NoPeer
-					if onDrop != nil {
-						onDrop(v, ms[j])
-					}
-					continue
-				}
-				o.targets[j] = e.peer(v)
-			}
-			outs[v] = o
-		}
-		mu.Lock()
-		if localMax > phaseRounds {
-			phaseRounds = localMax
-		}
-		mu.Unlock()
-	})
-
-	counts := make([]int32, n+1)
-	var sent int64
-	for v := 0; v < n; v++ {
-		for _, t := range outs[v].targets {
-			if t != NoPeer {
-				counts[t+1]++
-				sent++
-			}
-		}
-	}
-	offsets := make([]int32, n+1)
-	for i := 0; i < n; i++ {
-		offsets[i+1] = offsets[i] + counts[i+1]
-	}
-	inbox := make([]Delivery[M], sent)
-	fill := make([]int32, n)
-	copy(fill, offsets[:n])
-	for v := 0; v < n; v++ {
-		o := outs[v]
-		for j, t := range o.targets {
-			if t == NoPeer {
-				continue
-			}
-			inbox[fill[t]] = Delivery[M]{From: int32(v), Msg: o.msgs[j]}
-			fill[t]++
-		}
-	}
-	e.forEach(func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			in := inbox[offsets[v]:fill[v]]
-			if len(in) > 0 {
-				recv(v, in)
-			}
-		}
-	})
-
-	e.round += phaseRounds
-	e.messages += sent
-	e.bits += sent * int64(msgBits)
-	if msgBits > e.maxBits && sent > 0 {
-		e.maxBits = msgBits
-	}
-	return phaseRounds
 }
 
 // ChargeRounds accounts extra rounds without communication, used when a

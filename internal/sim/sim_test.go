@@ -196,7 +196,7 @@ func TestPushDelivery(t *testing.T) {
 	const n = 100
 	e := New(n, 13)
 	received := make([]int, n)
-	Push(e, 64,
+	NewWorkspace[int](e).Push(64,
 		func(v int) (int, bool) { return v * 10, true },
 		func(v int, in []Delivery[int]) {
 			for _, d := range in {
@@ -221,7 +221,7 @@ func TestPushDelivery(t *testing.T) {
 func TestPushSenderOrder(t *testing.T) {
 	const n = 500
 	e := New(n, 17)
-	Push(e, 64,
+	NewWorkspace[int](e).Push(64,
 		func(v int) (int, bool) { return v, true },
 		func(v int, in []Delivery[int]) {
 			for i := 1; i < len(in); i++ {
@@ -236,7 +236,7 @@ func TestPushConditionalSend(t *testing.T) {
 	const n = 100
 	e := New(n, 19)
 	delivered := 0
-	Push(e, 64,
+	NewWorkspace[int](e).Push(64,
 		func(v int) (int, bool) { return v, v%2 == 0 }, // only even nodes send
 		func(v int, in []Delivery[int]) {
 			for _, d := range in {
@@ -256,7 +256,7 @@ func TestPushConditionalSend(t *testing.T) {
 
 func TestPushUnderTotalFailure(t *testing.T) {
 	e := New(50, 23, WithFailures(UniformFailures(1)))
-	Push(e, 64,
+	NewWorkspace[int](e).Push(64,
 		func(v int) (int, bool) { return v, true },
 		func(v int, in []Delivery[int]) {
 			t.Error("delivery under total failure")
@@ -269,7 +269,7 @@ func TestPushUnderTotalFailure(t *testing.T) {
 func TestPushBatchRoundsChargedByMaxOut(t *testing.T) {
 	const n = 100
 	e := New(n, 29)
-	rounds := PushBatch(e, 64,
+	rounds := NewWorkspace[int](e).PushBatch(64,
 		func(v int) []int {
 			if v == 7 {
 				return []int{1, 2, 3, 4, 5} // node 7 sends 5 messages
@@ -290,7 +290,7 @@ func TestPushBatchRoundsChargedByMaxOut(t *testing.T) {
 
 func TestPushBatchEmptySendsStillOneRound(t *testing.T) {
 	e := New(10, 31)
-	rounds := PushBatch(e, 64,
+	rounds := NewWorkspace[int](e).PushBatch(64,
 		func(v int) []int { return nil },
 		func(v int, in []Delivery[int]) { t.Error("unexpected delivery") }, nil)
 	if rounds != 1 {
@@ -302,7 +302,7 @@ func TestPushBatchDeliveryCompleteness(t *testing.T) {
 	const n = 300
 	e := New(n, 37)
 	got := 0
-	PushBatch(e, 64,
+	NewWorkspace[int](e).PushBatch(64,
 		func(v int) []int { return []int{v, v, v} },
 		func(v int, in []Delivery[int]) { got += len(in) }, nil)
 	if got != 3*n {
@@ -371,10 +371,11 @@ func BenchmarkPullRound(b *testing.B) {
 
 func BenchmarkPushRound(b *testing.B) {
 	e := New(100000, 1)
+	ws := NewWorkspace[int64](e)
 	vals := make([]int64, 100000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Push(e, 64,
+		ws.Push(64,
 			func(v int) (int64, bool) { return vals[v], true },
 			func(v int, in []Delivery[int64]) { vals[v] = in[0].Msg })
 	}
@@ -384,9 +385,10 @@ func TestPushDeterminismAcrossWorkerCounts(t *testing.T) {
 	const n = 20000 // above the parallel threshold
 	run := func(workers int) []int64 {
 		e := New(n, 77, WithWorkers(workers))
+		ws := NewWorkspace[int64](e)
 		sums := make([]int64, n)
 		for r := 0; r < 3; r++ {
-			Push(e, 64,
+			ws.Push(64,
 				func(v int) (int64, bool) { return int64(v), true },
 				func(v int, in []Delivery[int64]) {
 					for _, d := range in {
@@ -410,7 +412,7 @@ func TestPushBatchOnDropUnderFailures(t *testing.T) {
 	const p = 0.5
 	e := New(n, 83, WithFailures(UniformFailures(p)))
 	delivered, dropped := 0, 0
-	PushBatch(e, 64,
+	NewWorkspace[int](e).PushBatch(64,
 		func(v int) []int { return []int{v, v} },
 		func(v int, in []Delivery[int]) { delivered += len(in) },
 		func(v int, msg int) { dropped++ })

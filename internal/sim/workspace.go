@@ -1,0 +1,336 @@
+package sim
+
+import "fmt"
+
+// Workspace owns every per-round buffer of the engine's delivery machinery:
+// staged targets and messages, the sharded counting-sort histogram, inbox
+// offsets, the grouped inbox itself, and reusable pull destinations. A
+// protocol allocates one workspace per run (NewWorkspace) and reuses it
+// across rounds, so the round loop performs no per-round allocations once
+// the buffers reach steady state.
+//
+// Inboxes are grouped by receiver with a sharded two-pass counting sort:
+// per-shard histograms over contiguous sender ranges are merged by a
+// prefix-scan into absolute scatter cursors, then each shard scatters its
+// senders in increasing order. Because sender shards are contiguous and
+// ascending, every inbox is sender-ordered for any shard count — the
+// transcript is bit-for-bit identical to a serial sort.
+//
+// A workspace is bound to one engine and must not be used concurrently with
+// itself or with other operations on the same engine. Multiple workspaces
+// (e.g. with different message types) may coexist on one engine as long as
+// their rounds do not interleave mid-operation.
+type Workspace[M any] struct {
+	e        *Engine
+	targets  []int32        // per-sender target this round; NoPeer = no message
+	msgs     []M            // per-sender staged message (Push)
+	counts   []int32        // sortShards×n histogram, then scatter cursors
+	offsets  []int32        // exclusive prefix sums: inbox region per receiver
+	blockSum []int32        // per-target-block message totals for the merge
+	inbox    []Delivery[M]  // receiver-grouped deliveries, sender-ordered
+	batch    []batchSend[M] // per-sender staging (PushBatch)
+	dsts     [][]int32      // reusable Pull destination buffers
+}
+
+// batchSend stages one sender's PushBatch output: the caller's message slice
+// (released after scatter) and a workspace-owned target list.
+type batchSend[M any] struct {
+	msgs    []M
+	targets []int32
+}
+
+// PullWorkspace is a message-free workspace for pull-only protocols: it
+// provides Pull and Dst without instantiating the push machinery.
+type PullWorkspace = Workspace[struct{}]
+
+// NewPullWorkspace returns a workspace for a protocol that only pulls.
+func NewPullWorkspace(e *Engine) *PullWorkspace { return NewWorkspace[struct{}](e) }
+
+// NewWorkspace returns an empty workspace bound to e. Buffers are allocated
+// lazily on first use, so a pull-only workspace never pays for the push
+// machinery.
+func NewWorkspace[M any](e *Engine) *Workspace[M] {
+	return &Workspace[M]{e: e}
+}
+
+// Engine returns the engine the workspace is bound to.
+func (w *Workspace[M]) Engine() *Engine { return w.e }
+
+// Dst returns the i-th reusable pull-destination buffer (length n),
+// allocating it on first request. Protocols that pull from several peers per
+// iteration use Dst(0), Dst(1), ... instead of allocating their own slices.
+func (w *Workspace[M]) Dst(i int) []int32 {
+	for len(w.dsts) <= i {
+		w.dsts = append(w.dsts, make([]int32, w.e.n))
+	}
+	return w.dsts[i]
+}
+
+// Pull is Engine.Pull; see there. It is mirrored here so migrated protocols
+// can drive every round kind through their workspace.
+func (w *Workspace[M]) Pull(dst []int32, msgBits int) {
+	w.e.Pull(dst, msgBits)
+}
+
+// ensureSort sizes the counting-sort buffers shared by Push and PushBatch.
+func (w *Workspace[M]) ensureSort() {
+	n := w.e.n
+	if w.counts == nil {
+		w.counts = make([]int32, (len(w.e.sortBounds)-1)*n)
+		w.offsets = make([]int32, n+1)
+		w.blockSum = make([]int32, len(w.e.sortBounds)-1)
+	}
+}
+
+// ensureInbox resizes the inbox to hold sent deliveries, reusing capacity.
+// Growth carries 1/8 headroom: under a failure model sent fluctuates by
+// ±O(√n) per round, and exact-fit growth would reallocate the multi-MB inbox
+// every few rounds just to gain a handful of slots.
+func (w *Workspace[M]) ensureInbox(sent int32) {
+	if cap(w.inbox) < int(sent) {
+		w.inbox = make([]Delivery[M], sent, int(sent)+int(sent)/8)
+	} else {
+		w.inbox = w.inbox[:sent]
+	}
+}
+
+// mergeCounts turns the per-shard histograms in w.counts into absolute
+// scatter cursors and fills w.offsets with each receiver's inbox region
+// start, returning the total message count. The merge is a two-level
+// prefix-scan parallelized over target blocks: block sums first, then a
+// serial scan over the (few) blocks, then in-block cursor assignment — so
+// the O(shards×n) merge work spreads across shards while cursor order stays
+// (target, shard)-major, which is exactly sender order.
+func (w *Workspace[M]) mergeCounts() int32 {
+	n := w.e.n
+	sb := w.e.sortBounds
+	shards := len(sb) - 1
+	counts, offsets := w.counts, w.offsets
+
+	if shards == 1 {
+		// Serial fast path: one fused sweep assigns offsets and cursors.
+		var run int32
+		for t := 0; t < n; t++ {
+			offsets[t] = run
+			c := counts[t]
+			counts[t] = run
+			run += c
+		}
+		offsets[n] = run
+		return run
+	}
+
+	runShards(sb, func(b, lo, hi int) {
+		var sum int32
+		for s := 0; s < shards; s++ {
+			c := counts[s*n : (s+1)*n]
+			for t := lo; t < hi; t++ {
+				sum += c[t]
+			}
+		}
+		w.blockSum[b] = sum
+	})
+	var total int32
+	for b := range w.blockSum {
+		start := total
+		total += w.blockSum[b]
+		w.blockSum[b] = start
+	}
+	runShards(sb, func(b, lo, hi int) {
+		run := w.blockSum[b]
+		for t := lo; t < hi; t++ {
+			offsets[t] = run
+			for s := 0; s < shards; s++ {
+				c := counts[s*n+t]
+				counts[s*n+t] = run
+				run += c
+			}
+		}
+	})
+	offsets[n] = total
+	return total
+}
+
+// deliver invokes recv for every node that received at least one message.
+func (w *Workspace[M]) deliver(recv func(v int, in []Delivery[M])) {
+	offsets, inbox := w.offsets, w.inbox
+	w.e.forEachShard(func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if in := inbox[offsets[v]:offsets[v+1]]; len(in) > 0 {
+				recv(v, in)
+			}
+		}
+	})
+}
+
+// Push executes one synchronous round in which every live node may push one
+// message to a uniformly random other node. send is invoked for every live
+// node and returns the message and whether to send at all; recv is invoked
+// once for every node that received at least one message, with deliveries
+// ordered by sender id. send and recv may run concurrently across nodes but
+// never for the same node at once; send must not mutate shared state. The
+// delivery slice is workspace-owned and must not be retained past recv.
+func (w *Workspace[M]) Push(msgBits int, send func(v int) (M, bool), recv func(v int, in []Delivery[M])) {
+	e := w.e
+	n := e.n
+	if w.targets == nil {
+		w.targets = make([]int32, n)
+	}
+	w.ensureSort()
+	if w.msgs == nil {
+		w.msgs = make([]M, n)
+	}
+	targets, msgs := w.targets, w.msgs
+
+	e.forEachShard(func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if !e.noFail && e.failed(v) {
+				targets[v] = NoPeer
+				continue
+			}
+			t := e.peer(v)
+			m, sendIt := send(v)
+			if !sendIt {
+				targets[v] = NoPeer
+				continue
+			}
+			targets[v] = t
+			msgs[v] = m
+		}
+	})
+	// The histogram is a separate sweep rather than fused into the send
+	// pass: its random-access increments would otherwise interleave with
+	// (and stall) the sequential send loop — measured ~1.45x slower fused.
+	sb := e.sortBounds
+	counts := w.counts
+	runShards(sb, func(s, lo, hi int) {
+		c := counts[s*n : (s+1)*n]
+		clear(c)
+		for v := lo; v < hi; v++ {
+			if t := targets[v]; t != NoPeer {
+				c[t]++
+			}
+		}
+	})
+	sent := w.mergeCounts()
+	w.ensureInbox(sent)
+	inbox := w.inbox
+	runShards(sb, func(s, lo, hi int) {
+		c := counts[s*n : (s+1)*n]
+		for v := lo; v < hi; v++ {
+			t := targets[v]
+			if t == NoPeer {
+				continue
+			}
+			inbox[c[t]] = Delivery[M]{From: int32(v), Msg: msgs[v]}
+			c[t]++
+		}
+	})
+
+	w.deliver(recv)
+	e.account(1, int64(sent), msgBits)
+}
+
+// PushBatch executes one protocol *phase* in which each live node may push
+// several messages, each to an independent uniformly random other node. In
+// the round model a node sends one message per round, so the phase costs
+// max_v(#messages of v) rounds (at least 1); per-message failure coins use
+// the per-round probabilities across the phase's rounds. Token distribution
+// (Algorithm 3, Step 7) is the sole client. Deliveries are ordered by
+// (sender, position). onDrop, if non-nil, is invoked (sender-side, possibly
+// concurrently across senders) for every message whose sending round failed
+// — §5.2's "if the push fails, merge them back". Returns the number of
+// rounds charged.
+func (w *Workspace[M]) PushBatch(msgBits int, send func(v int) []M, recv func(v int, in []Delivery[M]), onDrop func(v int, msg M)) int {
+	e := w.e
+	n := e.n
+	if w.batch == nil {
+		w.batch = make([]batchSend[M], n)
+		// Pre-carve a small target list per sender from one flat backing;
+		// only senders with more than four in-flight messages ever grow
+		// theirs (and then keep the grown list).
+		flat := make([]int32, 4*n)
+		for v := range w.batch {
+			w.batch[v].targets = flat[4*v : 4*v : 4*v+4]
+		}
+	}
+	w.ensureSort()
+	batch := w.batch
+
+	e.forEachShard(func(s, lo, hi int) {
+		localMax := 0
+		for v := lo; v < hi; v++ {
+			ms := send(v)
+			b := &batch[v]
+			b.msgs = ms
+			b.targets = b.targets[:0]
+			if len(ms) == 0 {
+				continue
+			}
+			if len(ms) > localMax {
+				localMax = len(ms)
+			}
+			for j := range ms {
+				// Per-message failure coin at the j-th round of the phase.
+				if !e.noFail {
+					p := e.fail.Prob(v, e.round+j)
+					if p > 0 && e.rngs[v].Bool(p) {
+						b.targets = append(b.targets, NoPeer)
+						if onDrop != nil {
+							onDrop(v, ms[j])
+						}
+						continue
+					}
+				}
+				b.targets = append(b.targets, e.peer(v))
+			}
+		}
+		e.shardAcc[s*cacheLineWords] = int64(localMax)
+	})
+	phaseRounds := 1
+	for s := 0; s+1 < len(e.bounds); s++ {
+		if m := int(e.shardAcc[s*cacheLineWords]); m > phaseRounds {
+			phaseRounds = m
+		}
+	}
+
+	sb := e.sortBounds
+	counts := w.counts
+	runShards(sb, func(s, lo, hi int) {
+		c := counts[s*n : (s+1)*n]
+		clear(c)
+		for v := lo; v < hi; v++ {
+			for _, t := range batch[v].targets {
+				if t != NoPeer {
+					c[t]++
+				}
+			}
+		}
+	})
+	sent := w.mergeCounts()
+	w.ensureInbox(sent)
+	inbox := w.inbox
+	runShards(sb, func(s, lo, hi int) {
+		c := counts[s*n : (s+1)*n]
+		for v := lo; v < hi; v++ {
+			b := &batch[v]
+			for j, t := range b.targets {
+				if t == NoPeer {
+					continue
+				}
+				inbox[c[t]] = Delivery[M]{From: int32(v), Msg: b.msgs[j]}
+				c[t]++
+			}
+			b.msgs = nil // release the caller's slice once scattered
+		}
+	})
+
+	w.deliver(recv)
+	e.account(phaseRounds, int64(sent), msgBits)
+	return phaseRounds
+}
+
+// String identifies the workspace in debug output.
+func (w *Workspace[M]) String() string {
+	return fmt.Sprintf("sim.Workspace(n=%d, sortShards=%d)", w.e.n, len(w.e.sortBounds)-1)
+}

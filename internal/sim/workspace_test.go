@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"testing"
+)
+
+// transcriptRun executes a fixed protocol mix — 2 pull rounds, 2 push
+// rounds, 1 batch phase — on one workspace and returns every observable:
+// pulled peers, per-node delivery digests, drop digests, and metrics.
+func transcriptRun(t *testing.T, n int, workers int, fail FailureModel) ([]int32, []int64, []int64, Metrics) {
+	t.Helper()
+	opts := []Option{WithWorkers(workers)}
+	if fail != nil {
+		opts = append(opts, WithFailures(fail))
+	}
+	e := New(n, 5150, opts...)
+	ws := NewWorkspace[int64](e)
+
+	pulls := make([]int32, 0, 2*n)
+	dst := ws.Dst(0)
+	for r := 0; r < 2; r++ {
+		ws.Pull(dst, 64)
+		pulls = append(pulls, dst...)
+	}
+
+	digests := make([]int64, n)
+	for r := 0; r < 2; r++ {
+		ws.Push(64,
+			func(v int) (int64, bool) { return int64(v) + 1, v%5 != 2 },
+			func(v int, in []Delivery[int64]) {
+				for _, d := range in {
+					digests[v] = digests[v]*31 + int64(d.From)*7 + d.Msg
+				}
+			})
+	}
+
+	drops := make([]int64, n)
+	ws.PushBatch(64,
+		func(v int) []int64 {
+			out := make([]int64, v%4)
+			for j := range out {
+				out[j] = int64(v)<<8 | int64(j)
+			}
+			return out
+		},
+		func(v int, in []Delivery[int64]) {
+			for _, d := range in {
+				digests[v] = digests[v]*37 + int64(d.From)*11 + d.Msg
+			}
+		},
+		func(v int, msg int64) { drops[v] = drops[v]*41 + msg })
+
+	return pulls, digests, drops, e.Metrics()
+}
+
+// TestWorkspaceDeterminismAcrossWorkers verifies the tentpole invariant:
+// outputs and Metrics are identical for Workers ∈ {1, 2, 8} across Pull,
+// Push, and PushBatch, with and without a failure model, in both the serial
+// and the sharded-parallel population regime.
+func TestWorkspaceDeterminismAcrossWorkers(t *testing.T) {
+	for _, n := range []int{500, 20000} {
+		for _, tc := range []struct {
+			name string
+			fail FailureModel
+		}{
+			{"nofail", nil},
+			{"uniform", UniformFailures(0.3)},
+			{"rounddep", FailureFunc(func(v, r int) float64 {
+				if (v+r)%3 == 0 {
+					return 0.5
+				}
+				return 0
+			})},
+		} {
+			refPulls, refDig, refDrops, refM := transcriptRun(t, n, 1, tc.fail)
+			for _, workers := range []int{2, 8} {
+				pulls, dig, drops, m := transcriptRun(t, n, workers, tc.fail)
+				if m != refM {
+					t.Fatalf("n=%d %s workers=%d: metrics %+v, want %+v", n, tc.name, workers, m, refM)
+				}
+				for i := range refPulls {
+					if pulls[i] != refPulls[i] {
+						t.Fatalf("n=%d %s workers=%d: pull transcript diverges at %d", n, tc.name, workers, i)
+					}
+				}
+				for v := range refDig {
+					if dig[v] != refDig[v] {
+						t.Fatalf("n=%d %s workers=%d: delivery digest diverges at node %d", n, tc.name, workers, v)
+					}
+					if drops[v] != refDrops[v] {
+						t.Fatalf("n=%d %s workers=%d: drop digest diverges at node %d", n, tc.name, workers, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWorkspaceReuseMatchesFresh verifies that reusing one workspace across
+// rounds leaves no state behind: a run reusing a single workspace must equal
+// a run using a fresh workspace per round.
+func TestWorkspaceReuseMatchesFresh(t *testing.T) {
+	const n = 1000
+	run := func(fresh bool) ([]int64, Metrics) {
+		e := New(n, 321)
+		ws := NewWorkspace[int64](e)
+		sums := make([]int64, n)
+		for r := 0; r < 5; r++ {
+			if fresh {
+				ws = NewWorkspace[int64](e)
+			}
+			ws.Push(64,
+				func(v int) (int64, bool) { return int64(v) * int64(r+1), true },
+				func(v int, in []Delivery[int64]) {
+					for _, d := range in {
+						sums[v] += d.Msg
+					}
+				})
+			ws.PushBatch(64,
+				func(v int) []int64 {
+					if v%2 == 0 {
+						return []int64{int64(v), int64(v) + 1}
+					}
+					return nil
+				},
+				func(v int, in []Delivery[int64]) {
+					for _, d := range in {
+						sums[v] -= d.Msg
+					}
+				}, nil)
+		}
+		return sums, e.Metrics()
+	}
+	reused, mr := run(false)
+	freshed, mf := run(true)
+	if mr != mf {
+		t.Fatalf("metrics differ: reused %+v, fresh %+v", mr, mf)
+	}
+	for v := range reused {
+		if reused[v] != freshed[v] {
+			t.Fatalf("node %d: reused %d, fresh %d", v, reused[v], freshed[v])
+		}
+	}
+}
+
+// TestWorkspaceDst verifies the reusable pull buffers: stable identity,
+// correct length, independent slots.
+func TestWorkspaceDst(t *testing.T) {
+	e := New(64, 1)
+	ws := NewPullWorkspace(e)
+	d0, d2 := ws.Dst(0), ws.Dst(2)
+	if len(d0) != 64 || len(d2) != 64 {
+		t.Fatalf("dst lengths %d, %d, want 64", len(d0), len(d2))
+	}
+	if &d0[0] == &d2[0] {
+		t.Fatal("Dst(0) and Dst(2) share backing")
+	}
+	if again := ws.Dst(0); &again[0] != &d0[0] {
+		t.Fatal("Dst(0) not stable across calls")
+	}
+}
+
+// TestPushBatchLongBatch sends more messages than the pre-carved per-sender
+// target capacity to cover the growth path.
+func TestPushBatchLongBatch(t *testing.T) {
+	const n = 100
+	e := New(n, 11)
+	ws := NewWorkspace[int](e)
+	for phase := 0; phase < 3; phase++ {
+		got := 0
+		rounds := ws.PushBatch(64,
+			func(v int) []int {
+				if v == 42 {
+					return make([]int, 9) // beyond the 4-slot pre-carve
+				}
+				return []int{v}
+			},
+			func(v int, in []Delivery[int]) { got += len(in) }, nil)
+		if rounds != 9 {
+			t.Fatalf("phase %d: rounds = %d, want 9", phase, rounds)
+		}
+		if got != n-1+9 {
+			t.Fatalf("phase %d: delivered %d, want %d", phase, got, n-1+9)
+		}
+	}
+}
+
+// TestMetricsSubMaxBits pins the honest per-phase peak semantics: a new
+// cumulative peak is attributed to the phase; an unchanged peak yields 0
+// rather than copying the (possibly pre-phase) cumulative maximum.
+func TestMetricsSubMaxBits(t *testing.T) {
+	e := New(10, 3)
+	dst := make([]int32, 10)
+	e.Pull(dst, 128)
+	before := e.Metrics()
+	e.Pull(dst, 64) // smaller than the cumulative peak
+	small := e.Metrics().Sub(before)
+	if small.MaxMessageBits != 0 {
+		t.Errorf("phase below peak: MaxMessageBits = %d, want 0", small.MaxMessageBits)
+	}
+	before = e.Metrics()
+	e.Pull(dst, 256) // raises the peak inside the phase
+	big := e.Metrics().Sub(before)
+	if big.MaxMessageBits != 256 {
+		t.Errorf("peak-raising phase: MaxMessageBits = %d, want 256", big.MaxMessageBits)
+	}
+	if big.Rounds != 1 || big.Messages != 10 || big.Bits != 2560 {
+		t.Errorf("delta = %+v", big)
+	}
+}

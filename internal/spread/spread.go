@@ -4,6 +4,10 @@
 // w.h.p. [FG85, Pit87], and the same bound holds under constant-probability
 // failures with a constant-factor delay [ES09] — the engine's failure model
 // applies transparently because an informed node simply keeps forwarding.
+//
+// Repeated floods on one engine should go through a Flooder, which owns the
+// round buffers and reuses them across calls; the package-level Max/Min/
+// Rumor are one-shot conveniences that allocate a transient Flooder.
 package spread
 
 import (
@@ -20,31 +24,40 @@ const DefaultSlack = 12
 // Rounds returns the default round budget for spreading over n nodes.
 func Rounds(n int) int { return sim.CeilLog2(n) + DefaultSlack }
 
+// Flooder runs epidemic floods over one engine, owning the per-round
+// buffers (pull destinations and the double-buffered value arrays) so that
+// protocols flooding many times per run allocate them once.
+type Flooder struct {
+	ws        *sim.PullWorkspace
+	cur, next []int64
+}
+
+// NewFlooder returns a Flooder bound to e.
+func NewFlooder(e *sim.Engine) *Flooder {
+	n := e.N()
+	return &Flooder{
+		ws:   sim.NewPullWorkspace(e),
+		cur:  make([]int64, n),
+		next: make([]int64, n),
+	}
+}
+
 // Max floods the maximum of values through pull gossip for the given number
 // of rounds (Rounds(n) if rounds <= 0) and returns each node's resulting
-// view. The returned slice has one entry per node; under failures a node's
-// view may lag but is always the max over some subset containing its own
-// value.
-func Max(e *sim.Engine, values []int64, rounds int) []int64 {
-	return flood(e, values, rounds, func(a, b int64) int64 {
-		if a >= b {
-			return a
-		}
-		return b
-	})
+// view. The returned slice is reused by the next flood on this Flooder;
+// under failures a node's view may lag but is always the max over some
+// subset containing its own value.
+func (f *Flooder) Max(values []int64, rounds int) []int64 {
+	return f.flood(values, rounds, true)
 }
 
 // Min is the min-flooding dual of Max.
-func Min(e *sim.Engine, values []int64, rounds int) []int64 {
-	return flood(e, values, rounds, func(a, b int64) int64 {
-		if a <= b {
-			return a
-		}
-		return b
-	})
+func (f *Flooder) Min(values []int64, rounds int) []int64 {
+	return f.flood(values, rounds, false)
 }
 
-func flood(e *sim.Engine, values []int64, rounds int, combine func(a, b int64) int64) []int64 {
+func (f *Flooder) flood(values []int64, rounds int, wantMax bool) []int64 {
+	e := f.ws.Engine()
 	n := e.N()
 	if len(values) != n {
 		panic("spread: values length does not match population")
@@ -52,22 +65,35 @@ func flood(e *sim.Engine, values []int64, rounds int, combine func(a, b int64) i
 	if rounds <= 0 {
 		rounds = Rounds(n)
 	}
-	cur := make([]int64, n)
+	cur, next := f.cur, f.next
 	copy(cur, values)
-	next := make([]int64, n)
-	dst := make([]int32, n)
+	dst := f.ws.Dst(0)
 	for r := 0; r < rounds; r++ {
-		e.Pull(dst, 64)
+		f.ws.Pull(dst, 64)
 		for v := 0; v < n; v++ {
+			x := cur[v]
 			if p := dst[v]; p != sim.NoPeer {
-				next[v] = combine(cur[v], cur[p])
-			} else {
-				next[v] = cur[v]
+				if y := cur[p]; (y > x) == wantMax && y != x {
+					x = y
+				}
 			}
+			next[v] = x
 		}
 		cur, next = next, cur
 	}
+	f.cur, f.next = cur, next
 	return cur
+}
+
+// Max floods the maximum of values once; see Flooder.Max. The returned
+// slice is freshly allocated.
+func Max(e *sim.Engine, values []int64, rounds int) []int64 {
+	return NewFlooder(e).Max(values, rounds)
+}
+
+// Min is the min-flooding dual of Max.
+func Min(e *sim.Engine, values []int64, rounds int) []int64 {
+	return NewFlooder(e).Min(values, rounds)
 }
 
 // Rumor spreads the payloads of initially informed nodes through pull
@@ -90,9 +116,10 @@ func Rumor(e *sim.Engine, informed []bool, payload []int64, rounds int) (know []
 	copy(got, payload)
 	nextKnow := make([]bool, n)
 	nextGot := make([]int64, n)
-	dst := make([]int32, n)
+	ws := sim.NewPullWorkspace(e)
+	dst := ws.Dst(0)
 	for r := 0; r < rounds; r++ {
-		e.Pull(dst, 64)
+		ws.Pull(dst, 64)
 		for v := 0; v < n; v++ {
 			nextKnow[v] = know[v]
 			nextGot[v] = got[v]

@@ -109,6 +109,7 @@ func Distribute(e *sim.Engine, valued []bool, values []int64, copies int64, maxP
 		}
 	}
 	res := Result{MaxLoad: 1}
+	ws := sim.NewWorkspace[Token](e)
 
 	// Split phases: every token of weight > 1 halves; one half is pushed.
 	// lg(copies) phases suffice without failures; with failures the
@@ -119,7 +120,7 @@ func Distribute(e *sim.Engine, valued []bool, values []int64, copies int64, maxP
 			break
 		}
 		res.SplitPhases++
-		sim.PushBatch(e, MessageBits,
+		ws.PushBatch(MessageBits,
 			func(v int) []Token {
 				var out []Token
 				kept := held[v][:0]
@@ -159,7 +160,7 @@ func Distribute(e *sim.Engine, valued []bool, values []int64, copies int64, maxP
 			break
 		}
 		res.SpreadPhases++
-		sim.PushBatch(e, MessageBits,
+		ws.PushBatch(MessageBits,
 			func(v int) []Token {
 				if len(held[v]) <= 1 {
 					return nil

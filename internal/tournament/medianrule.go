@@ -27,13 +27,12 @@ func MedianRule(e *sim.Engine, values []int64, iterations int, opt Options) []in
 	cur := make([]int64, n)
 	copy(cur, values)
 	next := make([]int64, n)
-	dst1 := make([]int32, n)
-	dst2 := make([]int32, n)
-	dst3 := make([]int32, n)
+	ws := sim.NewPullWorkspace(e)
+	dst1, dst2, dst3 := ws.Dst(0), ws.Dst(1), ws.Dst(2)
 	for i := 0; i < iterations; i++ {
-		e.Pull(dst1, MessageBits)
-		e.Pull(dst2, MessageBits)
-		e.Pull(dst3, MessageBits)
+		ws.Pull(dst1, MessageBits)
+		ws.Pull(dst2, MessageBits)
+		ws.Pull(dst3, MessageBits)
 		for v := 0; v < n; v++ {
 			next[v] = median3Pulled(cur, v, dst1[v], dst2[v], dst3[v])
 		}

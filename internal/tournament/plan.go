@@ -157,3 +157,16 @@ func ClampEps(eps float64) float64 {
 func MinEps(n int) float64 {
 	return 3 / math.Sqrt(float64(n))
 }
+
+// QuantileGrid returns the φ grid {step, 2·step, …} strictly below 1 that
+// OwnQuantiles-style computations sweep. Each point is one multiplication
+// (integer-indexed), so tiny steps cannot accumulate float rounding drift
+// and drop or duplicate a grid point; grid[g] == (g+1)·step exactly as
+// Summary.Query's nearest-index lookup assumes.
+func QuantileGrid(step float64) []float64 {
+	var grid []float64
+	for i := 1; float64(i)*step < 1; i++ {
+		grid = append(grid, float64(i)*step)
+	}
+	return grid
+}

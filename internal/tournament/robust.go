@@ -103,7 +103,8 @@ func RobustApproxQuantile(e *sim.Engine, values []int64, phi, eps float64, opt R
 		good[v] = true // "Initially, every node is good."
 	}
 	nextGood := make([]bool, n)
-	dst := make([]int32, n)
+	ws := sim.NewPullWorkspace(e)
+	dst := ws.Dst(0)
 
 	// gatherGood pulls k times and returns, per node, up to `cap` values
 	// pulled from good sources (in pull order).
@@ -112,7 +113,7 @@ func RobustApproxQuantile(e *sim.Engine, values []int64, phi, eps float64, opt R
 			out[v] = out[v][:0]
 		}
 		for r := 0; r < k; r++ {
-			e.Pull(dst, MessageBits)
+			ws.Pull(dst, MessageBits)
 			for v := 0; v < n; v++ {
 				p := dst[v]
 				if p == sim.NoPeer || !good[p] {
@@ -194,7 +195,7 @@ func RobustApproxQuantile(e *sim.Engine, values []int64, phi, eps float64, opt R
 	// Adoption rounds (Theorem 1.4's +t): uncovered nodes pull and adopt
 	// the first output they reach; covered nodes keep theirs.
 	for r := 0; r < opt.ExtraRounds; r++ {
-		e.Pull(dst, MessageBits)
+		ws.Pull(dst, MessageBits)
 		adoptedVal := make([]int64, 0, 64)
 		adoptedIdx := make([]int, 0, 64)
 		for v := 0; v < n; v++ {

@@ -54,17 +54,16 @@ func ApproxQuantile(e *sim.Engine, values []int64, phi, eps float64, opt Options
 	cur := make([]int64, n)
 	copy(cur, values)
 	next := make([]int64, n)
-	dst1 := make([]int32, n)
-	dst2 := make([]int32, n)
-	dst3 := make([]int32, n)
+	ws := sim.NewPullWorkspace(e)
+	dst1, dst2, dst3 := ws.Dst(0), ws.Dst(1), ws.Dst(2)
 
 	// Phase I: 2-TOURNAMENT (Algorithm 1). Skipped entirely when the target
 	// is already the median (φ = 1/2 gives zero iterations).
 	plan2 := NewPlan2(phi, eps)
 	deltaRNG := deltaSource(e)
 	for i := 0; i < plan2.Iterations(); i++ {
-		e.Pull(dst1, MessageBits)
-		e.Pull(dst2, MessageBits)
+		ws.Pull(dst1, MessageBits)
+		ws.Pull(dst2, MessageBits)
 		delta := plan2.Deltas[i]
 		if opt.DisableTruncation {
 			delta = 1
@@ -99,9 +98,9 @@ func ApproxQuantile(e *sim.Engine, values []int64, phi, eps float64, opt Options
 	// shifted values to ±ε/4 suffices.
 	plan3 := NewPlan3(eps/4, n)
 	for i := 0; i < plan3.Iterations(); i++ {
-		e.Pull(dst1, MessageBits)
-		e.Pull(dst2, MessageBits)
-		e.Pull(dst3, MessageBits)
+		ws.Pull(dst1, MessageBits)
+		ws.Pull(dst2, MessageBits)
+		ws.Pull(dst3, MessageBits)
 		for v := 0; v < n; v++ {
 			next[v] = median3Pulled(cur, v, dst1[v], dst2[v], dst3[v])
 		}
@@ -112,7 +111,7 @@ func ApproxQuantile(e *sim.Engine, values []int64, phi, eps float64, opt Options
 	}
 
 	// Final step: every node samples K values and outputs their median.
-	return sampleMedian(e, cur, opt.k())
+	return sampleMedian(ws, cur, opt.k())
 }
 
 // Median approximates the median to ±ε: the φ = 1/2 special case in which
@@ -173,15 +172,15 @@ func median3(a, b, c int64) int64 {
 // sampleMedian performs Algorithm 2's final step: k pull rounds per node,
 // output the median of the pulled values (own value fills in for failed
 // pulls so every node outputs something even under failures).
-func sampleMedian(e *sim.Engine, cur []int64, k int) []int64 {
-	n := e.N()
+func sampleMedian(ws *sim.PullWorkspace, cur []int64, k int) []int64 {
+	n := ws.Engine().N()
 	samples := make([][]int64, n)
 	for v := range samples {
 		samples[v] = make([]int64, 0, k)
 	}
-	dst := make([]int32, n)
+	dst := ws.Dst(0)
 	for r := 0; r < k; r++ {
-		e.Pull(dst, MessageBits)
+		ws.Pull(dst, MessageBits)
 		for v := 0; v < n; v++ {
 			if p := dst[v]; p != sim.NoPeer {
 				samples[v] = append(samples[v], cur[p])

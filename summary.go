@@ -44,7 +44,7 @@ func BuildSummary(values []int64, eps float64, cfg Config) (*Summary, error) {
 	}
 	e := cfg.engine(n)
 	s := &Summary{eps: eps}
-	for phi := step; phi < 1; phi += step {
+	for _, phi := range tournament.QuantileGrid(step) {
 		out := tournament.ApproxQuantile(e, values, phi, gridEps, tournament.Options{K: cfg.K})
 		s.grid = append(s.grid, phi)
 		s.cuts = append(s.cuts, out)
