@@ -1,0 +1,97 @@
+// Command conformance runs the scenario-matrix conformance grid
+// (internal/conformance) — workload × failure × algorithm × population,
+// with every paper claim checked as a machine invariant — plus the
+// sim↔livenet differential cells, and writes the results as one JSON
+// report. CI runs the smoke grid on every push and uploads the report as an
+// artifact; a non-zero exit means at least one invariant was violated.
+//
+// Usage:
+//
+//	conformance                       # smoke grid, report to CONFORMANCE.json
+//	conformance -grid full            # full grid (adds n=4096 and the complete failure cross)
+//	conformance -seed 7 -workers 4    # reseed the matrix, cap runner parallelism
+//	conformance -no-diff              # skip the sim↔livenet differential cells
+//	conformance -out -                # write the report to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"gossipq/internal/conformance"
+)
+
+func main() {
+	grid := flag.String("grid", "short", "grid size: short (CI smoke) or full")
+	seed := flag.Uint64("seed", 1, "root seed of the scenario matrix")
+	workers := flag.Int("workers", 0, "runner parallelism (0 = GOMAXPROCS)")
+	out := flag.String("out", "CONFORMANCE.json", "report path, or - for stdout")
+	noDiff := flag.Bool("no-diff", false, "skip the sim↔livenet differential cells")
+	flag.Parse()
+
+	short := *grid != "full"
+	if *grid != "short" && *grid != "full" {
+		fmt.Fprintf(os.Stderr, "conformance: unknown grid %q (want short or full)\n", *grid)
+		os.Exit(2)
+	}
+
+	rep := conformance.Run(conformance.Grid(short), conformance.RunConfig{
+		RootSeed:         *seed,
+		Workers:          *workers,
+		DeterminismEvery: 7,
+	})
+	rep.Grid = *grid
+	if !*noDiff {
+		rep.Diff = conformance.RunDifferential(conformance.DiffGrid(short), *seed)
+	}
+
+	failed := rep.Failed
+	for _, d := range rep.Diff {
+		if !d.Pass {
+			failed++
+		}
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conformance:", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+	} else {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "conformance:", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "conformance: %d scenarios (%d passed, %d failed), %d differential cells, %.1fs\n",
+		rep.Total, rep.Passed, rep.Failed, len(rep.Diff), rep.ElapsedMS/1000)
+	for _, o := range rep.Scenarios {
+		if !o.Pass {
+			fmt.Fprintf(os.Stderr, "  FAIL %s: %s\n", o.Name, failureSummary(o.Error, o.Violations))
+		}
+	}
+	for _, d := range rep.Diff {
+		if !d.Pass {
+			fmt.Fprintf(os.Stderr, "  FAIL %s: %s\n", d.Name, failureSummary(d.Error, d.Violations))
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func failureSummary(errText string, vs []conformance.Violation) string {
+	if errText != "" {
+		return errText
+	}
+	if len(vs) > 0 {
+		return fmt.Sprintf("[%s] %s (+%d more)", vs[0].Checker, vs[0].Detail, len(vs)-1)
+	}
+	return "unknown failure"
+}

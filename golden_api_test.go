@@ -1,0 +1,151 @@
+package gossipq_test
+
+import (
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"gossipq"
+	"gossipq/internal/dist"
+)
+
+// Golden seed-stability pins for the public API: every facade entry point's
+// full output vector and Metrics are hashed for a fixed (workload, n, seed)
+// table. Engine or protocol refactors that silently change transcripts must
+// fail here, at the facade level users observe, not only in the engine's
+// own golden tests (internal/sim/golden_test.go). The hashes were recorded
+// from the PR-2 workspace engine; re-record them only for a change that
+// deliberately alters transcripts, and say so in the commit.
+
+func apiHash64(h *uint64, x uint64) {
+	for i := 0; i < 8; i++ {
+		*h ^= x & 0xff
+		*h *= 1099511628211
+		x >>= 8
+	}
+}
+
+func apiHashInts(xs []int64) uint64 {
+	h := fnv.New64a().Sum64()
+	for _, x := range xs {
+		apiHash64(&h, uint64(x))
+	}
+	return h
+}
+
+func apiHashBools(h *uint64, bs []bool) {
+	for _, b := range bs {
+		if b {
+			apiHash64(h, 1)
+		} else {
+			apiHash64(h, 0)
+		}
+	}
+}
+
+func apiHashFloats(xs []float64) uint64 {
+	h := fnv.New64a().Sum64()
+	for _, x := range xs {
+		apiHash64(&h, math.Float64bits(x))
+	}
+	return h
+}
+
+func TestGoldenFacadeTranscripts(t *testing.T) {
+	type golden struct {
+		name    string
+		hash    uint64
+		metrics gossipq.Metrics
+	}
+	want := []golden{
+		{"approx/tournament",
+			0xfb6a4bc4cd43b4bb, gossipq.Metrics{Rounds: 41, Messages: 41984, Bits: 2686976, MaxMessageBits: 64}},
+		{"approx/substituted-exact",
+			0x3a5fb4cffb83c325, gossipq.Metrics{Rounds: 1307, Messages: 612791, Bits: 48552832, MaxMessageBits: 128}},
+		{"median",
+			0xa222222b9eceb646, gossipq.Metrics{Rounds: 39, Messages: 39936, Bits: 2555904, MaxMessageBits: 64}},
+		{"approx/robust",
+			0x56c8bccf940202cd, gossipq.Metrics{Rounds: 282, Messages: 202081, Bits: 12933184, MaxMessageBits: 64}},
+		{"exact/duplicate-heavy",
+			0x8a0d37f737489ba5, gossipq.Metrics{Rounds: 1597, Messages: 888275, Bits: 70844800, MaxMessageBits: 128}},
+		{"exact/sequential",
+			0x04f89b73a33e0325, gossipq.Metrics{Rounds: 1472, Messages: 706639, Bits: 56371072, MaxMessageBits: 128}},
+		{"own",
+			0xe355604e593bf87f, gossipq.Metrics{Rounds: 293, Messages: 300032, Bits: 19202048, MaxMessageBits: 64}},
+	}
+
+	got := map[string]golden{}
+	record := func(name string, hash uint64, m gossipq.Metrics) {
+		got[name] = golden{name, hash, m}
+	}
+
+	// Tournament path: ε inside the validity region at n=1024.
+	v := dist.Generate(dist.Uniform, 1024, 101)
+	a, err := gossipq.ApproxQuantile(v, 0.3, 0.1, gossipq.Config{Seed: 201})
+	if err != nil {
+		t.Fatal(err)
+	}
+	record("approx/tournament", apiHashInts(a.Outputs), a.Metrics)
+
+	// Small-ε regime: the facade must substitute the exact algorithm.
+	v = dist.Generate(dist.Gaussian, 512, 102)
+	a, err = gossipq.ApproxQuantile(v, 0.25, 0.01, gossipq.Config{Seed: 202})
+	if err != nil {
+		t.Fatal(err)
+	}
+	record("approx/substituted-exact", apiHashInts(a.Outputs), a.Metrics)
+
+	v = dist.Generate(dist.Zipf, 1024, 103)
+	a, err = gossipq.Median(v, 0.1, gossipq.Config{Seed: 203})
+	if err != nil {
+		t.Fatal(err)
+	}
+	record("median", apiHashInts(a.Outputs), a.Metrics)
+
+	// Robust path: Has is part of the pinned transcript.
+	v = dist.Generate(dist.Uniform, 1024, 104)
+	a, err = gossipq.ApproxQuantile(v, 0.3, 0.1, gossipq.Config{Seed: 204,
+		Failures: gossipq.UniformFailures(0.3), ExtraRounds: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hh := apiHashInts(a.Outputs)
+	apiHashBools(&hh, a.Has)
+	record("approx/robust", hh, a.Metrics)
+
+	v = dist.Generate(dist.DuplicateHeavy, 600, 105)
+	e, err := gossipq.ExactQuantile(v, 0.7, gossipq.Config{Seed: 205})
+	if err != nil {
+		t.Fatal(err)
+	}
+	record("exact/duplicate-heavy", apiHashInts(e.Outputs), e.Metrics)
+
+	v = dist.Generate(dist.Sequential, 512, 106)
+	e, err = gossipq.ExactQuantile(v, 0.5, gossipq.Config{Seed: 206})
+	if err != nil {
+		t.Fatal(err)
+	}
+	record("exact/sequential", apiHashInts(e.Outputs), e.Metrics)
+
+	v = dist.Generate(dist.Uniform, 1024, 107)
+	o, err := gossipq.OwnQuantiles(v, 0.25, gossipq.Config{Seed: 207})
+	if err != nil {
+		t.Fatal(err)
+	}
+	record("own", apiHashFloats(o.Quantile), o.Metrics)
+
+	for _, w := range want {
+		g, ok := got[w.name]
+		if !ok {
+			t.Errorf("%s: no result recorded", w.name)
+			continue
+		}
+		if g.hash != w.hash {
+			t.Errorf("%s: output hash %#016x, golden %#016x — the facade transcript changed",
+				w.name, g.hash, w.hash)
+		}
+		if g.metrics != w.metrics {
+			t.Errorf("%s: metrics %+v, golden %+v", w.name, g.metrics, w.metrics)
+		}
+	}
+}

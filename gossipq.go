@@ -66,6 +66,19 @@ func fromSim(m sim.Metrics) Metrics {
 	return Metrics{Rounds: m.Rounds, Messages: m.Messages, Bits: m.Bits, MaxMessageBits: m.MaxMessageBits}
 }
 
+// MaxTheoremMessageBits is the largest message any algorithm in this
+// package sends: push-sum and token messages carry two 64-bit words,
+// tournament messages one. It is the concrete constant behind the paper's
+// O(log n)-bit message discipline, and the conformance harness pins every
+// run's Metrics.MaxMessageBits to it.
+const MaxTheoremMessageBits = 128
+
+// MinApproxEps returns the smallest ε for which ApproxQuantile runs the
+// tournament algorithm at population n; below it the exact algorithm is
+// substituted (see ApproxQuantile). Exported so harnesses can aim scenarios
+// at a specific regime and predict which round bound applies.
+func MinApproxEps(n int) float64 { return tournament.MinEps(n) }
+
 // Config describes a computation. The zero value of every optional field
 // selects the paper's defaults.
 type Config struct {
@@ -74,7 +87,7 @@ type Config struct {
 	// Failures optionally injects the §5 failure model.
 	Failures FailureModel
 	// Workers caps simulation parallelism (0 = GOMAXPROCS); any value
-	// yields the same transcript.
+	// yields the same transcript. Negative values are rejected.
 	Workers int
 	// K is the sample count of the tournament algorithms' final step
 	// (0 = 15). Larger K lowers the (already polynomially small) failure
@@ -83,6 +96,13 @@ type Config struct {
 	// ExtraRounds, for failure-mode runs, is Theorem 1.4's t: extra
 	// adoption rounds that leave only about n/2^t nodes without an output.
 	ExtraRounds int
+	// OnIteration, when non-nil, observes the tournament phases of
+	// approximate runs: it is invoked after every 2-TOURNAMENT (phase 1)
+	// and 3-TOURNAMENT (phase 2) iteration with every node's current value.
+	// The slice must not be retained. It is the transcript hook the
+	// conformance harness compares sim and livenet runs through; exact runs
+	// ignore it.
+	OnIteration func(phase, iter int, values []int64)
 }
 
 func (c Config) engine(n int) *sim.Engine {
@@ -124,17 +144,21 @@ func (r ApproxResult) Covered() int {
 }
 
 var (
-	errFewValues = errors.New("gossipq: need at least 2 values")
-	errBadPhi    = errors.New("gossipq: phi must be in [0, 1]")
-	errBadEps    = errors.New("gossipq: eps must be positive")
+	errFewValues  = errors.New("gossipq: need at least 2 values")
+	errBadPhi     = errors.New("gossipq: phi must be in [0, 1]")
+	errBadEps     = errors.New("gossipq: eps must be positive")
+	errBadWorkers = errors.New("gossipq: Workers must be >= 0")
 )
 
-func validate(values []int64, phi float64) error {
+func validate(values []int64, phi float64, cfg Config) error {
 	if len(values) < 2 {
 		return fmt.Errorf("%w, got %d", errFewValues, len(values))
 	}
 	if phi < 0 || phi > 1 || math.IsNaN(phi) {
 		return fmt.Errorf("%w, got %v", errBadPhi, phi)
+	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("%w, got %d", errBadWorkers, cfg.Workers)
 	}
 	return nil
 }
@@ -148,7 +172,7 @@ func validate(values []int64, phi float64) error {
 // are within the O(log log n + log 1/ε) budget in that regime, exactly as
 // the paper composes the two. ε is otherwise clamped to (0, 1/8].
 func ApproxQuantile(values []int64, phi, eps float64, cfg Config) (ApproxResult, error) {
-	if err := validate(values, phi); err != nil {
+	if err := validate(values, phi, cfg); err != nil {
 		return ApproxResult{}, err
 	}
 	if eps <= 0 || math.IsNaN(eps) {
@@ -168,10 +192,11 @@ func ApproxQuantile(values []int64, phi, eps float64, cfg Config) (ApproxResult,
 		res := tournament.RobustApproxQuantile(e, values, phi, eps, tournament.RobustOptions{
 			K:           cfg.K,
 			ExtraRounds: cfg.ExtraRounds,
+			OnIteration: cfg.OnIteration,
 		})
 		return ApproxResult{Outputs: res.Output, Has: res.Has, Metrics: fromSim(e.Metrics())}, nil
 	}
-	out := tournament.ApproxQuantile(e, values, phi, eps, tournament.Options{K: cfg.K})
+	out := tournament.ApproxQuantile(e, values, phi, eps, tournament.Options{K: cfg.K, OnIteration: cfg.OnIteration})
 	return ApproxResult{Outputs: out, Has: allTrue(n), Metrics: fromSim(e.Metrics())}, nil
 }
 
@@ -197,7 +222,7 @@ type ExactResult struct {
 // internally). Under a failure model, round budgets stretch by the §5
 // constant factor automatically.
 func ExactQuantile(values []int64, phi float64, cfg Config) (ExactResult, error) {
-	if err := validate(values, phi); err != nil {
+	if err := validate(values, phi, cfg); err != nil {
 		return ExactResult{}, err
 	}
 	n := len(values)
@@ -229,7 +254,7 @@ type OwnQuantileResult struct {
 // computations and locating its value among the returned grid, in
 // (1/ε)·O(log log n + log 1/ε) rounds.
 func OwnQuantiles(values []int64, eps float64, cfg Config) (OwnQuantileResult, error) {
-	if err := validate(values, 0); err != nil {
+	if err := validate(values, 0, cfg); err != nil {
 		return OwnQuantileResult{}, err
 	}
 	if eps <= 0 || math.IsNaN(eps) || eps > 1 {

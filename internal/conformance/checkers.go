@@ -1,0 +1,378 @@
+package conformance
+
+import (
+	"fmt"
+	"math"
+
+	"gossipq"
+	"gossipq/internal/sim"
+	"gossipq/internal/stats"
+	"gossipq/internal/tournament"
+)
+
+// Violation is one failed invariant of one scenario.
+type Violation struct {
+	Checker string `json:"checker"`
+	Detail  string `json:"detail"`
+}
+
+// runResult is everything a scenario execution exposes to the checkers.
+type runResult struct {
+	outputs    []int64
+	has        []bool
+	ownQ       []float64
+	exactValue int64
+	metrics    gossipq.Metrics
+	// phases holds cumulative metrics snapshots around each engine-scenario
+	// phase; violations collects invariant breaks detected during execution
+	// (inbox ordering, batch round counts).
+	phases     []sim.Metrics
+	violations []Violation
+}
+
+// Round-envelope constants. The shapes are the theorems'; the constants are
+// calibrated against the repository's concrete schedules (see
+// TestRoundEnvelopeCalibration, which fails if implementation drift eats the
+// recorded headroom).
+const (
+	// Theorem 1.2: tournament rounds ≤ approxA·(log2 log2 n + log2 1/ε) + approxB.
+	approxEnvA = 8
+	approxEnvB = 40
+	// Theorem 1.1: exact rounds ≤ exactA·log2 n + exactB. The intercept is
+	// large because a single Algorithm 3 iteration already runs two
+	// tournament brackets, four floods, and a full-precision push-sum count.
+	exactEnvA = 120
+	exactEnvB = 1200
+)
+
+// log2 returns log2(x) for x > 1.
+func log2(x float64) float64 { return math.Log2(x) }
+
+// approxEnvelope is the constant-calibrated Theorem 1.2 bound.
+func approxEnvelope(n int, eps float64) int {
+	eps = tournament.ClampEps(eps)
+	return int(approxEnvA*(log2(log2(float64(n)+2)+2)+log2(1/eps))) + approxEnvB
+}
+
+// exactEnvelope is the constant-calibrated Theorem 1.1 bound. Under a
+// failure bound μ it is stretched by the §5 cost factor: flood and count
+// budgets scale by the implementation's 2 + ⌈1/(1-μ)⌉, but the bracket
+// tournaments inside scale by the §5.1 redundancy Θ(1/(1-μ)·log 1/(1-μ)),
+// which dominates at large μ.
+func exactEnvelope(n int, mu float64) int {
+	base := exactEnvA*sim.CeilLog2(n) + exactEnvB
+	scale := failureBudget(mu)
+	if s := tournament.PullsPerIteration(mu, 2) / 2; s > scale {
+		scale = s
+	}
+	return scale * base
+}
+
+// failureBudget mirrors internal/exact's round-budget stretch under a
+// failure bound μ.
+func failureBudget(mu float64) int {
+	if mu <= 0 {
+		return 1
+	}
+	return 2 + int(math.Ceil(1/(1-mu)))
+}
+
+// expectedRobustRounds reproduces the §5.1 robust tournament's
+// deterministic schedule: redundant pulls per iteration, the oversampled
+// final step, and Theorem 1.4's adoption rounds.
+func expectedRobustRounds(n int, phi, eps, mu float64, extra int) int {
+	eps = tournament.ClampEps(eps)
+	p2 := tournament.NewPlan2(phi, eps)
+	p3 := tournament.NewPlan3(eps/4, n)
+	k2 := tournament.PullsPerIteration(mu, 2)
+	k3 := tournament.PullsPerIteration(mu, 3)
+	return p2.Iterations()*k2 + p3.Iterations()*k3 + tournament.FinalPulls(mu, 15) + extra
+}
+
+// expectedOwnRounds reproduces OwnQuantiles' schedule: one tournament run
+// per φ-grid point, all on one engine.
+func expectedOwnRounds(n int, eps float64) int {
+	step := eps / 2
+	gridEps := eps / 4
+	if m := tournament.MinEps(n); gridEps < m {
+		gridEps = m
+		if gridEps > eps/2 {
+			gridEps = eps / 2
+		}
+	}
+	total := 0
+	for _, phi := range tournament.QuantileGrid(step) {
+		total += tournament.TotalRounds(n, phi, gridEps, tournament.Options{})
+	}
+	return total
+}
+
+// RoundBound returns the scenario's calibrated round bound — the quantity
+// the round checker compares Metrics.Rounds against, reported in the JSON
+// envelope so regressions in round cost surface even while under the bound.
+func (s Scenario) RoundBound() int {
+	mu := 0.0
+	if s.Failure.Model != nil {
+		mu = sim.MaxProb(s.Failure.Model, s.N)
+	}
+	switch s.Alg {
+	case AlgApprox, AlgMedian:
+		if !s.tournamentPath() {
+			return exactEnvelope(s.N, mu)
+		}
+		if mu > 0 {
+			return expectedRobustRounds(s.N, s.Phi, s.Eps, mu, s.Failure.ExtraRounds)
+		}
+		return approxEnvelope(s.N, s.Eps)
+	case AlgExact:
+		return exactEnvelope(s.N, mu)
+	case AlgOwn:
+		return expectedOwnRounds(s.N, s.Eps)
+	default:
+		return 0
+	}
+}
+
+// check runs every applicable invariant checker and returns the violations.
+func check(s Scenario, rr runResult, oracle *stats.Oracle) []Violation {
+	var vs []Violation
+	vs = append(vs, rr.violations...)
+	if s.Alg == AlgEngine {
+		return append(vs, checkMetricsAlgebra(s, rr)...)
+	}
+	vs = append(vs, checkRank(s, rr, oracle)...)
+	vs = append(vs, checkRounds(s, rr)...)
+	vs = append(vs, checkBits(s, rr)...)
+	vs = append(vs, checkMetricsSanity(s, rr)...)
+	vs = append(vs, checkCoverage(s, rr)...)
+	return vs
+}
+
+// checkRank verifies the rank guarantees: ±εn at every covered node for the
+// approximate algorithms (Theorem 1.2), exact ⌈φn⌉ rank for the exact
+// algorithm (Theorem 1.1), and ±ε own-quantile estimates (Corollary 1.5).
+func checkRank(s Scenario, rr runResult, oracle *stats.Oracle) []Violation {
+	var vs []Violation
+	switch s.Alg {
+	case AlgApprox, AlgMedian:
+		eps := s.effectiveEps()
+		bad := 0
+		first := -1
+		for v, x := range rr.outputs {
+			if rr.has != nil && !rr.has[v] {
+				continue
+			}
+			if !oracle.WithinEpsilon(x, s.Phi, eps) {
+				bad++
+				if first < 0 {
+					first = v
+				}
+			}
+		}
+		if bad > 0 {
+			vs = append(vs, Violation{"eps-rank", fmt.Sprintf(
+				"%d/%d covered nodes outside the ±εn window (first: node %d output %d, rank %d, target %d±%d)",
+				bad, s.N, first, rr.outputs[first], oracle.Rank(rr.outputs[first]),
+				targetRank(s.Phi, s.N), int(eps*float64(s.N)))})
+		}
+	case AlgExact:
+		want := oracle.Quantile(s.Phi)
+		if rr.exactValue != want {
+			vs = append(vs, Violation{"exact-rank", fmt.Sprintf(
+				"value %d, exact ⌈φn⌉=%d-smallest is %d", rr.exactValue, targetRank(s.Phi, s.N), want)})
+		}
+		for v, x := range rr.outputs {
+			if x != rr.exactValue {
+				vs = append(vs, Violation{"exact-rank", fmt.Sprintf(
+					"node %d output %d disagrees with consensus value %d", v, x, rr.exactValue)})
+				break
+			}
+		}
+	case AlgOwn:
+		bad := 0
+		worst := 0.0
+		for v, q := range rr.ownQ {
+			// outputs holds the inputs here. A duplicated value occupies a
+			// rank plateau: any normalized rank in (StrictRank/n, Rank/n] is
+			// achievable, so the estimate is judged against that interval —
+			// the same achievable-rank semantics as Oracle.WithinEpsilon.
+			x := rr.outputs[v]
+			loQ := float64(oracle.StrictRank(x)) / float64(s.N)
+			hiQ := float64(oracle.Rank(x)) / float64(s.N)
+			var d float64
+			switch {
+			case q < loQ:
+				d = loQ - q
+			case q > hiQ:
+				d = q - hiQ
+			}
+			if d > s.Eps {
+				bad++
+				if d > worst {
+					worst = d
+				}
+			}
+		}
+		// Mirror the facade test's tolerance, plus integer-rounding slack at
+		// small n: a handful of boundary nodes may straddle the grid.
+		if allowed := 2 + s.N/500; bad > allowed {
+			vs = append(vs, Violation{"eps-rank", fmt.Sprintf(
+				"%d nodes (> %d allowed) estimated own quantile worse than ±%v (worst %.4f)",
+				bad, allowed, s.Eps, worst)})
+		}
+	}
+	return vs
+}
+
+// checkRounds verifies round counts: exact equality against the
+// deterministic schedule where one exists (failure-free tournament, robust
+// tournament, OwnQuantiles), and the constant-calibrated theorem envelope
+// otherwise (the exact algorithm's data-dependent iteration count).
+func checkRounds(s Scenario, rr runResult) []Violation {
+	var vs []Violation
+	bound := s.RoundBound()
+	if rr.metrics.Rounds > bound {
+		vs = append(vs, Violation{"round-bound", fmt.Sprintf(
+			"%d rounds exceed the calibrated theorem bound %d", rr.metrics.Rounds, bound)})
+	}
+	switch s.Alg {
+	case AlgApprox, AlgMedian:
+		if s.Failure.Model == nil && s.tournamentPath() {
+			want := gossipq.PredictApproxRounds(s.N, s.Phi, s.Eps, gossipq.Config{})
+			if rr.metrics.Rounds != want {
+				vs = append(vs, Violation{"round-schedule", fmt.Sprintf(
+					"%d rounds, deterministic schedule predicts %d", rr.metrics.Rounds, want)})
+			}
+		}
+		if s.Failure.Model != nil && s.tournamentPath() {
+			mu := sim.MaxProb(s.Failure.Model, s.N)
+			want := expectedRobustRounds(s.N, s.Phi, s.Eps, mu, s.Failure.ExtraRounds)
+			if rr.metrics.Rounds != want {
+				vs = append(vs, Violation{"round-schedule", fmt.Sprintf(
+					"%d rounds, robust schedule predicts %d", rr.metrics.Rounds, want)})
+			}
+		}
+	case AlgOwn:
+		if s.Failure.Model == nil {
+			if want := expectedOwnRounds(s.N, s.Eps); rr.metrics.Rounds != want {
+				vs = append(vs, Violation{"round-schedule", fmt.Sprintf(
+					"%d rounds, grid schedule predicts %d", rr.metrics.Rounds, want)})
+			}
+		}
+	}
+	return vs
+}
+
+// checkBits verifies the O(log n)-bit message discipline: no run ever sends
+// a message above the 128-bit cap, and pure-tournament paths stay at one
+// 64-bit word.
+func checkBits(s Scenario, rr runResult) []Violation {
+	var vs []Violation
+	mb := rr.metrics.MaxMessageBits
+	if mb <= 0 || mb > gossipq.MaxTheoremMessageBits {
+		vs = append(vs, Violation{"bits-cap", fmt.Sprintf(
+			"MaxMessageBits %d outside (0, %d]", mb, gossipq.MaxTheoremMessageBits)})
+	}
+	tournamentOnly := (s.Alg == AlgApprox || s.Alg == AlgMedian || s.Alg == AlgOwn) && s.tournamentPath()
+	if tournamentOnly && mb != 64 {
+		vs = append(vs, Violation{"bits-cap", fmt.Sprintf(
+			"tournament-only run peaked at %d bits, want exactly 64", mb)})
+	}
+	return vs
+}
+
+// checkMetricsSanity verifies the accounting identities every run must
+// satisfy: at most one message per node per round, bit volume bounded by
+// message count times the peak size, and full channel utilization on
+// failure-free pull-only schedules.
+func checkMetricsSanity(s Scenario, rr runResult) []Violation {
+	var vs []Violation
+	m := rr.metrics
+	if m.Rounds <= 0 || m.Messages <= 0 || m.Bits <= 0 {
+		vs = append(vs, Violation{"metrics", fmt.Sprintf("empty accounting: %+v", m)})
+		return vs
+	}
+	if m.Messages > int64(s.N)*int64(m.Rounds) {
+		vs = append(vs, Violation{"metrics", fmt.Sprintf(
+			"%d messages exceed n·rounds = %d·%d", m.Messages, s.N, m.Rounds)})
+	}
+	if m.Bits > m.Messages*int64(m.MaxMessageBits) {
+		vs = append(vs, Violation{"metrics", fmt.Sprintf(
+			"%d bits exceed messages·maxBits = %d·%d", m.Bits, m.Messages, m.MaxMessageBits)})
+	}
+	if m.Bits < m.Messages*64 {
+		vs = append(vs, Violation{"metrics", fmt.Sprintf(
+			"%d bits below messages·64 = %d·64 — some message was undersized", m.Bits, m.Messages)})
+	}
+	pullOnly := (s.Alg == AlgApprox || s.Alg == AlgMedian || s.Alg == AlgOwn) && s.tournamentPath()
+	if pullOnly && s.Failure.Model == nil && m.Messages != int64(s.N)*int64(m.Rounds) {
+		vs = append(vs, Violation{"metrics", fmt.Sprintf(
+			"failure-free pull schedule delivered %d messages, want exactly n·rounds = %d",
+			m.Messages, int64(s.N)*int64(m.Rounds))})
+	}
+	return vs
+}
+
+// checkCoverage verifies Theorem 1.4's coverage: failure-free runs cover
+// every node; robust runs with t adoption rounds leave about n/2^t nodes
+// uncovered, checked with calibrated slack.
+func checkCoverage(s Scenario, rr runResult) []Violation {
+	if s.Alg == AlgOwn || rr.has == nil {
+		return nil
+	}
+	covered := 0
+	for _, h := range rr.has {
+		if h {
+			covered++
+		}
+	}
+	if s.Failure.Model == nil {
+		if covered != s.N {
+			return []Violation{{"coverage", fmt.Sprintf("%d/%d nodes covered without failures", covered, s.N)}}
+		}
+		return nil
+	}
+	// n/2^t expected stragglers, with generous multiplicative slack for the
+	// adoption rounds' own failures plus an additive floor for small n.
+	t := s.Failure.ExtraRounds
+	allowed := 8*s.N/(1<<uint(t)) + 8
+	if s.N-covered > allowed {
+		return []Violation{{"coverage", fmt.Sprintf(
+			"%d/%d nodes uncovered, Theorem 1.4 budget with t=%d allows %d",
+			s.N-covered, s.N, t, allowed)}}
+	}
+	return nil
+}
+
+// checkMetricsAlgebra verifies the Metrics Sub contract over the engine
+// scenario's phase snapshots: exact differences for the additive fields and
+// the documented peak semantics for MaxMessageBits.
+func checkMetricsAlgebra(_ Scenario, rr runResult) []Violation {
+	var vs []Violation
+	for i := 1; i < len(rr.phases); i++ {
+		prev, cur := rr.phases[i-1], rr.phases[i]
+		d := cur.Sub(prev)
+		if prev.Rounds+d.Rounds != cur.Rounds ||
+			prev.Messages+d.Messages != cur.Messages ||
+			prev.Bits+d.Bits != cur.Bits {
+			vs = append(vs, Violation{"metrics-sub", fmt.Sprintf(
+				"phase %d: prev + Sub != cur (%+v + %+v != %+v)", i, prev, d, cur)})
+		}
+		if d.Rounds < 0 || d.Messages < 0 || d.Bits < 0 {
+			vs = append(vs, Violation{"metrics-sub", fmt.Sprintf(
+				"phase %d: negative delta %+v", i, d)})
+		}
+		switch {
+		case cur.MaxMessageBits > prev.MaxMessageBits && d.MaxMessageBits != cur.MaxMessageBits:
+			vs = append(vs, Violation{"metrics-sub", fmt.Sprintf(
+				"phase %d raised the peak to %d but Sub reports %d", i, cur.MaxMessageBits, d.MaxMessageBits)})
+		case cur.MaxMessageBits == prev.MaxMessageBits && d.MaxMessageBits != 0:
+			vs = append(vs, Violation{"metrics-sub", fmt.Sprintf(
+				"phase %d: no new peak but Sub reports %d", i, d.MaxMessageBits)})
+		case cur.MaxMessageBits < prev.MaxMessageBits:
+			vs = append(vs, Violation{"metrics-sub", fmt.Sprintf(
+				"phase %d: cumulative peak decreased %d -> %d", i, prev.MaxMessageBits, cur.MaxMessageBits)})
+		}
+	}
+	return vs
+}

@@ -1,0 +1,222 @@
+// Package conformance is the repository's scenario-matrix conformance
+// subsystem: it sweeps a declarative grid of (algorithm × workload ×
+// population × failure model) scenarios through the public gossipq API and
+// checks the paper's quantitative claims as machine-checked invariants —
+// per-node ±εn rank error (Theorem 1.2), exact ⌈φn⌉-rank correctness
+// (Theorem 1.1), round counts against the deterministic schedule and
+// constant-calibrated O(·) envelopes, the 128-bit message cap, metrics
+// consistency, coverage under the §5 failure model (Theorem 1.4), and
+// transcript determinism.
+//
+// A differential mode (differential.go) additionally runs the same
+// protocols over internal/livenet's genuinely concurrent transports and
+// compares against the simulator: node-for-node, round-for-round transcript
+// equality for the tournament algorithm, and output agreement between two
+// deliberately independent exact-quantile implementations.
+//
+// The grid runs sharded across workers (runner.go) under `go test
+// ./internal/conformance`, with -short selecting the smoke grid CI runs on
+// every push; cmd/conformance emits the same results as a JSON report.
+package conformance
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"gossipq"
+	"gossipq/internal/dist"
+	"gossipq/internal/sim"
+	"gossipq/internal/xrand"
+)
+
+// Algorithm names one public entry point of the gossipq facade, plus the
+// engine-level metrics-algebra scenario kind.
+type Algorithm string
+
+const (
+	AlgApprox Algorithm = "approx" // gossipq.ApproxQuantile
+	AlgMedian Algorithm = "median" // gossipq.Median
+	AlgExact  Algorithm = "exact"  // gossipq.ExactQuantile
+	AlgOwn    Algorithm = "own"    // gossipq.OwnQuantiles
+	// AlgEngine drives a raw simulator engine through a pull/push/push-batch
+	// phase mix, checking the Metrics Sub/Add algebra and exercising
+	// workspace reuse (Rebind) across scenarios within a runner shard.
+	AlgEngine Algorithm = "engine"
+)
+
+// FailureSpec is a named §5 failure model plus the Theorem 1.4 adoption
+// budget robust runs use under it.
+type FailureSpec struct {
+	Name        string
+	Model       sim.FailureModel
+	ExtraRounds int
+}
+
+// failureSpecs returns the grid's failure axis. Index 0 is failure-free.
+func failureSpecs() []FailureSpec {
+	return []FailureSpec{
+		{Name: "none"},
+		{Name: "uniform15", Model: sim.UniformFailures(0.15), ExtraRounds: 8},
+		{Name: "uniform30", Model: sim.UniformFailures(0.3), ExtraRounds: 8},
+		{Name: "ramp40", Model: rampFailures{}, ExtraRounds: 8},
+		{Name: "burst50", Model: sim.FailureFunc(burstProb), ExtraRounds: 10},
+	}
+}
+
+// rampFailures gives node v probability 0.4·v/1024, saturating at 0.4 from
+// node 1024 on — a heterogeneous per-node schedule (the "potentially
+// different" clause of Theorem 1.4) that stays population-independent so
+// scenario names are stable across n.
+type rampFailures struct{}
+
+func (rampFailures) Prob(node, _ int) float64 {
+	p := 0.4 * float64(node) / 1024
+	if p > 0.4 {
+		p = 0.4
+	}
+	return p
+}
+
+// burstProb is a round-dependent schedule: every seventh round pair is a
+// 50% outage, quiet rounds keep a 5% background rate.
+func burstProb(_, round int) float64 {
+	if round%7 < 2 {
+		return 0.5
+	}
+	return 0.05
+}
+
+// Scenario is one cell of the conformance grid.
+type Scenario struct {
+	Alg      Algorithm
+	Workload dist.Kind
+	N        int
+	Phi      float64 // target quantile (approx/exact)
+	Eps      float64 // approximation width (approx/median/own)
+	Failure  FailureSpec
+}
+
+// Name returns the scenario's canonical, stable identifier. Seeds derive
+// from it, so renaming a cell re-seeds it and nothing else.
+func (s Scenario) Name() string {
+	return fmt.Sprintf("%s/%s/n%d/phi%.3f/eps%.3f/%s",
+		s.Alg, s.Workload, s.N, s.Phi, s.Eps, s.Failure.Name)
+}
+
+// Seed returns the scenario's protocol seed: a per-cell stream of the root
+// seed in the harness's own namespace ("conf"), keyed by the cell name so
+// grid reordering never re-seeds anything.
+func (s Scenario) Seed(root uint64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s.Name()))
+	return xrand.NewSource(root).Sub(0x636f6e66).StreamSeed(h.Sum64())
+}
+
+// WorkloadSeed returns the seed of the scenario's input values. It depends
+// only on (workload, n, root), so every algorithm and failure model at one
+// population shares inputs — which is what lets the runner cache the sorted
+// oracle across the cells of a shard.
+func (s Scenario) WorkloadSeed(root uint64) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "workload/%s/n%d", s.Workload, s.N)
+	return xrand.NewSource(root).Sub(0x636f6e66).StreamSeed(h.Sum64())
+}
+
+// Values generates the scenario's input workload.
+func (s Scenario) Values(root uint64) []int64 {
+	return dist.Generate(s.Workload, s.N, s.WorkloadSeed(root))
+}
+
+// effectiveEps is the width the ±εn rank check uses: the facade clamps the
+// tournament's ε into (0, 1/8], and below the validity region it substitutes
+// the exact algorithm (which satisfies any ε).
+func (s Scenario) effectiveEps() float64 {
+	if s.Eps > 0.125 {
+		return 0.125
+	}
+	return s.Eps
+}
+
+// tournamentPath reports whether an approx/median scenario runs the
+// tournament algorithm (as opposed to the substituted exact algorithm).
+func (s Scenario) tournamentPath() bool {
+	return s.Eps >= gossipq.MinApproxEps(s.N)
+}
+
+// Grid returns the conformance grid. short selects the CI smoke subset
+// (still a full workload × failure × algorithm × n matrix of 100+ cells);
+// the full grid adds a larger population and the complete workload × failure
+// cross product.
+func Grid(short bool) []Scenario {
+	// n = 192 is the smallest population at which the exact algorithm's
+	// asymptotic machinery is reliable for every workload (tinier cells trip
+	// its surfaced bracket-miss guard); 1024 is the smallest grid n inside
+	// the tournament validity region for ε = 0.1, so the approx cells cover
+	// both the substitution and the tournament path.
+	var (
+		ns        = []int{192, 512, 1024}
+		failNs    = []int{256, 1024}
+		failLoads = []dist.Kind{dist.Uniform, dist.DuplicateHeavy}
+	)
+	if !short {
+		ns = append(ns, 4096)
+		failNs = append(failNs, 4096)
+		failLoads = dist.Kinds()
+	}
+	fails := failureSpecs()
+
+	var grid []Scenario
+	add := func(s Scenario) { grid = append(grid, s) }
+
+	// Failure-free plane: every algorithm × every workload × every n.
+	for _, n := range ns {
+		for _, kind := range dist.Kinds() {
+			add(Scenario{Alg: AlgApprox, Workload: kind, N: n, Phi: 0.3, Eps: 0.1, Failure: fails[0]})
+			add(Scenario{Alg: AlgMedian, Workload: kind, N: n, Phi: 0.5, Eps: 0.08, Failure: fails[0]})
+			add(Scenario{Alg: AlgExact, Workload: kind, N: n, Phi: 0.7, Failure: fails[0]})
+			add(Scenario{Alg: AlgOwn, Workload: kind, N: n, Eps: 0.3, Failure: fails[0]})
+		}
+	}
+	// Quantile edge cases: the exact algorithm's φ ∈ {0, ½, 1} endgames.
+	for _, phi := range []float64{0, 0.5, 1} {
+		add(Scenario{Alg: AlgExact, Workload: dist.Sequential, N: 512, Phi: phi, Failure: fails[0]})
+	}
+	// Small-ε regime: ApproxQuantile must substitute the exact algorithm.
+	add(Scenario{Alg: AlgApprox, Workload: dist.Gaussian, N: 512, Phi: 0.25, Eps: 0.01, Failure: fails[0]})
+	add(Scenario{Alg: AlgApprox, Workload: dist.Zipf, N: 1024, Phi: 0.5, Eps: 0.02, Failure: fails[0]})
+
+	// Failure plane: robust approx/median and the failure-mode exact loop.
+	for _, n := range failNs {
+		for _, kind := range failLoads {
+			for _, f := range fails[1:] {
+				add(Scenario{Alg: AlgApprox, Workload: kind, N: n, Phi: 0.3, Eps: 0.1, Failure: f})
+				add(Scenario{Alg: AlgMedian, Workload: kind, N: n, Phi: 0.5, Eps: 0.1, Failure: f})
+				add(Scenario{Alg: AlgExact, Workload: kind, N: n, Phi: 0.7, Failure: f})
+			}
+		}
+	}
+
+	// Engine plane: metrics algebra over the raw round engine, with and
+	// without failures, in both the serial and sharded-parallel regime.
+	for _, n := range []int{300, 9000} {
+		for _, f := range []FailureSpec{fails[0], fails[2]} {
+			for _, kind := range []dist.Kind{dist.Uniform, dist.Zipf} {
+				add(Scenario{Alg: AlgEngine, Workload: kind, N: n, Failure: f})
+			}
+		}
+	}
+	return grid
+}
+
+// targetRank mirrors the paper's ⌈φn⌉ convention (clamped to [1, n]).
+func targetRank(phi float64, n int) int {
+	k := int(math.Ceil(phi * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}

@@ -1,0 +1,153 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gossipq"
+	"gossipq/internal/dist"
+	"gossipq/internal/tournament"
+)
+
+// TestGridConformance is the conformance wall: the full scenario matrix
+// must hold every paper invariant. -short selects the CI smoke grid, which
+// must itself span at least 100 scenarios across all four axes.
+func TestGridConformance(t *testing.T) {
+	grid := Grid(testing.Short())
+	if len(grid) < 100 {
+		t.Fatalf("grid has only %d scenarios, want >= 100", len(grid))
+	}
+	start := time.Now()
+	rep := Run(grid, RunConfig{RootSeed: 1, DeterminismEvery: 7})
+	t.Logf("%d scenarios in %s (%d passed, %d failed)",
+		rep.Total, time.Since(start).Round(time.Millisecond), rep.Passed, rep.Failed)
+	for alg, env := range rep.Envelopes {
+		t.Logf("envelope %-7s scenarios=%-3d maxRounds=%-6d bound=%-6d maxBits=%d",
+			alg, env.Scenarios, env.MaxRounds, env.MaxBound, env.MaxBits)
+	}
+	for _, o := range rep.Scenarios {
+		if o.Error != "" {
+			t.Errorf("%s: run error: %s", o.Name, o.Error)
+		}
+		for _, v := range o.Violations {
+			t.Errorf("%s: [%s] %s", o.Name, v.Checker, v.Detail)
+		}
+	}
+}
+
+// TestGridCoversAxes guards the grid's declarative shape: every algorithm,
+// every workload, every failure model, and multiple populations must appear
+// even in the short grid.
+func TestGridCoversAxes(t *testing.T) {
+	grid := Grid(true)
+	algs := map[Algorithm]bool{}
+	loads := map[dist.Kind]bool{}
+	fails := map[string]bool{}
+	ns := map[int]bool{}
+	for _, s := range grid {
+		algs[s.Alg] = true
+		loads[s.Workload] = true
+		fails[s.Failure.Name] = true
+		ns[s.N] = true
+	}
+	for _, a := range []Algorithm{AlgApprox, AlgMedian, AlgExact, AlgOwn, AlgEngine} {
+		if !algs[a] {
+			t.Errorf("short grid misses algorithm %s", a)
+		}
+	}
+	for _, k := range dist.Kinds() {
+		if !loads[k] {
+			t.Errorf("short grid misses workload %s", k)
+		}
+	}
+	for _, f := range failureSpecs() {
+		if !fails[f.Name] {
+			t.Errorf("short grid misses failure model %s", f.Name)
+		}
+	}
+	if len(ns) < 3 {
+		t.Errorf("short grid spans only %d populations", len(ns))
+	}
+}
+
+// TestScenarioSeedDerivation pins the seeding contract: seeds are stable
+// functions of the cell name, protocol seeds differ across cells, and
+// workload seeds are shared across the algorithm and failure axes so
+// oracles cache.
+func TestScenarioSeedDerivation(t *testing.T) {
+	a := Scenario{Alg: AlgApprox, Workload: dist.Uniform, N: 256, Phi: 0.3, Eps: 0.1,
+		Failure: FailureSpec{Name: "none"}}
+	b := a
+	b.Failure = FailureSpec{Name: "uniform30"}
+	if a.Seed(1) == b.Seed(1) {
+		t.Error("different failure models share a protocol seed")
+	}
+	if a.Seed(1) != a.Seed(1) {
+		t.Error("seed derivation is not deterministic")
+	}
+	if a.Seed(1) == a.Seed(2) {
+		t.Error("root seed does not propagate")
+	}
+	c := a
+	c.Alg = AlgExact
+	c.Phi = 0.7
+	if a.WorkloadSeed(1) != c.WorkloadSeed(1) {
+		t.Error("workload seed differs across algorithms at one (workload, n)")
+	}
+	if !strings.Contains(a.Name(), "approx/uniform/n256") {
+		t.Errorf("unexpected scenario name %q", a.Name())
+	}
+}
+
+// TestRoundEnvelopeHeadroom fails when implementation drift eats the
+// calibrated envelopes' headroom: every deterministic schedule in the grid's
+// parameter range must sit at or below ~70% of its theorem bound, so a
+// constant-factor round regression trips the conformance wall before the
+// bound itself is violated.
+func TestRoundEnvelopeHeadroom(t *testing.T) {
+	for _, n := range []int{576, 1024, 4096, 65536} {
+		for _, eps := range []float64{0.125, 0.1} {
+			if eps < gossipq.MinApproxEps(n) {
+				continue
+			}
+			sched := tournament.TotalRounds(n, 0.3, eps, tournament.Options{})
+			env := approxEnvelope(n, eps)
+			if float64(sched) > 0.7*float64(env) {
+				t.Errorf("n=%d eps=%v: schedule %d above 70%% of envelope %d", n, eps, sched, env)
+			}
+		}
+	}
+}
+
+// TestWorkspaceReuseAcrossEngines pins the shard-level workspace reuse: one
+// workspace rebound across engine scenarios of different populations and
+// failure models must reproduce exactly what fresh workspaces produce.
+func TestWorkspaceReuseAcrossEngines(t *testing.T) {
+	specs := failureSpecs()
+	scs := []Scenario{
+		{Alg: AlgEngine, Workload: dist.Uniform, N: 300, Failure: specs[0]},
+		{Alg: AlgEngine, Workload: dist.Zipf, N: 9000, Failure: specs[2]},
+		{Alg: AlgEngine, Workload: dist.Uniform, N: 300, Failure: specs[2]},
+	}
+	shared := newShard(1)
+	for i, s := range scs {
+		values := s.Values(1)
+		got, err := shared.execute(s, values, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := newShard(1).execute(s, values, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.metrics != fresh.metrics {
+			t.Errorf("scenario %d: reused workspace metrics %+v, fresh %+v", i, got.metrics, fresh.metrics)
+		}
+		for v := range got.outputs {
+			if got.outputs[v] != fresh.outputs[v] {
+				t.Fatalf("scenario %d: reused workspace digest differs at node %d", i, v)
+			}
+		}
+	}
+}

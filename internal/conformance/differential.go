@@ -1,0 +1,247 @@
+package conformance
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gossipq"
+	"gossipq/internal/dist"
+	"gossipq/internal/livenet"
+	"gossipq/internal/sim"
+	"gossipq/internal/stats"
+	"gossipq/internal/tournament"
+)
+
+// DiffScenario is one sim↔livenet differential cell: the same protocol run
+// both on the deterministic simulator and as concurrent node processes over
+// a real asynchronous transport.
+type DiffScenario struct {
+	Alg      Algorithm // AlgApprox (transcript equality) or AlgExact (output agreement)
+	Workload dist.Kind
+	N        int
+	Phi, Eps float64
+	// Transport selects the livenet side: "chan" (in-process mailboxes) or
+	// "tcp" (loopback sockets).
+	Transport string
+}
+
+// Name returns the cell's canonical identifier.
+func (d DiffScenario) Name() string {
+	return fmt.Sprintf("diff-%s/%s/%s/n%d/phi%.3f/eps%.3f",
+		d.Alg, d.Transport, d.Workload, d.N, d.Phi, d.Eps)
+}
+
+// DiffOutcome reports one differential cell.
+type DiffOutcome struct {
+	Name       string      `json:"name"`
+	SimRounds  int         `json:"sim_rounds"`
+	LiveRounds int         `json:"live_rounds"`
+	Compared   int         `json:"compared_values"`
+	ElapsedMS  float64     `json:"elapsed_ms"`
+	Pass       bool        `json:"pass"`
+	Violations []Violation `json:"violations,omitempty"`
+	Error      string      `json:"error,omitempty"`
+}
+
+// DiffGrid returns the differential cells: a mid-size tournament cell whose
+// full per-round transcript must match the simulator node-for-node, a TCP
+// variant proving the same over real sockets, and exact-quantile cells where
+// livenet's independent implementation must agree with the simulator's
+// answer at every node.
+func DiffGrid(short bool) []DiffScenario {
+	grid := []DiffScenario{
+		// n=1024 keeps ε=0.1 inside the tournament validity region, so this
+		// cell runs the Theorem 2.1 schedule on both sides.
+		{Alg: AlgApprox, Workload: dist.Uniform, N: 1024, Phi: 0.3, Eps: 0.1, Transport: "chan"},
+		{Alg: AlgApprox, Workload: dist.Bimodal, N: 24, Phi: 0.5, Eps: 0.125, Transport: "tcp"},
+		{Alg: AlgExact, Workload: dist.Sequential, N: 256, Phi: 0.5, Transport: "chan"},
+		{Alg: AlgExact, Workload: dist.Gaussian, N: 128, Phi: 0.25, Transport: "chan"},
+		// Small TCP cell: at n=32 the asymptotic exact algorithm still runs
+		// cleanly for this (workload, φ, seed); tinier populations trip its
+		// (surfaced, poly(1/n)-probability) bracket-miss guard.
+		{Alg: AlgExact, Workload: dist.Sequential, N: 32, Phi: 0.9, Transport: "tcp"},
+	}
+	if !short {
+		grid = append(grid,
+			DiffScenario{Alg: AlgApprox, Workload: dist.Clustered, N: 2048, Phi: 0.7, Eps: 0.09, Transport: "chan"},
+			DiffScenario{Alg: AlgExact, Workload: dist.Zipf, N: 384, Phi: 0.5, Transport: "chan"},
+		)
+	}
+	return grid
+}
+
+// RunDifferential executes the differential cells sequentially (each cell
+// already saturates the machine with one goroutine per node).
+func RunDifferential(grid []DiffScenario, rootSeed uint64) []DiffOutcome {
+	if rootSeed == 0 {
+		rootSeed = 1
+	}
+	outs := make([]DiffOutcome, 0, len(grid))
+	for _, d := range grid {
+		outs = append(outs, runDiff(d, rootSeed))
+	}
+	return outs
+}
+
+func runDiff(d DiffScenario, root uint64) DiffOutcome {
+	start := time.Now()
+	o := DiffOutcome{Name: d.Name()}
+	sc := Scenario{Alg: d.Alg, Workload: d.Workload, N: d.N, Phi: d.Phi, Eps: d.Eps}
+	values := sc.Values(root)
+	seed := sc.Seed(root)
+
+	tr, trErrors, err := newTransport(d.Transport, d.N)
+	if err != nil {
+		o.Error = err.Error()
+		return o
+	}
+	defer tr.Close()
+
+	switch d.Alg {
+	case AlgApprox:
+		o = diffApprox(o, d, values, seed, tr)
+	case AlgExact:
+		o = diffExact(o, d, values, seed, tr)
+	default:
+		o.Error = fmt.Sprintf("conformance: no differential mode for algorithm %q", d.Alg)
+	}
+	// Errors the transport reported during the run (Close has not happened
+	// yet, so none of these are shutdown noise) are findings, not silence.
+	for _, te := range trErrors() {
+		o.Violations = append(o.Violations, Violation{"transport", te.Error()})
+	}
+	o.Pass = o.Error == "" && len(o.Violations) == 0
+	o.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	return o
+}
+
+func newTransport(kind string, n int) (livenet.Transport, func() []error, error) {
+	switch kind {
+	case "tcp":
+		var mu sync.Mutex
+		var errs []error
+		tr, err := livenet.NewTCPTransport(n, func(e error) {
+			mu.Lock()
+			errs = append(errs, e)
+			mu.Unlock()
+		})
+		return tr, func() []error {
+			mu.Lock()
+			defer mu.Unlock()
+			return append([]error(nil), errs...)
+		}, err
+	default:
+		return livenet.NewChanTransport(n), func() []error { return nil }, nil
+	}
+}
+
+// diffApprox runs the Theorem 2.1 tournament on the simulator (capturing
+// every iteration's per-node values) and over the live transport in
+// lockstep (capturing every node's committed history), then demands
+// node-for-node, round-for-round equality — the two implementations share
+// only the seed and the paper's schedule.
+func diffApprox(o DiffOutcome, d DiffScenario, values []int64, seed uint64, tr livenet.Transport) DiffOutcome {
+	type snapshot struct {
+		phase, iter int
+		values      []int64
+	}
+	var snaps []snapshot
+	e := sim.New(d.N, seed)
+	simOut := tournament.ApproxQuantile(e, values, d.Phi, d.Eps, tournament.Options{
+		OnIteration: func(phase, iter int, vs []int64) {
+			cp := make([]int64, len(vs))
+			copy(cp, vs)
+			snaps = append(snaps, snapshot{phase, iter, cp})
+		},
+	})
+	o.SimRounds = e.Metrics().Rounds
+
+	live, err := livenet.ApproxQuantileOpts(tr, values, d.Phi, d.Eps, livenet.RunOptions{
+		Seed:          seed,
+		RecordHistory: true,
+		Lockstep:      true,
+	})
+	if err != nil {
+		o.Error = err.Error()
+		return o
+	}
+	o.LiveRounds = live.Rounds
+
+	if live.Rounds != o.SimRounds {
+		o.Violations = append(o.Violations, Violation{"diff-rounds", fmt.Sprintf(
+			"live schedule ran %d rounds, simulator %d", live.Rounds, o.SimRounds)})
+	}
+
+	// The live history commits one value per model round: two per
+	// 2-TOURNAMENT iteration (the second is the iteration's result), three
+	// per 3-TOURNAMENT iteration (the third is the result).
+	p2 := tournament.NewPlan2(d.Phi, tournament.ClampEps(d.Eps))
+	historyIndex := func(phase, iter int) int {
+		if phase == 1 {
+			return 2 * (iter + 1)
+		}
+		return 2*p2.Iterations() + 3*(iter+1)
+	}
+	for _, sn := range snaps {
+		hi := historyIndex(sn.phase, sn.iter)
+		for v := 0; v < d.N; v++ {
+			if hi >= len(live.History[v]) {
+				o.Violations = append(o.Violations, Violation{"diff-transcript", fmt.Sprintf(
+					"node %d history has %d rounds, phase %d iteration %d needs index %d",
+					v, len(live.History[v]), sn.phase, sn.iter, hi)})
+				return o
+			}
+			if live.History[v][hi] != sn.values[v] {
+				o.Violations = append(o.Violations, Violation{"diff-transcript", fmt.Sprintf(
+					"phase %d iteration %d node %d: live %d, sim %d",
+					sn.phase, sn.iter, v, live.History[v][hi], sn.values[v])})
+				return o
+			}
+			o.Compared++
+		}
+	}
+	for v := 0; v < d.N; v++ {
+		if live.Outputs[v] != simOut[v] {
+			o.Violations = append(o.Violations, Violation{"diff-output", fmt.Sprintf(
+				"node %d: live output %d, sim output %d", v, live.Outputs[v], simOut[v])})
+			return o
+		}
+		o.Compared++
+	}
+	return o
+}
+
+// diffExact runs the facade's Algorithm 3 on the simulator and livenet's
+// deliberately independent selection protocol over the transport; every
+// live node must land on the simulator's exact value, which must itself be
+// the oracle's ⌈φn⌉-smallest.
+func diffExact(o DiffOutcome, d DiffScenario, values []int64, seed uint64, tr livenet.Transport) DiffOutcome {
+	simRes, err := gossipq.ExactQuantile(values, d.Phi, gossipq.Config{Seed: seed})
+	if err != nil {
+		o.Error = err.Error()
+		return o
+	}
+	o.SimRounds = simRes.Metrics.Rounds
+
+	live, err := livenet.ExactQuantile(tr, values, d.Phi, seed)
+	if err != nil {
+		o.Error = err.Error()
+		return o
+	}
+	o.LiveRounds = live.Rounds
+
+	if want := stats.NewOracle(values).Quantile(d.Phi); simRes.Value != want {
+		o.Violations = append(o.Violations, Violation{"diff-oracle", fmt.Sprintf(
+			"simulator value %d is not the exact quantile %d", simRes.Value, want)})
+	}
+	for v := 0; v < d.N; v++ {
+		if live.Outputs[v] != simRes.Value {
+			o.Violations = append(o.Violations, Violation{"diff-output", fmt.Sprintf(
+				"node %d: live output %d, sim value %d", v, live.Outputs[v], simRes.Value)})
+			return o
+		}
+		o.Compared++
+	}
+	return o
+}

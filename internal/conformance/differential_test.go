@@ -1,0 +1,43 @@
+package conformance
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDifferentialSimLivenet proves sim↔livenet agreement: the tournament
+// algorithm's transcript matches the simulator node-for-node and
+// round-for-round over real async transports, and the exact algorithm's
+// independent livenet implementation lands on the simulator's value at
+// every node.
+func TestDifferentialSimLivenet(t *testing.T) {
+	grid := DiffGrid(testing.Short())
+	start := time.Now()
+	outs := RunDifferential(grid, 1)
+	t.Logf("%d differential cells in %s", len(outs), time.Since(start).Round(time.Millisecond))
+	var approxCells, exactCells int
+	for i, o := range outs {
+		if o.Error != "" {
+			t.Errorf("%s: %s", o.Name, o.Error)
+			continue
+		}
+		for _, v := range o.Violations {
+			t.Errorf("%s: [%s] %s", o.Name, v.Checker, v.Detail)
+		}
+		if o.Compared == 0 {
+			t.Errorf("%s: compared no values", o.Name)
+		}
+		switch grid[i].Alg {
+		case AlgApprox:
+			approxCells++
+		case AlgExact:
+			exactCells++
+		}
+		t.Logf("%s: compared %d values (sim %d rounds, live %d)",
+			o.Name, o.Compared, o.SimRounds, o.LiveRounds)
+	}
+	if approxCells == 0 || exactCells == 0 {
+		t.Errorf("differential grid must cover both ApproxQuantile (%d cells) and ExactQuantile (%d cells)",
+			approxCells, exactCells)
+	}
+}

@@ -1,0 +1,384 @@
+package conformance
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gossipq"
+	"gossipq/internal/sim"
+	"gossipq/internal/stats"
+)
+
+// Outcome is one scenario's result in the report.
+type Outcome struct {
+	Name       string      `json:"name"`
+	Alg        string      `json:"alg"`
+	Workload   string      `json:"workload"`
+	N          int         `json:"n"`
+	Phi        float64     `json:"phi"`
+	Eps        float64     `json:"eps,omitempty"`
+	Failure    string      `json:"failure"`
+	Seed       uint64      `json:"seed"`
+	Rounds     int         `json:"rounds"`
+	RoundBound int         `json:"round_bound,omitempty"`
+	Messages   int64       `json:"messages"`
+	Bits       int64       `json:"bits"`
+	MaxBits    int         `json:"max_message_bits"`
+	Covered    int         `json:"covered"`
+	ElapsedMS  float64     `json:"elapsed_ms"`
+	Pass       bool        `json:"pass"`
+	Violations []Violation `json:"violations,omitempty"`
+	Error      string      `json:"error,omitempty"`
+}
+
+// Envelope aggregates one algorithm's observed complexity across the grid —
+// the regression wall future PRs compare against.
+type Envelope struct {
+	Scenarios  int   `json:"scenarios"`
+	MaxRounds  int   `json:"max_rounds"`
+	MaxBound   int   `json:"max_round_bound"`
+	MaxBits    int   `json:"max_message_bits"`
+	MaxMsgs    int64 `json:"max_messages"`
+	Violations int   `json:"violations"`
+}
+
+// Report is the full conformance run result, serialized by cmd/conformance.
+type Report struct {
+	Grid      string              `json:"grid"`
+	RootSeed  uint64              `json:"root_seed"`
+	Total     int                 `json:"total"`
+	Passed    int                 `json:"passed"`
+	Failed    int                 `json:"failed"`
+	ElapsedMS float64             `json:"elapsed_ms"`
+	Envelopes map[string]Envelope `json:"envelopes"`
+	Scenarios []Outcome           `json:"scenarios"`
+	Diff      []DiffOutcome       `json:"differential,omitempty"`
+}
+
+// RunConfig tunes a grid run.
+type RunConfig struct {
+	// RootSeed anchors every per-scenario seed derivation (default 1).
+	RootSeed uint64
+	// Workers caps runner parallelism (0 = GOMAXPROCS).
+	Workers int
+	// DeterminismEvery re-runs every k-th scenario with the same seed but a
+	// different simulator worker count and demands identical outputs and
+	// metrics (0 disables).
+	DeterminismEvery int
+}
+
+func (c RunConfig) rootSeed() uint64 {
+	if c.RootSeed == 0 {
+		return 1
+	}
+	return c.RootSeed
+}
+
+// Run executes the scenario grid sharded across workers and returns the
+// report. Scenarios are sorted by (workload, n) so each shard's oracle and
+// workspace caches hit across neighboring cells; outcomes are reported in
+// the original grid order.
+func Run(grid []Scenario, cfg RunConfig) Report {
+	start := time.Now()
+	root := cfg.rootSeed()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(grid) {
+		workers = len(grid)
+	}
+
+	order := make([]int, len(grid))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := grid[order[a]], grid[order[b]]
+		if sa.Workload != sb.Workload {
+			return sa.Workload < sb.Workload
+		}
+		if sa.N != sb.N {
+			return sa.N < sb.N
+		}
+		return sa.Alg < sb.Alg
+	})
+
+	outcomes := make([]Outcome, len(grid))
+	next := make(chan int, len(grid))
+	for _, i := range order {
+		next <- i
+	}
+	close(next)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sh := newShard(root)
+			for i := range next {
+				outcomes[i] = sh.runScenario(grid[i], i, cfg)
+			}
+		}()
+	}
+	wg.Wait()
+
+	rep := Report{
+		RootSeed:  root,
+		Total:     len(grid),
+		Envelopes: map[string]Envelope{},
+		Scenarios: outcomes,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for _, o := range outcomes {
+		if o.Pass {
+			rep.Passed++
+		} else {
+			rep.Failed++
+		}
+		env := rep.Envelopes[o.Alg]
+		env.Scenarios++
+		env.Violations += len(o.Violations)
+		env.MaxRounds = max(env.MaxRounds, o.Rounds)
+		env.MaxBound = max(env.MaxBound, o.RoundBound)
+		env.MaxBits = max(env.MaxBits, o.MaxBits)
+		env.MaxMsgs = max(env.MaxMsgs, o.Messages)
+		rep.Envelopes[o.Alg] = env
+	}
+	return rep
+}
+
+// shard is one runner worker's reusable state: the workload/oracle cache
+// and the engine-scenario workspace rebound across cells.
+type shard struct {
+	root   uint64
+	ws     *sim.Workspace[int64]
+	valKey string
+	values []int64
+	oracle *stats.Oracle
+}
+
+func newShard(root uint64) *shard {
+	return &shard{root: root}
+}
+
+// workload returns the scenario's inputs and oracle, cached across
+// consecutive cells sharing (workload, n).
+func (sh *shard) workload(s Scenario) ([]int64, *stats.Oracle) {
+	key := fmt.Sprintf("%s/%d", s.Workload, s.N)
+	if key != sh.valKey {
+		sh.valKey = key
+		sh.values = s.Values(sh.root)
+		sh.oracle = stats.NewOracle(sh.values)
+	}
+	return sh.values, sh.oracle
+}
+
+func (sh *shard) runScenario(s Scenario, idx int, cfg RunConfig) Outcome {
+	start := time.Now()
+	values, oracle := sh.workload(s)
+	o := Outcome{
+		Name:     s.Name(),
+		Alg:      string(s.Alg),
+		Workload: s.Workload.String(),
+		N:        s.N,
+		Phi:      s.Phi,
+		Eps:      s.Eps,
+		Failure:  s.Failure.Name,
+		Seed:     s.Seed(sh.root),
+	}
+	rr, err := sh.execute(s, values, 0)
+	if err != nil {
+		o.Error = err.Error()
+		o.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+		return o
+	}
+	o.Rounds = rr.metrics.Rounds
+	o.RoundBound = s.RoundBound()
+	o.Messages = rr.metrics.Messages
+	o.Bits = rr.metrics.Bits
+	o.MaxBits = rr.metrics.MaxMessageBits
+	o.Covered = covered(rr, s.N)
+	o.Violations = check(s, rr, oracle)
+
+	if cfg.DeterminismEvery > 0 && idx%cfg.DeterminismEvery == 0 {
+		o.Violations = append(o.Violations, sh.checkDeterminism(s, values, rr)...)
+	}
+	o.Pass = len(o.Violations) == 0
+	o.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	return o
+}
+
+// checkDeterminism re-runs the scenario with a different simulator worker
+// count and demands a bit-identical result — the transcript-stability
+// invariant the round engine guarantees for any GOMAXPROCS.
+func (sh *shard) checkDeterminism(s Scenario, values []int64, base runResult) []Violation {
+	rr, err := sh.execute(s, values, 3)
+	if err != nil {
+		return []Violation{{"determinism", fmt.Sprintf("re-run failed: %v", err)}}
+	}
+	if rr.metrics != base.metrics {
+		return []Violation{{"determinism", fmt.Sprintf(
+			"metrics differ across worker counts: %+v vs %+v", base.metrics, rr.metrics)}}
+	}
+	for v := range base.outputs {
+		if base.outputs[v] != rr.outputs[v] {
+			return []Violation{{"determinism", fmt.Sprintf(
+				"node %d output differs across worker counts: %d vs %d",
+				v, base.outputs[v], rr.outputs[v])}}
+		}
+	}
+	for v := range base.ownQ {
+		if base.ownQ[v] != rr.ownQ[v] {
+			return []Violation{{"determinism", fmt.Sprintf(
+				"node %d own-quantile differs across worker counts", v)}}
+		}
+	}
+	return nil
+}
+
+// execute runs one scenario through the public facade (or the raw engine
+// for AlgEngine) and normalizes the result for the checkers.
+func (sh *shard) execute(s Scenario, values []int64, workers int) (runResult, error) {
+	cfg := gossipq.Config{
+		Seed:        s.Seed(sh.root),
+		Failures:    s.Failure.Model,
+		ExtraRounds: s.Failure.ExtraRounds,
+		Workers:     workers,
+	}
+	switch s.Alg {
+	case AlgApprox:
+		res, err := gossipq.ApproxQuantile(values, s.Phi, s.Eps, cfg)
+		if err != nil {
+			return runResult{}, err
+		}
+		return runResult{outputs: res.Outputs, has: res.Has, metrics: res.Metrics}, nil
+	case AlgMedian:
+		res, err := gossipq.Median(values, s.Eps, cfg)
+		if err != nil {
+			return runResult{}, err
+		}
+		return runResult{outputs: res.Outputs, has: res.Has, metrics: res.Metrics}, nil
+	case AlgExact:
+		res, err := gossipq.ExactQuantile(values, s.Phi, cfg)
+		if err != nil {
+			return runResult{}, err
+		}
+		return runResult{outputs: res.Outputs, exactValue: res.Value, metrics: res.Metrics}, nil
+	case AlgOwn:
+		res, err := gossipq.OwnQuantiles(values, s.Eps, cfg)
+		if err != nil {
+			return runResult{}, err
+		}
+		// outputs carries the inputs so the rank checker can locate each
+		// node's true quantile.
+		return runResult{outputs: values, ownQ: res.Quantile, metrics: res.Metrics}, nil
+	case AlgEngine:
+		return sh.runEngine(s, values, workers)
+	default:
+		return runResult{}, fmt.Errorf("conformance: unknown algorithm %q", s.Alg)
+	}
+}
+
+// runEngine drives a raw simulator engine through a pull/push/push-batch
+// phase mix, snapshotting metrics at every phase boundary for the algebra
+// checker and validating delivery ordering on the way. The shard's one
+// workspace is rebound across engine scenarios, so buffer reuse across
+// engines is itself under test.
+func (sh *shard) runEngine(s Scenario, values []int64, workers int) (runResult, error) {
+	opts := []sim.Option{}
+	if s.Failure.Model != nil {
+		opts = append(opts, sim.WithFailures(s.Failure.Model))
+	}
+	if workers > 0 {
+		opts = append(opts, sim.WithWorkers(workers))
+	}
+	e := sim.New(s.N, s.Seed(sh.root), opts...)
+	if sh.ws == nil {
+		sh.ws = sim.NewWorkspace[int64](e)
+	} else {
+		sh.ws.Rebind(e)
+	}
+	ws := sh.ws
+	n := s.N
+
+	rr := runResult{phases: []sim.Metrics{e.Metrics()}}
+	// recv callbacks run concurrently across engine shards, so the flag is
+	// atomic.
+	var orderViolated atomic.Bool
+	checkOrder := func(in []sim.Delivery[int64]) {
+		for i := 1; i < len(in); i++ {
+			if in[i].From < in[i-1].From {
+				orderViolated.Store(true)
+			}
+		}
+	}
+	snap := func() { rr.phases = append(rr.phases, e.Metrics()) }
+
+	dst := ws.Dst(0)
+	for r := 0; r < 3; r++ {
+		ws.Pull(dst, 64)
+	}
+	snap()
+
+	digests := make([]int64, n)
+	for r := 0; r < 3; r++ {
+		ws.Push(64,
+			func(v int) (int64, bool) { return values[v], v%5 != 2 },
+			func(v int, in []sim.Delivery[int64]) {
+				checkOrder(in)
+				for _, d := range in {
+					digests[v] = digests[v]*31 + d.Msg
+				}
+			})
+		snap()
+	}
+
+	for r := 0; r < 2; r++ {
+		batchRounds := ws.PushBatch(128,
+			func(v int) []int64 {
+				out := make([]int64, v%3)
+				for j := range out {
+					out[j] = values[v] + int64(j)
+				}
+				return out
+			},
+			func(v int, in []sim.Delivery[int64]) { checkOrder(in) },
+			nil)
+		if batchRounds < 1 || batchRounds > 2 {
+			rr.violations = append(rr.violations, Violation{"engine", fmt.Sprintf(
+				"push-batch phase charged %d rounds, want 1..2 for batches of ≤2", batchRounds)})
+		}
+		snap()
+	}
+	if orderViolated.Load() {
+		rr.violations = append(rr.violations, Violation{"engine", "inbox deliveries not sender-ordered"})
+	}
+
+	rr.outputs = digests
+	rr.metrics = gossipq.Metrics{
+		Rounds:         e.Metrics().Rounds,
+		Messages:       e.Metrics().Messages,
+		Bits:           e.Metrics().Bits,
+		MaxMessageBits: e.Metrics().MaxMessageBits,
+	}
+	return rr, nil
+}
+
+func covered(rr runResult, n int) int {
+	if rr.has == nil {
+		return n
+	}
+	c := 0
+	for _, h := range rr.has {
+		if h {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,280 @@
+// Exact quantile computation as concurrent node processes: every node
+// learns the exact ⌈φn⌉-smallest value while knowing only (n, φ, its own
+// value, a seed). The route is deliberately different from the simulator's
+// Algorithm 3 implementation — a flood-bracketed binary search over
+// push-sum rank counts — so that sim↔livenet output agreement in the
+// conformance differential mode is a genuine cross-implementation check,
+// not the same code run twice.
+//
+// Schedule (identical at every node, which is what keeps the Coordinator's
+// round barriers aligned):
+//
+//  1. Flood phase: every round each node pushes its (min, max) view to a
+//     uniformly random other node; after 2·⌈log2 n⌉ + slack rounds every
+//     node holds the global value range [lo, hi] w.h.p.
+//  2. ⌈log2(hi-lo+1)⌉ binary-search iterations. Each iteration runs one
+//     push-sum count [KDG03] of |{u : value_u <= mid}| (each node
+//     contributes its own indicator; counts converge to the same integer at
+//     every node w.h.p.), then bisects: rank ≥ ⌈φn⌉ keeps the lower half.
+//     The iteration count depends only on the flooded range, so nodes stay
+//     in lockstep regardless of which half they keep.
+//
+// Every message carries two 64-bit words — the same O(log n)-bit discipline
+// the simulator accounts. Push rounds are well-defined over the async
+// transport because the Coordinator releases a round only when all of its
+// messages were consumed; push-sum folds its deliveries in sender order so
+// float accumulation is deterministic per seed.
+package livenet
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"time"
+
+	"gossipq/internal/xrand"
+)
+
+// floodSlack is the extra-round allowance on top of the 2·⌈log2 n⌉ push
+// epidemic doubling estimate, covering the straggler tail w.h.p.
+const floodSlack = 12
+
+// watchdogTimeout bounds a live run's wall time. Every guarantee here is
+// w.h.p.: if a flood ever misses a node, that node derives a shorter
+// schedule, stops arriving at the barrier, and the run would otherwise hang
+// — the watchdog converts that (astronomically rare, deterministic per
+// seed) outcome, and any message lost by a failing transport, into an
+// error instead. Generous: the largest test cells finish in seconds.
+const watchdogTimeout = 2 * time.Minute
+
+// exactNode is one participant of the live exact-quantile protocol.
+type exactNode struct {
+	id    int
+	n     int
+	tr    Transport
+	rng   *xrand.RNG
+	co    *Coordinator
+	abort <-chan struct{}
+
+	stash []Message // messages taken off the inbox for later rounds
+}
+
+// exchange runs one lockstep round: push m (with the round stamp and sender
+// filled in) to a uniformly random other node, hold at the barrier, and
+// return this round's deliveries.
+func (en *exactNode) exchange(round int32, m Message) ([]Message, error) {
+	peer := en.rng.Intn(en.n - 1)
+	if peer >= en.id {
+		peer++
+	}
+	m.Round = round
+	m.From = int32(en.id)
+	en.co.NoteSent()
+	en.tr.Send(peer, m)
+
+	release := en.co.Arrive()
+	for {
+		select {
+		case got := <-en.tr.Inbox(en.id):
+			en.co.NoteReceived()
+			if got.Round < round {
+				return nil, fmt.Errorf("livenet: node %d got stale round %d message at round %d",
+					en.id, got.Round, round)
+			}
+			en.stash = append(en.stash, got)
+		case <-release:
+			kept := en.stash[:0]
+			var in []Message
+			for _, got := range en.stash {
+				if got.Round == round {
+					in = append(in, got)
+				} else {
+					kept = append(kept, got)
+				}
+			}
+			en.stash = kept
+			return in, nil
+		case <-en.abort:
+			return nil, fmt.Errorf("livenet: node %d aborted by a peer failure", en.id)
+		}
+	}
+}
+
+// exactRun is one node's full schedule; see the package comment above.
+func (en *exactNode) exactRun(value int64, k int, floodRounds, countRounds int) (int64, error) {
+	round := int32(0)
+
+	// Flood phase: epidemic (min, max).
+	lo, hi := value, value
+	for r := 0; r < floodRounds; r++ {
+		in, err := en.exchange(round, Message{Kind: KindFlood, Value: lo, Value2: hi})
+		if err != nil {
+			return 0, err
+		}
+		round++
+		for _, m := range in {
+			if m.Kind != KindFlood {
+				return 0, fmt.Errorf("livenet: node %d got kind %d in a flood round", en.id, m.Kind)
+			}
+			if m.Value < lo {
+				lo = m.Value
+			}
+			if m.Value2 > hi {
+				hi = m.Value2
+			}
+		}
+	}
+
+	// Binary search over [lo, hi]; the iteration count is a function of the
+	// flooded range alone, so every node runs the same schedule.
+	iters := bits.Len64(uint64(hi - lo))
+	for i := 0; i < iters; i++ {
+		mid := lo + int64(uint64(hi-lo)/2)
+		// One push-sum count of |{u : value_u <= mid}|.
+		var s float64
+		if value <= mid {
+			s = 1
+		}
+		w := 1.0
+		for r := 0; r < countRounds; r++ {
+			hs, hw := s/2, w/2
+			in, err := en.exchange(round, Message{
+				Kind:   KindCount,
+				Value:  int64(math.Float64bits(hs)),
+				Value2: int64(math.Float64bits(hw)),
+			})
+			if err != nil {
+				return 0, err
+			}
+			round++
+			s, w = hs, hw
+			// Sender-ordered folding keeps float accumulation deterministic.
+			sort.Slice(in, func(a, b int) bool { return in[a].From < in[b].From })
+			for _, m := range in {
+				if m.Kind != KindCount {
+					return 0, fmt.Errorf("livenet: node %d got kind %d in a count round", en.id, m.Kind)
+				}
+				s += math.Float64frombits(uint64(m.Value))
+				w += math.Float64frombits(uint64(m.Value2))
+			}
+		}
+		count := int64(math.Round(s / w * float64(en.n)))
+		if count >= int64(k) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}
+
+// ExactQuantile computes the exact ⌈φn⌉-smallest of values (φ = 0 → the
+// minimum) at every node, over the transport, with one goroutine per node.
+// Duplicate values are fine: the search returns the k-th smallest of the
+// multiset. The result reports the lockstep schedule's round count.
+func ExactQuantile(tr Transport, values []int64, phi float64, seed uint64) (Result, error) {
+	n := len(values)
+	if n < 2 {
+		return Result{}, fmt.Errorf("livenet: need at least 2 nodes, got %d", n)
+	}
+	if phi < 0 || phi > 1 || math.IsNaN(phi) {
+		return Result{}, fmt.Errorf("livenet: phi must be in [0, 1], got %v", phi)
+	}
+	k := int(math.Ceil(phi * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+
+	floodRounds := 2*ceilLog2(n) + floodSlack
+	// Enough push-sum rounds that every node's absolute count error is below
+	// 1/2 w.h.p. (same budget shape as internal/pushsum.DefaultRounds at
+	// eps = 1/(4n)).
+	countRounds := 2*ceilLog2(n) + 2*ceilLog2(4*n) + 16
+
+	// The protocol's peer-sampling streams live in their own namespace
+	// ("exct") so feeding one seed to both this and the tournament protocol
+	// never correlates their randomness.
+	src := xrand.NewSource(seed).Sub(0x65786374)
+	co := NewCoordinator(n)
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	outputs := make([]int64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		en := &exactNode{id: id, n: n, tr: tr, rng: src.Stream(uint64(id)), co: co, abort: abort}
+		wg.Add(1)
+		go func(en *exactNode, value int64) {
+			defer wg.Done()
+			out, err := en.exactRun(value, k, floodRounds, countRounds)
+			outputs[en.id] = out
+			errs[en.id] = err
+			if err != nil {
+				abortOnce.Do(func() { close(abort) })
+			}
+		}(en, values[id])
+	}
+	timedOut := watchdog(&wg, func() { abortOnce.Do(func() { close(abort) }) })
+
+	// A watchdog timeout is the root cause of the abort errors the nodes
+	// then report, so it wins the diagnosis.
+	if timedOut {
+		return Result{}, fmt.Errorf("livenet: exact run stalled past %v (schedule divergence or lost message)", watchdogTimeout)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	// Every node ran the same search depth; recover it from the input range,
+	// which determines it exactly as each node derived it.
+	return Result{Outputs: outputs, Rounds: floodRounds + searchIters(values)*countRounds}, nil
+}
+
+// watchdog waits for wg, aborting the run (and still waiting for the
+// goroutines to drain) if it outlives watchdogTimeout. Returns whether the
+// timeout fired.
+func watchdog(wg *sync.WaitGroup, abort func()) bool {
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return false
+	case <-time.After(watchdogTimeout):
+		abort()
+		<-done
+		return true
+	}
+}
+
+// searchIters reports the binary-search depth of a completed run.
+func searchIters(values []int64) int {
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return bits.Len64(uint64(hi - lo))
+}
+
+// ceilLog2 returns ⌈log2 x⌉ for x >= 1 (livenet's local copy; the package
+// deliberately does not import the simulator).
+func ceilLog2(x int) int {
+	k := 0
+	for v := 1; v < x; v <<= 1 {
+		k++
+	}
+	return k
+}

@@ -1,0 +1,112 @@
+package livenet
+
+import (
+	"testing"
+
+	"gossipq/internal/dist"
+	"gossipq/internal/stats"
+)
+
+func TestLiveExactQuantileChannelTransport(t *testing.T) {
+	for _, tc := range []struct {
+		kind dist.Kind
+		n    int
+		phi  float64
+	}{
+		{dist.Sequential, 192, 0.5},
+		{dist.Gaussian, 96, 0.25},
+		{dist.DuplicateHeavy, 128, 0.9},
+	} {
+		values := dist.Generate(tc.kind, tc.n, 17)
+		o := stats.NewOracle(values)
+		want := o.Quantile(tc.phi)
+		tr := NewChanTransport(tc.n)
+		res, err := ExactQuantile(tr, values, tc.phi, 21)
+		tr.Close()
+		if err != nil {
+			t.Fatalf("%v n=%d: %v", tc.kind, tc.n, err)
+		}
+		for v, x := range res.Outputs {
+			if x != want {
+				t.Fatalf("%v n=%d: node %d output %d, exact phi=%v quantile is %d",
+					tc.kind, tc.n, v, x, tc.phi, want)
+			}
+		}
+		if res.Rounds <= 0 {
+			t.Errorf("%v: no rounds reported", tc.kind)
+		}
+	}
+}
+
+func TestLiveExactQuantileEdgePhis(t *testing.T) {
+	const n = 64
+	values := dist.Generate(dist.Zipf, n, 5)
+	o := stats.NewOracle(values)
+	for _, phi := range []float64{0, 1} {
+		tr := NewChanTransport(n)
+		res, err := ExactQuantile(tr, values, phi, 9)
+		tr.Close()
+		if err != nil {
+			t.Fatalf("phi=%v: %v", phi, err)
+		}
+		want := o.Quantile(phi)
+		for _, x := range res.Outputs {
+			if x != want {
+				t.Fatalf("phi=%v: output %d, want %d", phi, x, want)
+			}
+		}
+	}
+}
+
+func TestLiveExactQuantileTCP(t *testing.T) {
+	const n = 16
+	values := dist.Generate(dist.Sequential, n, 3)
+	tr, err := NewTCPTransport(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	res, err := ExactQuantile(tr, values, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := stats.NewOracle(values).Quantile(0.5)
+	for _, x := range res.Outputs {
+		if x != want {
+			t.Fatalf("TCP exact output %d, want %d", x, want)
+		}
+	}
+}
+
+func TestLiveApproxLockstepMatchesAsync(t *testing.T) {
+	// The lockstep barrier must not change the transcript: same seed, same
+	// outputs and history as a free-running async run.
+	const n = 300
+	values := dist.Generate(dist.Uniform, n, 33)
+	run := func(lockstep bool) Result {
+		tr := NewChanTransport(n)
+		defer tr.Close()
+		res, err := ApproxQuantileOpts(tr, values, 0.3, 0.1, RunOptions{
+			Seed: 12, RecordHistory: true, Lockstep: lockstep,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(false), run(true)
+	for v := range a.Outputs {
+		if a.Outputs[v] != b.Outputs[v] {
+			t.Fatalf("node %d: async output %d, lockstep %d", v, a.Outputs[v], b.Outputs[v])
+		}
+		if len(a.History[v]) != len(b.History[v]) {
+			t.Fatalf("node %d: history lengths %d vs %d", v, len(a.History[v]), len(b.History[v]))
+		}
+		for r := range a.History[v] {
+			if a.History[v][r] != b.History[v][r] {
+				t.Fatalf("node %d round %d: async %d, lockstep %d",
+					v, r, a.History[v][r], b.History[v][r])
+			}
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package livenet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collectErrors returns an onError callback and a drain function that
+// reports every transport error observed so far.
+func collectErrors() (func(error), func() []error) {
+	var mu sync.Mutex
+	var errs []error
+	return func(err error) {
+			mu.Lock()
+			errs = append(errs, err)
+			mu.Unlock()
+		}, func() []error {
+			mu.Lock()
+			defer mu.Unlock()
+			return append([]error(nil), errs...)
+		}
+}
+
+// TestTCPPartialFrameSurfacesError writes a truncated frame to a node's
+// listener and closes the connection: the reader must report the error to
+// onError and must not deliver a phantom message.
+func TestTCPPartialFrameSurfacesError(t *testing.T) {
+	onErr, drain := collectErrors()
+	tr, err := NewTCPTransport(2, onErr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	addr := tr.(*tcpTransport).addrs[1]
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf [frameSize]byte
+	Message{Kind: KindRequest, Round: 3, From: 0, Value: 42}.encode(&buf)
+	if _, err := conn.Write(buf[:frameSize/2]); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	deadline := time.After(5 * time.Second)
+	for {
+		if errs := drain(); len(errs) > 0 {
+			if !errors.Is(errs[0], io.ErrUnexpectedEOF) {
+				t.Errorf("partial frame reported %v, want io.ErrUnexpectedEOF", errs[0])
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("partial frame produced no transport error")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	select {
+	case m := <-tr.Inbox(1):
+		t.Fatalf("partial frame delivered a message: %+v", m)
+	default:
+	}
+}
+
+// TestTCPConnectionClosedMidRound kills an established sender connection
+// underneath the transport: the next Send must surface a write error via
+// onError instead of panicking or blocking, and the transport must remain
+// usable for other routes.
+func TestTCPConnectionClosedMidRound(t *testing.T) {
+	onErr, drain := collectErrors()
+	tr, err := NewTCPTransport(3, onErr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tt := tr.(*tcpTransport)
+
+	// Establish the 0→1 route and confirm it works.
+	want := Message{Kind: KindRequest, Round: 1, From: 0, Value: 7}
+	tr.Send(1, want)
+	select {
+	case got := <-tr.Inbox(1):
+		if got != want {
+			t.Fatalf("got %+v, want %+v", got, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("initial frame not delivered")
+	}
+
+	// Sever the cached connection as a mid-round failure would.
+	tt.mu.Lock()
+	conn := tt.conns[[2]int{0, 1}]
+	tt.mu.Unlock()
+	if conn == nil {
+		t.Fatal("no cached connection for the 0→1 route")
+	}
+	conn.Close()
+
+	// The next send on the dead route must fail loudly, not hang. (It may
+	// take one buffered write for the peer reset to surface.)
+	deadline := time.After(5 * time.Second)
+	for len(drain()) == 0 {
+		tr.Send(1, Message{Kind: KindRequest, Round: 2, From: 0})
+		select {
+		case <-deadline:
+			t.Fatal("send on a closed connection surfaced no error")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+
+	// Other routes keep working.
+	want2 := Message{Kind: KindResponse, Round: 2, From: 2, Value: 9}
+	tr.Send(0, want2)
+	select {
+	case got := <-tr.Inbox(0):
+		if got != want2 {
+			t.Fatalf("got %+v, want %+v", got, want2)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("unrelated route broken after peer connection death")
+	}
+}
+
+// TestMailboxCloseDuringConcurrentPut closes a mailbox while producers are
+// still putting: no panic, no deadlock, the output channel must close, and
+// puts after close must be dropped silently.
+func TestMailboxCloseDuringConcurrentPut(t *testing.T) {
+	b := newMailbox()
+	const producers = 8
+	const per = 5000
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < per; i++ {
+				b.put(Message{Kind: KindRequest, From: int32(p), Round: int32(i)})
+			}
+		}(p)
+	}
+
+	drained := make(chan int)
+	go func() {
+		n := 0
+		for range b.out {
+			n++
+		}
+		drained <- n
+	}()
+
+	close(start)
+	time.Sleep(time.Millisecond) // let the puts race the close
+	b.close()
+	wg.Wait()
+
+	select {
+	case n := <-drained:
+		if n > producers*per {
+			t.Errorf("mailbox delivered %d messages, more than the %d put", n, producers*per)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("mailbox output channel never closed")
+	}
+
+	// Post-close puts are dropped, not queued and not panicking.
+	b.put(Message{Kind: KindRequest})
+}

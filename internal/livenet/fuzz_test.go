@@ -2,14 +2,14 @@ package livenet
 
 import "testing"
 
-// FuzzMessageCodec checks that every (kind, round, from, value) tuple
-// survives the wire encoding unchanged.
+// FuzzMessageCodec checks that every (kind, round, from, value, value2)
+// tuple survives the wire encoding unchanged.
 func FuzzMessageCodec(f *testing.F) {
-	f.Add(uint8(1), int32(0), int32(0), int64(0))
-	f.Add(uint8(2), int32(1<<30), int32(1<<31-1), int64(-1))
-	f.Add(uint8(255), int32(-5), int32(-7), int64(1<<62))
-	f.Fuzz(func(t *testing.T, kind uint8, round, from int32, value int64) {
-		m := Message{Kind: Kind(kind), Round: round, From: from, Value: value}
+	f.Add(uint8(1), int32(0), int32(0), int64(0), int64(0))
+	f.Add(uint8(2), int32(1<<30), int32(1<<31-1), int64(-1), int64(1))
+	f.Add(uint8(255), int32(-5), int32(-7), int64(1<<62), int64(-(1 << 62)))
+	f.Fuzz(func(t *testing.T, kind uint8, round, from int32, value, value2 int64) {
+		m := Message{Kind: Kind(kind), Round: round, From: from, Value: value, Value2: value2}
 		var buf [frameSize]byte
 		m.encode(&buf)
 		if got := decode(&buf); got != m {

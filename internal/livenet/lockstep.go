@@ -1,0 +1,73 @@
+package livenet
+
+import "sync"
+
+// Coordinator is the round barrier of lockstep runs: it releases a round
+// boundary only once every node has arrived AND every message sent during
+// the round has been taken off its receiver's inbox. This is the classic
+// central synchronizer for running synchronous algorithms over an
+// asynchronous network — nodes still learn protocol values exclusively
+// through transport messages; the coordinator carries no payload, only the
+// "round over" pulse a shared clock would provide in a real deployment.
+//
+// The delivery accounting is what makes push rounds well-defined over an
+// async transport: a receiver cannot know how many pushes to expect, but
+// the global condition "sent == received" can only hold, once all nodes
+// have arrived, when every in-flight message of the round has been
+// consumed (arrived nodes are blocked, so no later-round message exists
+// yet). Receivers may race ahead and pull a next-round message off the
+// wire before observing the release; such messages are stamped with their
+// round and stashed by the caller, and their send/receive events cancel in
+// the cumulative counters, so the accounting stays exact.
+type Coordinator struct {
+	n int
+
+	mu       sync.Mutex
+	arrived  int
+	inflight int64 // cumulative sent - received
+	release  chan struct{}
+}
+
+// NewCoordinator returns a barrier for n nodes.
+func NewCoordinator(n int) *Coordinator {
+	return &Coordinator{n: n, release: make(chan struct{})}
+}
+
+// NoteSent records one message handed to the transport. Call it before the
+// Send so the message is accounted in-flight by the time it can arrive.
+func (c *Coordinator) NoteSent() {
+	c.mu.Lock()
+	c.inflight++
+	c.mu.Unlock()
+}
+
+// NoteReceived records one message taken off an inbox.
+func (c *Coordinator) NoteReceived() {
+	c.mu.Lock()
+	c.inflight--
+	c.maybeRelease()
+	c.mu.Unlock()
+}
+
+// Arrive marks one node at the round boundary and returns the channel that
+// closes when the round is over. The node must keep draining its inbox
+// (calling NoteReceived per message) until the channel closes, or the
+// barrier can deadlock on its undelivered messages.
+func (c *Coordinator) Arrive() <-chan struct{} {
+	c.mu.Lock()
+	c.arrived++
+	ch := c.release
+	c.maybeRelease()
+	c.mu.Unlock()
+	return ch
+}
+
+// maybeRelease fires the barrier when all nodes arrived and no message is in
+// flight. Callers hold c.mu.
+func (c *Coordinator) maybeRelease() {
+	if c.arrived == c.n && c.inflight == 0 {
+		close(c.release)
+		c.arrived = 0
+		c.release = make(chan struct{})
+	}
+}

@@ -16,8 +16,9 @@ type node struct {
 	n     int
 	tr    Transport
 	rng   *xrand.RNG
-	coin  *xrand.RNG // δ coin, separate stream
+	seed  uint64 // root seed; δ coins derive per (id, iteration) from it
 	value int64
+	co    *Coordinator // non-nil in lockstep runs
 
 	// history[r] is the node's value entering round r (history[0] is the
 	// initial value); requests for round r are served from history[r].
@@ -28,6 +29,15 @@ type node struct {
 	abort   <-chan struct{}
 }
 
+// send hands one message to the transport, keeping the lockstep
+// coordinator's in-flight accounting exact.
+func (nd *node) send(to int, m Message) {
+	if nd.co != nil {
+		nd.co.NoteSent()
+	}
+	nd.tr.Send(to, m)
+}
+
 // step advances one model round: send one request to a uniform random other
 // node, serve incoming requests, and return the pulled value.
 func (nd *node) step() (int64, error) {
@@ -36,7 +46,7 @@ func (nd *node) step() (int64, error) {
 	if peer >= nd.id {
 		peer++
 	}
-	nd.tr.Send(peer, Message{Kind: KindRequest, Round: round, From: int32(nd.id)})
+	nd.send(peer, Message{Kind: KindRequest, Round: round, From: int32(nd.id)})
 
 	// Serve queued requests that became answerable (they never do mid-round
 	// — history only grows between rounds — but keeping the queue drained
@@ -46,6 +56,9 @@ func (nd *node) step() (int64, error) {
 	for {
 		select {
 		case m := <-nd.tr.Inbox(nd.id):
+			if nd.co != nil {
+				nd.co.NoteReceived()
+			}
 			switch m.Kind {
 			case KindRequest:
 				nd.serveOrQueue(m)
@@ -69,7 +82,7 @@ func (nd *node) step() (int64, error) {
 // serveOrQueue answers a request if this node's history covers it.
 func (nd *node) serveOrQueue(m Message) {
 	if int(m.Round) < len(nd.history) {
-		nd.tr.Send(int(m.From), Message{
+		nd.send(int(m.From), Message{
 			Kind:  KindResponse,
 			Round: m.Round,
 			From:  int32(nd.id),
@@ -92,11 +105,34 @@ func (nd *node) servePending() {
 	nd.pending = kept
 }
 
-// commit publishes the node's value entering the next round.
-func (nd *node) commit(v int64) {
+// commit publishes the node's value entering the next round, then, in
+// lockstep runs, holds at the coordinator's round barrier — serving
+// requests while waiting — until every node has committed the round.
+func (nd *node) commit(v int64) error {
 	nd.value = v
 	nd.history = append(nd.history, v)
 	nd.servePending()
+	if nd.co == nil {
+		return nil
+	}
+	release := nd.co.Arrive()
+	for {
+		select {
+		case m := <-nd.tr.Inbox(nd.id):
+			nd.co.NoteReceived()
+			if m.Kind == KindRequest {
+				nd.serveOrQueue(m)
+			} else {
+				return fmt.Errorf("livenet: node %d got kind %d at a round barrier", nd.id, m.Kind)
+			}
+		case <-release:
+			return nil
+		case <-nd.abort:
+			return fmt.Errorf("livenet: node %d aborted at a round barrier", nd.id)
+		case <-nd.done:
+			return fmt.Errorf("livenet: node %d cancelled at a round barrier", nd.id)
+		}
+	}
 }
 
 // serveUntilDone keeps answering requests after the node finished its own
@@ -121,17 +157,44 @@ type Result struct {
 	// Rounds is the protocol's model-round count (identical at every node:
 	// the schedule is deterministic).
 	Rounds int
+	// History, when requested, holds each node's committed value per round:
+	// History[v][r] is node v's value entering round r (History[v][0] the
+	// initial value). It is the live transcript the differential harness
+	// compares against the simulator's.
+	History [][]int64
+}
+
+// RunOptions tunes a live run beyond the protocol parameters.
+type RunOptions struct {
+	// Seed drives all node-local randomness, with the same per-node stream
+	// derivation the simulator uses.
+	Seed uint64
+	// K is the final sample count (0 = 15; forced odd), as in the simulator.
+	K int
+	// RecordHistory returns every node's per-round transcript in
+	// Result.History.
+	RecordHistory bool
+	// Lockstep installs a Coordinator round barrier so all nodes advance
+	// through model rounds together — the differential harness uses it to
+	// bound drift while comparing against the simulator.
+	Lockstep bool
 }
 
 // ApproxQuantile runs the full Theorem 2.1 algorithm over the transport
 // with one goroutine per node. It blocks until every node has produced its
 // output. The transport must serve exactly n nodes.
 func ApproxQuantile(tr Transport, values []int64, phi, eps float64, seed uint64, k int) (Result, error) {
+	return ApproxQuantileOpts(tr, values, phi, eps, RunOptions{Seed: seed, K: k})
+}
+
+// ApproxQuantileOpts is ApproxQuantile with the full option set.
+func ApproxQuantileOpts(tr Transport, values []int64, phi, eps float64, opt RunOptions) (Result, error) {
 	n := len(values)
 	if n < 2 {
 		return Result{}, fmt.Errorf("livenet: need at least 2 nodes, got %d", n)
 	}
 	eps = tournament.ClampEps(eps)
+	k := opt.K
 	if k <= 0 {
 		k = 15
 	}
@@ -142,12 +205,17 @@ func ApproxQuantile(tr Transport, values []int64, phi, eps float64, seed uint64,
 	plan3 := tournament.NewPlan3(eps/4, n)
 	totalRounds := plan2.Rounds() + plan3.Rounds() + k
 
-	src := xrand.NewSource(seed)
+	src := xrand.NewSource(opt.Seed)
 	done := make(chan struct{})
 	abort := make(chan struct{})
 	var abortOnce sync.Once
+	var co *Coordinator
+	if opt.Lockstep {
+		co = NewCoordinator(n)
+	}
 	outputs := make([]int64, n)
 	errs := make([]error, n)
+	nodes := make([]*node, n)
 	var wg sync.WaitGroup        // all node goroutines
 	var computeWG sync.WaitGroup // nodes still in their compute phase
 	computeWG.Add(n)
@@ -158,12 +226,14 @@ func ApproxQuantile(tr Transport, values []int64, phi, eps float64, seed uint64,
 			n:       n,
 			tr:      tr,
 			rng:     src.Stream(uint64(id)),
-			coin:    src.Sub(0x636f696e).Stream(uint64(id)),
+			seed:    opt.Seed,
 			value:   values[id],
+			co:      co,
 			history: []int64{values[id]},
 			done:    done,
 			abort:   abort,
 		}
+		nodes[id] = nd
 		wg.Add(1)
 		go func(nd *node) {
 			defer wg.Done()
@@ -180,17 +250,31 @@ func ApproxQuantile(tr Transport, values []int64, phi, eps float64, seed uint64,
 	}
 
 	// Once every node has computed its output, release the serving loops
-	// and wait for the goroutines to drain.
-	computeWG.Wait()
+	// and wait for the goroutines to drain. The watchdog converts a stalled
+	// run (a message lost by a failing transport would otherwise hang its
+	// requester forever) into an abort.
+	timedOut := watchdog(&computeWG, func() { abortOnce.Do(func() { close(abort) }) })
 	close(done)
 	wg.Wait()
 
+	// A watchdog timeout is the root cause of the abort errors the nodes
+	// then report, so it wins the diagnosis.
+	if timedOut {
+		return Result{}, fmt.Errorf("livenet: run stalled past %v (lost message or stuck peer)", watchdogTimeout)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return Result{}, err
 		}
 	}
-	return Result{Outputs: outputs, Rounds: totalRounds}, nil
+	res := Result{Outputs: outputs, Rounds: totalRounds}
+	if opt.RecordHistory {
+		res.History = make([][]int64, n)
+		for id, nd := range nodes {
+			res.History[id] = nd.history
+		}
+	}
+	return res, nil
 }
 
 // run executes the node's full schedule and returns its output, signalling
@@ -204,21 +288,26 @@ func (nd *node) run(plan2 tournament.Plan2, plan3 tournament.Plan3, k int, compu
 		if err != nil {
 			return 0, err
 		}
-		nd.commit(nd.value) // publish unchanged value for the second pull round
+		// Publish unchanged value for the second pull round.
+		if err := nd.commit(nd.value); err != nil {
+			return 0, err
+		}
 		b, err := nd.step()
 		if err != nil {
 			return 0, err
 		}
 		delta := plan2.Deltas[i]
 		next := a
-		if delta >= 1 || nd.coin.Bool(delta) {
+		if tournament.DeltaCoin(nd.seed, nd.id, i, delta) {
 			if plan2.UseMin == (a <= b) {
 				next = a
 			} else {
 				next = b
 			}
 		}
-		nd.commit(next)
+		if err := nd.commit(next); err != nil {
+			return 0, err
+		}
 	}
 
 	// Phase II: 3-TOURNAMENT, three pulls per iteration.
@@ -231,10 +320,14 @@ func (nd *node) run(plan2 tournament.Plan2, plan3 tournament.Plan3, k int, compu
 			}
 			s[j] = v
 			if j < 2 {
-				nd.commit(nd.value)
+				if err := nd.commit(nd.value); err != nil {
+					return 0, err
+				}
 			}
 		}
-		nd.commit(median3(s[0], s[1], s[2]))
+		if err := nd.commit(median3(s[0], s[1], s[2])); err != nil {
+			return 0, err
+		}
 	}
 
 	// Final step: K samples, output their median.
@@ -245,7 +338,9 @@ func (nd *node) run(plan2 tournament.Plan2, plan3 tournament.Plan3, k int, compu
 			return 0, err
 		}
 		samples = append(samples, v)
-		nd.commit(nd.value)
+		if err := nd.commit(nd.value); err != nil {
+			return 0, err
+		}
 	}
 	return medianOf(samples), nil
 }

@@ -34,31 +34,44 @@ const (
 	KindRequest Kind = iota + 1
 	// KindResponse carries the requested value back.
 	KindResponse
+	// KindFlood carries an epidemic (min, max) pair in (Value, Value2)
+	// during a lockstep flood round (exact.go).
+	KindFlood
+	// KindCount carries a push-sum half-pair: Value holds the float64 bits
+	// of s/2 and Value2 those of w/2 (exact.go).
+	KindCount
 )
 
-// Message is the single wire format: 1+4+4+8 bytes when framed.
+// Message is the single wire format: 1+4+4+8+8 bytes when framed. Value2 is
+// the second payload word of the two-word protocols (floods and push-sum
+// counting); request/response traffic leaves it zero. Both layouts stay
+// within the paper's O(log n)-bit message discipline (two 64-bit words, the
+// same 128-bit cap the simulator accounts).
 type Message struct {
-	Kind  Kind
-	Round int32
-	From  int32
-	Value int64
+	Kind   Kind
+	Round  int32
+	From   int32
+	Value  int64
+	Value2 int64
 }
 
-const frameSize = 1 + 4 + 4 + 8
+const frameSize = 1 + 4 + 4 + 8 + 8
 
 func (m Message) encode(buf *[frameSize]byte) {
 	buf[0] = byte(m.Kind)
 	binary.LittleEndian.PutUint32(buf[1:5], uint32(m.Round))
 	binary.LittleEndian.PutUint32(buf[5:9], uint32(m.From))
 	binary.LittleEndian.PutUint64(buf[9:17], uint64(m.Value))
+	binary.LittleEndian.PutUint64(buf[17:25], uint64(m.Value2))
 }
 
 func decode(buf *[frameSize]byte) Message {
 	return Message{
-		Kind:  Kind(buf[0]),
-		Round: int32(binary.LittleEndian.Uint32(buf[1:5])),
-		From:  int32(binary.LittleEndian.Uint32(buf[5:9])),
-		Value: int64(binary.LittleEndian.Uint64(buf[9:17])),
+		Kind:   Kind(buf[0]),
+		Round:  int32(binary.LittleEndian.Uint32(buf[1:5])),
+		From:   int32(binary.LittleEndian.Uint32(buf[5:9])),
+		Value:  int64(binary.LittleEndian.Uint64(buf[9:17])),
+		Value2: int64(binary.LittleEndian.Uint64(buf[17:25])),
 	}
 }
 

@@ -193,18 +193,30 @@ func (e *Engine) Metrics() Metrics {
 // Rounds returns the number of rounds executed so far.
 func (e *Engine) Rounds() int { return e.round }
 
+// algoNamespace is the stream namespace separating algorithm-level coins
+// from the engine's peer-sampling streams ("Algo").
+const algoNamespace = 0x416c676f
+
 // AlgorithmRNG returns a private random stream for algorithm-level choices
 // (e.g. Algorithm 1's δ coin), derived from the engine seed and a tag so
 // different protocol phases never share randomness with peer sampling.
 func (e *Engine) AlgorithmRNG(tag uint64) *xrand.RNG {
-	return e.src.Sub(0x416c676f).Stream(tag)
+	return e.src.Sub(algoNamespace).Stream(tag)
 }
 
 // AlgorithmSource returns a private stream-deriving source in the same
 // namespace as AlgorithmRNG, for protocols that need per-node algorithm
 // coins (one stream per node) independent of the engine's peer sampling.
 func (e *Engine) AlgorithmSource(tag uint64) xrand.Source {
-	return e.src.Sub(0x416c676f).Sub(tag)
+	return AlgorithmSourceAt(e.src.Seed(), tag)
+}
+
+// AlgorithmSourceAt returns the source AlgorithmSource(tag) yields on an
+// engine rooted at seed, without constructing an engine. Transports that
+// must reproduce an engine transcript (livenet's differential mode) derive
+// their algorithm coins through this so the two derivations cannot drift.
+func AlgorithmSourceAt(seed, tag uint64) xrand.Source {
+	return xrand.NewSource(seed).Sub(algoNamespace).Sub(tag)
 }
 
 // runShards runs f once per shard of the given partition, in parallel when

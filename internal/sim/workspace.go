@@ -56,6 +56,32 @@ func NewWorkspace[M any](e *Engine) *Workspace[M] {
 // Engine returns the engine the workspace is bound to.
 func (w *Workspace[M]) Engine() *Engine { return w.e }
 
+// Rebind attaches the workspace to a fresh engine, keeping every buffer
+// whose shape still fits (same population and counting-sort shard count) and
+// dropping the rest for lazy reallocation. Harnesses that run many
+// simulations of one population size — the conformance runner's shards —
+// rebind one workspace instead of allocating per run. The workspace must
+// not be mid-operation, and the usual single-engine aliasing rules apply to
+// the new binding.
+func (w *Workspace[M]) Rebind(e *Engine) {
+	if e == nil {
+		panic("sim: Rebind to nil engine")
+	}
+	sameShape := w.e != nil && e.n == w.e.n &&
+		len(e.sortBounds) == len(w.e.sortBounds) && len(e.bounds) == len(w.e.bounds)
+	if !sameShape {
+		w.targets = nil
+		w.msgs = nil
+		w.counts = nil
+		w.offsets = nil
+		w.blockSum = nil
+		w.inbox = nil
+		w.batch = nil
+		w.dsts = nil
+	}
+	w.e = e
+}
+
 // Dst returns the i-th reusable pull-destination buffer (length n),
 // allocating it on first request. Protocols that pull from several peers per
 // iteration use Dst(0), Dst(1), ... instead of allocating their own slices.

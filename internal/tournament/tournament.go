@@ -216,16 +216,34 @@ func insertionSort(xs []int64) {
 	}
 }
 
+// deltaTag names the δ-coin stream within the engine's algorithm namespace
+// ("2TOU").
+const deltaTag = 0x32544F55
+
 // deltaSource returns a lazily seeded per-node coin for the δ-truncated
 // iteration of Algorithm 1, drawn from the engine's algorithm namespace so
 // it never correlates with peer sampling.
 func deltaSource(e *sim.Engine) func(v, iter int) *xrand.RNG {
-	src := e.AlgorithmSource(0x32544F55) // "2TOU"
+	src := e.AlgorithmSource(deltaTag)
 	var r xrand.RNG
 	return func(v, iter int) *xrand.RNG {
 		src.SeedInto(&r, uint64(v)<<20|uint64(iter))
 		return &r
 	}
+}
+
+// DeltaCoin reports the δ-truncation coin outcome for node v in 2-TOURNAMENT
+// iteration iter of a run rooted at seed — the exact draw deltaSource
+// performs through an engine with that seed. livenet's node-local runner
+// consults this shared derivation, which is what makes a live transcript
+// agree bit-for-bit with the simulator's for equal seeds.
+func DeltaCoin(seed uint64, v, iter int, delta float64) bool {
+	if delta >= 1 {
+		return true
+	}
+	var r xrand.RNG
+	sim.AlgorithmSourceAt(seed, deltaTag).SeedInto(&r, uint64(v)<<20|uint64(iter))
+	return r.Bool(delta)
 }
 
 // TotalRounds predicts the full round cost of ApproxQuantile for the given

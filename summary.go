@@ -27,7 +27,7 @@ type Summary struct {
 // BuildSummary runs the grid of approximate quantile computations. ε is the
 // summary's accuracy: Query and Rank answers are within ±ε of truth w.h.p.
 func BuildSummary(values []int64, eps float64, cfg Config) (*Summary, error) {
-	if err := validate(values, 0); err != nil {
+	if err := validate(values, 0, cfg); err != nil {
 		return nil, err
 	}
 	if eps <= 0 || math.IsNaN(eps) || eps > 0.5 {

@@ -1,0 +1,112 @@
+package gossipq_test
+
+import (
+	"math"
+	"testing"
+
+	"gossipq"
+	"gossipq/internal/dist"
+)
+
+// TestConfigValidationErrorText pins the exact error text every invalid
+// input produces at the facade, entry point by entry point: these strings
+// are what users see and scripts match on, so they are part of the API.
+func TestConfigValidationErrorText(t *testing.T) {
+	two := []int64{1, 2}
+	type call func() error
+	approx := func(values []int64, phi, eps float64, cfg gossipq.Config) call {
+		return func() error { _, err := gossipq.ApproxQuantile(values, phi, eps, cfg); return err }
+	}
+	median := func(values []int64, eps float64, cfg gossipq.Config) call {
+		return func() error { _, err := gossipq.Median(values, eps, cfg); return err }
+	}
+	exact := func(values []int64, phi float64, cfg gossipq.Config) call {
+		return func() error { _, err := gossipq.ExactQuantile(values, phi, cfg); return err }
+	}
+	own := func(values []int64, eps float64, cfg gossipq.Config) call {
+		return func() error { _, err := gossipq.OwnQuantiles(values, eps, cfg); return err }
+	}
+	summary := func(values []int64, eps float64, cfg gossipq.Config) call {
+		return func() error { _, err := gossipq.BuildSummary(values, eps, cfg); return err }
+	}
+
+	cases := []struct {
+		name string
+		run  call
+		want string
+	}{
+		{"approx/nil-values", approx(nil, 0.5, 0.1, gossipq.Config{}),
+			"gossipq: need at least 2 values, got 0"},
+		{"approx/one-value", approx([]int64{7}, 0.5, 0.1, gossipq.Config{}),
+			"gossipq: need at least 2 values, got 1"},
+		{"approx/negative-phi", approx(two, -0.1, 0.1, gossipq.Config{}),
+			"gossipq: phi must be in [0, 1], got -0.1"},
+		{"approx/phi-above-one", approx(two, 1.5, 0.1, gossipq.Config{}),
+			"gossipq: phi must be in [0, 1], got 1.5"},
+		{"approx/nan-phi", approx(two, math.NaN(), 0.1, gossipq.Config{}),
+			"gossipq: phi must be in [0, 1], got NaN"},
+		{"approx/zero-eps", approx(two, 0.5, 0, gossipq.Config{}),
+			"gossipq: eps must be positive, got 0"},
+		{"approx/negative-eps", approx(two, 0.5, -0.25, gossipq.Config{}),
+			"gossipq: eps must be positive, got -0.25"},
+		{"approx/nan-eps", approx(two, 0.5, math.NaN(), gossipq.Config{}),
+			"gossipq: eps must be positive, got NaN"},
+		{"approx/negative-workers", approx(two, 0.5, 0.1, gossipq.Config{Workers: -2}),
+			"gossipq: Workers must be >= 0, got -2"},
+		{"median/one-value", median([]int64{7}, 0.1, gossipq.Config{}),
+			"gossipq: need at least 2 values, got 1"},
+		{"median/negative-workers", median(two, 0.1, gossipq.Config{Workers: -1}),
+			"gossipq: Workers must be >= 0, got -1"},
+		{"exact/nil-values", exact(nil, 0.5, gossipq.Config{}),
+			"gossipq: need at least 2 values, got 0"},
+		{"exact/negative-phi", exact(two, -1, gossipq.Config{}),
+			"gossipq: phi must be in [0, 1], got -1"},
+		{"exact/nan-phi", exact(two, math.NaN(), gossipq.Config{}),
+			"gossipq: phi must be in [0, 1], got NaN"},
+		{"exact/negative-workers", exact(two, 0.5, gossipq.Config{Workers: -8}),
+			"gossipq: Workers must be >= 0, got -8"},
+		{"own/nil-values", own(nil, 0.2, gossipq.Config{}),
+			"gossipq: need at least 2 values, got 0"},
+		{"own/zero-eps", own(two, 0, gossipq.Config{}),
+			"gossipq: eps must be positive in (0, 1], got 0"},
+		{"own/eps-above-one", own(two, 2, gossipq.Config{}),
+			"gossipq: eps must be positive in (0, 1], got 2"},
+		{"own/nan-eps", own(two, math.NaN(), gossipq.Config{}),
+			"gossipq: eps must be positive in (0, 1], got NaN"},
+		{"own/negative-workers", own(two, 0.2, gossipq.Config{Workers: -3}),
+			"gossipq: Workers must be >= 0, got -3"},
+		{"summary/eps-above-half", summary(two, 0.6, gossipq.Config{}),
+			"gossipq: eps must be positive in (0, 0.5], got 0.6"},
+		{"summary/negative-workers", summary(two, 0.2, gossipq.Config{Workers: -4}),
+			"gossipq: Workers must be >= 0, got -4"},
+	}
+	for _, tc := range cases {
+		err := tc.run()
+		if err == nil {
+			t.Errorf("%s: no error, want %q", tc.name, tc.want)
+			continue
+		}
+		if err.Error() != tc.want {
+			t.Errorf("%s:\n  got  %q\n  want %q", tc.name, err.Error(), tc.want)
+		}
+	}
+}
+
+// TestValidationLeavesValidCallsAlone guards against over-eager validation:
+// the boundary parameter values the docs promise to accept must still run.
+func TestValidationLeavesValidCallsAlone(t *testing.T) {
+	values := []int64{5, 1, 4, 2, 3, 9, 8, 7, 6, 10}
+	if _, err := gossipq.ApproxQuantile(values, 0, 0.125, gossipq.Config{}); err != nil {
+		t.Errorf("phi=0 rejected: %v", err)
+	}
+	if _, err := gossipq.ApproxQuantile(values, 1, 0.125, gossipq.Config{}); err != nil {
+		t.Errorf("phi=1 rejected: %v", err)
+	}
+	if _, err := gossipq.OwnQuantiles(values, 1, gossipq.Config{}); err != nil {
+		t.Errorf("OwnQuantiles eps=1 rejected: %v", err)
+	}
+	big := dist.Generate(dist.Sequential, 512, 1)
+	if _, err := gossipq.ExactQuantile(big, 0.5, gossipq.Config{Workers: 2}); err != nil {
+		t.Errorf("positive Workers rejected: %v", err)
+	}
+}
