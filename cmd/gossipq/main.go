@@ -1,19 +1,23 @@
-// Command gossipq runs a single gossip quantile computation on a synthetic
-// workload and reports the answer and its complexity, for interactive
-// exploration of the library.
+// Command gossipq runs gossip quantile computations on a synthetic workload
+// and reports answers and complexity, for interactive exploration of the
+// library — or, with the serve subcommand, stands up an HTTP quantile
+// server over a loaded session.
 //
 // Examples:
 //
 //	gossipq -n 100000 -phi 0.99 -eps 0.01             # approximate p99
 //	gossipq -n 65536 -phi 0.5 -exact                  # exact median
+//	gossipq -n 65536 -phis 0.1,0.5,0.99 -eps 0.02     # one session, many quantiles
 //	gossipq -n 32768 -phi 0.5 -eps 0.05 -mu 0.5 -t 6  # under 50% failures
 //	gossipq -n 10000 -workload zipf -phi 0.9 -eps 0.02
+//	gossipq serve -n 65536 -addr 127.0.0.1:8356       # HTTP quantile server
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"gossipq"
@@ -22,6 +26,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		os.Exit(serveCmd(os.Args[2:]))
+	}
 	var (
 		n      = flag.Int("n", 100000, "number of nodes")
 		phi    = flag.Float64("phi", 0.5, "target quantile in [0,1]")
@@ -30,6 +37,7 @@ func main() {
 		// The help text is derived from the dist package itself, so the
 		// advertised kinds are exactly the ones ByName accepts.
 		workload = flag.String("workload", "uniform", "value distribution: "+strings.Join(dist.Names(), "|"))
+		phis     = flag.String("phis", "", "comma-separated quantile targets answered from ONE session (overrides -phi)")
 		seed     = flag.Uint64("seed", 1, "random seed (reruns with the same seed are identical)")
 		mu       = flag.Float64("mu", 0, "per-node per-round failure probability (Thm 1.4)")
 		extraT   = flag.Int("t", 0, "extra adoption rounds under failures (Thm 1.4's t)")
@@ -46,6 +54,14 @@ func main() {
 	cfg := gossipq.Config{Seed: *seed, ExtraRounds: *extraT}
 	if *mu > 0 {
 		cfg.Failures = gossipq.UniformFailures(*mu)
+	}
+
+	if *phis != "" {
+		if err := runBatch(values, *phis, *eps, *exactF, *verify, *workload, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *exactF {
@@ -82,6 +98,60 @@ func main() {
 		}
 		fmt.Printf("oracle check: %s (%d covered nodes outside the ±εn window)\n", mark(bad == 0), bad)
 	}
+}
+
+// runBatch answers every φ in the comma-separated list from one session —
+// the population is loaded (and, for -exact, distinctified) once instead of
+// once per quantile, and the oracle check reuses one sorted copy.
+func runBatch(values []int64, phiList string, eps float64, exact, verify bool, workload string, cfg gossipq.Config) error {
+	session, err := gossipq.NewSession(values, cfg)
+	if err != nil {
+		return err
+	}
+	var queries []gossipq.Query
+	for _, f := range strings.Split(phiList, ",") {
+		phi, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return fmt.Errorf("bad -phis entry %q: %w", f, err)
+		}
+		queries = append(queries, gossipq.Query{Phi: phi, Eps: eps, Exact: exact})
+	}
+	answers, err := session.Batch(queries)
+	if err != nil {
+		return err
+	}
+	mode := fmt.Sprintf("%.4g-approximate", eps)
+	if exact {
+		mode = "exact"
+	}
+	fmt.Printf("%s quantiles of %d %s values from one session:"+"\n", mode, session.N(), workload)
+	var total gossipq.Metrics
+	for i, a := range answers {
+		if a.Err != nil {
+			return fmt.Errorf("phi=%.4f: %w", queries[i].Phi, a.Err)
+		}
+		line := fmt.Sprintf("  phi=%.4f  value=%d  rounds=%d  coverage=%d/%d",
+			queries[i].Phi, a.Value, a.Metrics.Rounds, a.Covered, session.N())
+		if verify {
+			var ok bool
+			if exact {
+				ok = a.Value == session.OracleQuantile(queries[i].Phi)
+			} else {
+				ok = session.Verify(a.Value, queries[i].Phi, eps)
+			}
+			line += "  oracle=" + mark(ok)
+		}
+		fmt.Println(line)
+		total.Rounds += a.Metrics.Rounds
+		total.Messages += a.Metrics.Messages
+		total.Bits += a.Metrics.Bits
+		if a.Metrics.MaxMessageBits > total.MaxMessageBits {
+			total.MaxMessageBits = a.Metrics.MaxMessageBits
+		}
+	}
+	fmt.Printf("session total over %d queries:"+"\n", len(answers))
+	report(total, session.N())
+	return nil
 }
 
 func report(m gossipq.Metrics, n int) {

@@ -1,0 +1,233 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"gossipq"
+	"gossipq/internal/dist"
+)
+
+// serveCmd implements `gossipq serve`: it loads one gossipq.Session over a
+// synthetic population and serves quantile queries over HTTP/JSON. The
+// session layer makes the handlers trivially concurrent — every request
+// checks an engine/scratch rig out of the session pool and runs its own
+// deterministic gossip computation.
+//
+//	GET  /quantile?phi=0.99&eps=0.01[&exact=true]   one query
+//	POST /batch    {"queries":[{"phi":0.5,"eps":0.05},{"phi":0.9,"exact":true}]}
+//	GET  /healthz  liveness + population and traffic counters
+func serveCmd(args []string) int {
+	fs := flag.NewFlagSet("gossipq serve", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8356", "listen address")
+		n        = fs.Int("n", 65536, "number of nodes")
+		workload = fs.String("workload", "uniform", "value distribution: "+strings.Join(dist.Names(), "|"))
+		seed     = fs.Uint64("seed", 1, "session seed (each query derives its engine from (seed, query id))")
+		eps      = fs.Float64("eps", 0.05, "default approximation width for queries that omit eps")
+		workers  = fs.Int("workers", 1, "per-query simulation workers; 1 leaves the cores to concurrent queries")
+		check    = fs.Bool("check", false, "verify every answer against the centralized oracle (adds \"ok\" to responses)")
+	)
+	fs.Parse(args)
+
+	kind, err := dist.ByName(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	values := dist.Generate(kind, *n, *seed)
+	session, err := gossipq.NewSession(values, gossipq.Config{Seed: *seed, Workers: *workers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if *check {
+		// Pay the oracle sort now, not on the first checked request.
+		session.OracleQuantile(0.5)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/quantile", func(w http.ResponseWriter, r *http.Request) {
+		q, err := queryFromURL(r, *eps)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		a, err := answerOne(session, q, *check)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, a)
+	})
+	mux.HandleFunc("/batch", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+			return
+		}
+		var req struct {
+			Queries []queryJSON `json:"queries"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		qs := make([]gossipq.Query, len(req.Queries))
+		for i, qj := range req.Queries {
+			q, err := qj.query(*eps)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("query %d: %w", i, err))
+				return
+			}
+			qs[i] = q
+		}
+		answers, err := session.Batch(qs)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp := struct {
+			Answers []answerJSON `json:"answers"`
+		}{Answers: make([]answerJSON, len(answers))}
+		for i, a := range answers {
+			resp.Answers[i] = toAnswerJSON(session, qs[i], a, *check)
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"status":         "ok",
+			"n":              session.N(),
+			"workload":       *workload,
+			"queries_issued": session.QueriesIssued(),
+		})
+	})
+
+	log.Printf("gossipq serve: session over %d %s values (seed %d), eps default %g, listening on %s",
+		*n, *workload, *seed, *eps, *addr)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
+}
+
+// queryJSON is the wire shape of one query; a zero eps selects the server's
+// default width. Phi is a pointer so an omitted (or typo'd) phi key is a
+// 400, matching /quantile's missing-parameter check, rather than silently
+// answering the 0-quantile.
+type queryJSON struct {
+	Phi   *float64 `json:"phi"`
+	Eps   float64  `json:"eps"`
+	Exact bool     `json:"exact"`
+}
+
+func (q queryJSON) query(defaultEps float64) (gossipq.Query, error) {
+	if q.Phi == nil {
+		return gossipq.Query{}, fmt.Errorf("missing phi in query")
+	}
+	eps := q.Eps
+	if eps == 0 {
+		eps = defaultEps
+	}
+	return gossipq.Query{Phi: *q.Phi, Eps: eps, Exact: q.Exact}, nil
+}
+
+// answerJSON is the wire shape of one answer. OK is present only when the
+// server runs with -check.
+type answerJSON struct {
+	Phi      float64 `json:"phi"`
+	Eps      float64 `json:"eps,omitempty"`
+	Exact    bool    `json:"exact"`
+	Value    int64   `json:"value"`
+	QueryID  uint64  `json:"query_id"`
+	Covered  int     `json:"covered"`
+	Rounds   int     `json:"rounds"`
+	Messages int64   `json:"messages"`
+	Error    string  `json:"error,omitempty"`
+	OK       *bool   `json:"ok,omitempty"`
+}
+
+func queryFromURL(r *http.Request, defaultEps float64) (gossipq.Query, error) {
+	q := gossipq.Query{Eps: defaultEps}
+	phiS := r.URL.Query().Get("phi")
+	if phiS == "" {
+		return q, fmt.Errorf("missing phi parameter")
+	}
+	phi, err := strconv.ParseFloat(phiS, 64)
+	if err != nil {
+		return q, fmt.Errorf("bad phi: %w", err)
+	}
+	q.Phi = phi
+	if epsS := r.URL.Query().Get("eps"); epsS != "" {
+		eps, err := strconv.ParseFloat(epsS, 64)
+		if err != nil {
+			return q, fmt.Errorf("bad eps: %w", err)
+		}
+		q.Eps = eps
+	}
+	if exS := r.URL.Query().Get("exact"); exS != "" {
+		exact, err := strconv.ParseBool(exS)
+		if err != nil {
+			return q, fmt.Errorf("bad exact: %w", err)
+		}
+		q.Exact = exact
+	}
+	return q, nil
+}
+
+func answerOne(s *gossipq.Session, q gossipq.Query, check bool) (answerJSON, error) {
+	answers, err := s.Batch([]gossipq.Query{q})
+	if err != nil {
+		return answerJSON{}, err
+	}
+	return toAnswerJSON(s, q, answers[0], check), nil
+}
+
+func toAnswerJSON(s *gossipq.Session, q gossipq.Query, a gossipq.Answer, check bool) answerJSON {
+	out := answerJSON{
+		Phi:      q.Phi,
+		Exact:    q.Exact,
+		Value:    a.Value,
+		QueryID:  a.QueryID,
+		Covered:  a.Covered,
+		Rounds:   a.Metrics.Rounds,
+		Messages: a.Metrics.Messages,
+	}
+	if !q.Exact {
+		out.Eps = q.Eps
+	}
+	if a.Err != nil {
+		out.Error = a.Err.Error()
+		return out
+	}
+	if check {
+		var ok bool
+		if q.Exact {
+			ok = a.Value == s.OracleQuantile(q.Phi)
+		} else {
+			ok = s.Verify(a.Value, q.Phi, q.Eps)
+		}
+		out.OK = &ok
+	}
+	return out
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("serve: encoding response: %v", err)
+	}
+}

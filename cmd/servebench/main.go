@@ -1,0 +1,92 @@
+// Command servebench runs the closed-loop session serving benchmark
+// (internal/servebench) and writes the results as one machine-readable JSON
+// file, the serving-side counterpart of cmd/benchjson's BENCH_sim.json: CI
+// uploads BENCH_serve.json as an artifact so the query-throughput trajectory
+// is tracked across commits alongside the engine's ns/round.
+//
+// Usage:
+//
+//	servebench                     # full suite (n = 2^16, clients 1/4/8 + exact), write BENCH_serve.json
+//	servebench -quick              # CI smoke: smaller population, fewer queries
+//	servebench -out path.json      # choose the output path
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"gossipq/internal/servebench"
+)
+
+// File is the top-level schema of BENCH_serve.json.
+type File struct {
+	Suite      string              `json:"suite"`
+	Timestamp  string              `json:"timestamp"`
+	GoVersion  string              `json:"go_version"`
+	GOOS       string              `json:"goos"`
+	GOARCH     string              `json:"goarch"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	Benchmarks []servebench.Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out   = flag.String("out", "BENCH_serve.json", "output path for the JSON report")
+		quick = flag.Bool("quick", false, "CI smoke mode: smaller population and fewer queries")
+	)
+	flag.Parse()
+
+	// The headline row is concurrent approximate traffic at n = 65536; the
+	// clients sweep shows how cross-query parallelism scales, and the exact
+	// row tracks the expensive algorithm at a size it answers in seconds.
+	opts := []servebench.Options{
+		{N: 1 << 16, Clients: 1, QueriesPerClient: 16},
+		{N: 1 << 16, Clients: 4, QueriesPerClient: 16},
+		{N: 1 << 16, Clients: 8, QueriesPerClient: 12},
+		{N: 1 << 13, Clients: 4, QueriesPerClient: 2, Exact: true},
+	}
+	if *quick {
+		opts = []servebench.Options{
+			{N: 1 << 14, Clients: 1, QueriesPerClient: 8},
+			{N: 1 << 14, Clients: 4, QueriesPerClient: 8},
+			{N: 1 << 12, Clients: 2, QueriesPerClient: 2, Exact: true},
+		}
+	}
+
+	f := File{
+		Suite:      "serve",
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, o := range opts {
+		r, err := servebench.Run(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "servebench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Benchmarks = append(f.Benchmarks, r)
+	}
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "servebench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "servebench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(f.Benchmarks))
+	for _, r := range f.Benchmarks {
+		fmt.Printf("  %-28s %10.1f queries/sec %10.1f allocs/query\n",
+			r.Name, r.QueriesPerSec, r.AllocsPerQuery)
+	}
+}

@@ -42,6 +42,68 @@ func ExampleExactQuantile() {
 	// exact median: 1024
 }
 
+// ExampleSession loads a population once and answers many quantile queries
+// from it: the session reuses pooled engines and protocol scratch across
+// queries (zero steady-state allocations) and is safe to call from many
+// goroutines at once. Each query's transcript is determined by the session
+// seed and its query id.
+func ExampleSession() {
+	values := make([]int64, 4096)
+	for i := range values {
+		values[i] = int64((i*2741)%4096 + 1) // a fixed permutation of 1..4096
+	}
+	s, err := gossipq.NewSession(values, gossipq.Config{Seed: 2})
+	if err != nil {
+		panic(err)
+	}
+	p50, err := s.ApproxQuantile(0.5, 0.05)
+	if err != nil {
+		panic(err)
+	}
+	exact, err := s.ExactQuantile(0.9)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("p50 within ±εn:", s.Verify(p50.Value, 0.5, 0.05))
+	fmt.Println("exact p90:", exact.Value)
+	fmt.Println("queries issued:", s.QueriesIssued())
+	// Output:
+	// p50 within ±εn: true
+	// exact p90: 3687
+	// queries issued: 2
+}
+
+// ExampleSession_batch answers a whole percentile dashboard from one
+// session: one population load, one engine pool, three queries.
+func ExampleSession_batch() {
+	values := make([]int64, 4096)
+	for i := range values {
+		values[i] = int64((i*2741)%4096 + 1)
+	}
+	s, err := gossipq.NewSession(values, gossipq.Config{Seed: 2})
+	if err != nil {
+		panic(err)
+	}
+	answers, err := s.Batch([]gossipq.Query{
+		{Phi: 0.5, Eps: 0.05},
+		{Phi: 0.9, Eps: 0.05},
+		{Phi: 0.99, Eps: 0.05},
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i, a := range answers {
+		if a.Err != nil {
+			panic(a.Err)
+		}
+		fmt.Printf("query %d ok: %v\n", i, s.Verify(a.Value, []float64{0.5, 0.9, 0.99}[i], 0.05))
+	}
+	// Output:
+	// query 0 ok: true
+	// query 1 ok: true
+	// query 2 ok: true
+}
+
 // ExampleApproxQuantile_failures runs the same computation while every node
 // fails 40% of its rounds (Theorem 1.4).
 func ExampleApproxQuantile_failures() {

@@ -26,8 +26,6 @@ import (
 	"fmt"
 	"math"
 
-	"gossipq/internal/dist"
-	"gossipq/internal/exact"
 	"gossipq/internal/sim"
 	"gossipq/internal/stats"
 	"gossipq/internal/tournament"
@@ -178,26 +176,10 @@ func ApproxQuantile(values []int64, phi, eps float64, cfg Config) (ApproxResult,
 	if eps <= 0 || math.IsNaN(eps) {
 		return ApproxResult{}, fmt.Errorf("%w, got %v", errBadEps, eps)
 	}
-	n := len(values)
-	if eps < tournament.MinEps(n) {
-		// Small-ε regime: Theorem 1.2 via the exact algorithm.
-		ex, err := ExactQuantile(values, phi, cfg)
-		if err != nil {
-			return ApproxResult{}, err
-		}
-		return ApproxResult{Outputs: ex.Outputs, Has: allTrue(n), Metrics: ex.Metrics}, nil
-	}
-	e := cfg.engine(n)
-	if cfg.failing(n) {
-		res := tournament.RobustApproxQuantile(e, values, phi, eps, tournament.RobustOptions{
-			K:           cfg.K,
-			ExtraRounds: cfg.ExtraRounds,
-			OnIteration: cfg.OnIteration,
-		})
-		return ApproxResult{Outputs: res.Output, Has: res.Has, Metrics: fromSim(e.Metrics())}, nil
-	}
-	out := tournament.ApproxQuantile(e, values, phi, eps, tournament.Options{K: cfg.K, OnIteration: cfg.OnIteration})
-	return ApproxResult{Outputs: out, Has: allTrue(n), Metrics: fromSim(e.Metrics())}, nil
+	// A throwaway raw-seed session: the single query runs on an engine
+	// seeded with cfg.Seed, bit-for-bit the pre-session transcript (pinned
+	// by the golden facade tests).
+	return newOneShot(values, cfg).approxFull(phi, eps)
 }
 
 // Median is ApproxQuantile at φ = 1/2.
@@ -225,19 +207,7 @@ func ExactQuantile(values []int64, phi float64, cfg Config) (ExactResult, error)
 	if err := validate(values, phi, cfg); err != nil {
 		return ExactResult{}, err
 	}
-	n := len(values)
-	distinct, mult := dist.MakeDistinct(values)
-	e := cfg.engine(n)
-	res, err := exact.Quantile(e, distinct, phi, exact.Options{K: cfg.K})
-	if err != nil {
-		return ExactResult{}, err
-	}
-	value := floorDiv(res.Value, mult)
-	return ExactResult{
-		Value:   value,
-		Outputs: repeat(value, n),
-		Metrics: fromSim(e.Metrics()),
-	}, nil
+	return newOneShot(values, cfg).exactFull(phi)
 }
 
 // OwnQuantileResult is the outcome of OwnQuantiles.
@@ -273,19 +243,19 @@ func OwnQuantiles(values []int64, eps float64, cfg Config) (OwnQuantileResult, e
 	}
 	e := cfg.engine(n)
 	grid := tournament.QuantileGrid(step)
-	cuts := make([][]int64, 0, len(grid))
-	for _, phi := range grid {
-		cuts = append(cuts, tournament.ApproxQuantile(e, values, phi, gridEps, tournament.Options{K: cfg.K}))
-	}
+	// One scratch serves all ≈1/ε grid runs; the transcript is identical to
+	// running ApproxQuantile per grid point on this engine.
+	cuts := tournament.GridQuantiles(e, values, grid, gridEps, tournament.Options{K: cfg.K}, nil)
+	// Node v's rank estimate: the largest grid φ whose cut value is below
+	// its own value, plus half a step. Monotonizing the cut table once
+	// turns the per-node linear scan into a binary search with bit-for-bit
+	// the same estimates (see SuffixMinCuts).
+	tournament.SuffixMinCuts(cuts)
 	q := make([]float64, n)
 	for v := 0; v < n; v++ {
-		// Node v's rank estimate: the largest grid φ whose cut value is
-		// below its own value, plus half a step.
 		est := step / 2
-		for gi := range grid {
-			if cuts[gi][v] < values[v] {
-				est = grid[gi] + step/2
-			}
+		if gi := tournament.EnvelopeRankIndex(cuts, v, values[v]); gi >= 0 {
+			est = grid[gi] + step/2
 		}
 		if est > 1 {
 			est = 1

@@ -78,10 +78,65 @@ var ErrNoCollapse = errors.New("exact: candidate set did not collapse within the
 // probability-poly(1/n) event surfaced rather than silently mis-answered.
 var ErrBracketMiss = errors.New("exact: bracket does not contain the target rank")
 
-// Quantile computes the exact φ-quantile of values. values must be
-// pairwise distinct (the paper's w.l.o.g.; the public API distinctifies
-// arbitrary inputs before calling this) and strictly below MaxInt64.
-func Quantile(e *sim.Engine, values []int64, phi float64, opt Options) (Result, error) {
+// Scratch owns every per-run buffer of the exact algorithm — the value and
+// valued-flag arrays, the bracket/count staging, and one sub-scratch per
+// protocol it composes (tournament brackets, epidemic floods, push-sum rank
+// counts, token re-replication), all bound to one engine. A serving session
+// holds pooled Scratches and answers exact queries with zero protocol-state
+// allocations once they are warm; the package-level Quantile is a one-shot
+// wrapper over a throwaway Scratch with an identical transcript.
+type Scratch struct {
+	tour *tournament.Scratch
+	ps   *pushsum.Scratch
+	tk   *tokens.Scratch
+	fl   *spread.Flooder
+
+	cur        []int64
+	valued     []bool
+	lo, hi     []int64
+	below      []bool
+	mins, maxs []int64
+}
+
+// NewScratch returns a scratch bound to e. The flooder's buffers are sized
+// eagerly (they are cheap); everything else is sized lazily on first use.
+func NewScratch(e *sim.Engine) *Scratch {
+	return &Scratch{
+		tour: tournament.NewScratch(e),
+		ps:   pushsum.NewScratch(e),
+		tk:   tokens.NewScratch(e),
+		fl:   spread.NewFlooder(e),
+	}
+}
+
+// Rebind attaches the scratch and every sub-scratch to a fresh engine; see
+// sim.Workspace.Rebind for the aliasing rules.
+func (s *Scratch) Rebind(e *sim.Engine) {
+	s.tour.Rebind(e)
+	s.ps.Rebind(e)
+	s.tk.Rebind(e)
+	s.fl.Rebind(e)
+}
+
+func ensureInt64(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n)
+	}
+	return buf[:n]
+}
+
+func ensureBool(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	return buf[:n]
+}
+
+// Quantile computes the exact φ-quantile of values on the scratch; see the
+// package-level Quantile for the contract. values must be pairwise distinct
+// and strictly below MaxInt64.
+func (s *Scratch) Quantile(values []int64, phi float64, opt Options) (Result, error) {
+	e := s.tour.Engine()
 	n := e.N()
 	if len(values) != n {
 		panic(fmt.Sprintf("exact: %d values for %d nodes", len(values), n))
@@ -115,21 +170,23 @@ func Quantile(e *sim.Engine, values []int64, phi float64, opt Options) (Result, 
 	floodRounds := budget * spread.Rounds(n)
 	countRounds := budget * pushsum.DefaultRounds(n, 1.0/(4*float64(n)))
 
-	cur := make([]int64, n)
+	s.cur = ensureInt64(s.cur, n)
+	cur := s.cur
 	copy(cur, values)
-	valued := make([]bool, n)
+	s.valued = ensureBool(s.valued, n)
+	valued := s.valued
 	for v := range valued {
 		valued[v] = true
 	}
 
-	// Round buffers for the whole run: one flooder for every epidemic
-	// broadcast and one set of bracket/count arrays reused per iteration.
-	fl := spread.NewFlooder(e)
-	lo := make([]int64, n)
-	hi := make([]int64, n)
-	below := make([]bool, n)
-	mins := make([]int64, n)
-	maxs := make([]int64, n)
+	// Round buffers for the whole run: the flooder serves every epidemic
+	// broadcast and the bracket/count arrays are reused per iteration.
+	s.lo = ensureInt64(s.lo, n)
+	s.hi = ensureInt64(s.hi, n)
+	s.below = ensureBool(s.below, n)
+	s.mins = ensureInt64(s.mins, n)
+	s.maxs = ensureInt64(s.maxs, n)
+	lo, hi, below, mins, maxs := s.lo, s.hi, s.below, s.mins, s.maxs
 
 	// k is the target rank over the full n-element multiset (valueless
 	// nodes hold +∞ and rank above everything). The loop invariant — the
@@ -152,7 +209,7 @@ func Quantile(e *sim.Engine, values []int64, phi float64, opt Options) (Result, 
 		// (b) is the paper's own endgame (it stops once M_i >= n >= k);
 		// without it the bracket stalls as soon as its ±εn rank resolution
 		// exceeds the value granularity M.
-		vmin, vmax := floodRange(fl, cur, valued, mins, maxs, floodRounds)
+		vmin, vmax := floodRange(s.fl, cur, valued, mins, maxs, floodRounds)
 		if vmin == infinity && vmax == negInfinity {
 			return res, errors.New("exact: no valued nodes remain")
 		}
@@ -167,14 +224,14 @@ func Quantile(e *sim.Engine, values []int64, phi float64, opt Options) (Result, 
 		// ranks within [k-3εn/2, k-εn/2] and [k+εn/2, k+3εn/2] w.h.p.
 		phiK := float64(k) / float64(n)
 		if phiK-eps > eps/2 {
-			bracketApprox(e, cur, phiK-eps, eps/2, mu, opt.K, lo, infinity)
+			s.bracketApprox(cur, phiK-eps, eps/2, mu, opt.K, lo, infinity)
 		} else {
 			for v := range lo {
 				lo[v] = negInfinity
 			}
 		}
 		if phiK+eps < 1-eps/2 {
-			bracketApprox(e, cur, phiK+eps, eps/2, mu, opt.K, hi, negInfinity)
+			s.bracketApprox(cur, phiK+eps, eps/2, mu, opt.K, hi, negInfinity)
 		} else {
 			for v := range hi {
 				hi[v] = infinity
@@ -183,8 +240,8 @@ func Quantile(e *sim.Engine, values []int64, phi float64, opt Options) (Result, 
 
 		// Step 4: every node learns the global min of the lo-estimates and
 		// max of the hi-estimates, making the bracket consistent.
-		loAll := fl.Min(lo, floodRounds)[0]
-		hiAll := fl.Max(hi, floodRounds)[0]
+		loAll := s.fl.Min(lo, floodRounds)[0]
+		hiAll := s.fl.Max(hi, floodRounds)[0]
 		if loAll > hiAll {
 			return res, fmt.Errorf("%w: flooded bracket [%d, %d] inverted", ErrBracketMiss, loAll, hiAll)
 		}
@@ -193,7 +250,7 @@ func Quantile(e *sim.Engine, values []int64, phi float64, opt Options) (Result, 
 		for v := 0; v < n; v++ {
 			below[v] = valued[v] && cur[v] < loAll
 		}
-		r := pushsum.CountExact(e, below, countRounds)[0]
+		r := s.ps.CountExact(below, countRounds)[0]
 		if r >= k {
 			return res, fmt.Errorf("%w: %d values below bracket, target rank %d", ErrBracketMiss, r, k)
 		}
@@ -215,7 +272,7 @@ func Quantile(e *sim.Engine, values []int64, phi float64, opt Options) (Result, 
 		// Step 7: re-replicate survivors over the freed nodes.
 		m := tokens.ChooseCopies(survivors, refill, capacity)
 		if m > 1 {
-			tr, err := tokens.Distribute(e, valued, cur, m, 0)
+			tr, err := s.tk.Distribute(valued, cur, m, 0)
 			if err != nil {
 				return res, fmt.Errorf("exact: token distribution: %w", err)
 			}
@@ -244,16 +301,25 @@ func Quantile(e *sim.Engine, values []int64, phi float64, opt Options) (Result, 
 	return res, ErrNoCollapse
 }
 
+// Quantile computes the exact φ-quantile of values. values must be
+// pairwise distinct (the paper's w.l.o.g.; the public API distinctifies
+// arbitrary inputs before calling this) and strictly below MaxInt64.
+// One-shot form over a throwaway Scratch; repeated queries should go
+// through Scratch.Quantile.
+func Quantile(e *sim.Engine, values []int64, phi float64, opt Options) (Result, error) {
+	return NewScratch(e).Quantile(values, phi, opt)
+}
+
 // bracketApprox fills out with each node's approximate quantile estimate,
 // using the plain tournament when failure-free and the §5.1 robust variant
 // otherwise; nodes without a robust output receive the neutral sentinel so
 // the subsequent min/max flood ignores them.
-func bracketApprox(e *sim.Engine, cur []int64, phi, eps, mu float64, k int, out []int64, neutral int64) {
+func (s *Scratch) bracketApprox(cur []int64, phi, eps, mu float64, k int, out []int64, neutral int64) {
 	if mu == 0 {
-		copy(out, tournament.ApproxQuantile(e, cur, phi, eps, tournament.Options{K: k}))
+		copy(out, s.tour.ApproxQuantile(cur, phi, eps, tournament.Options{K: k}))
 		return
 	}
-	res := tournament.RobustApproxQuantile(e, cur, phi, eps, tournament.RobustOptions{Mu: mu, K: k})
+	res := s.tour.RobustApproxQuantile(cur, phi, eps, tournament.RobustOptions{Mu: mu, K: k})
 	for v := range out {
 		if res.Has[v] {
 			out[v] = res.Output[v]

@@ -40,10 +40,53 @@ func DefaultRounds(n int, eps float64) int {
 	return 2*sim.CeilLog2(n) + 2*int(math.Ceil(math.Log2(1/eps))) + 16
 }
 
+// Scratch owns every per-run buffer of the push-sum protocol — the (s, w)
+// state and split staging, the predicate staging of the counting wrappers,
+// and the result buffers — plus the sim workspace underneath. Callers that
+// aggregate many times over one population (e.g. the exact algorithm's rank
+// counts, once per contraction iteration and once per query in a serving
+// session) hold one Scratch and perform zero protocol-state allocations once
+// it is warm. The package-level functions are one-shot wrappers over a
+// throwaway Scratch with identical transcripts.
+type Scratch struct {
+	ws     *sim.Workspace[pair]
+	state  []pair
+	halves []pair
+	sent   []bool
+	vals   []float64 // predicate→indicator staging for the counting wrappers
+	est    []float64 // per-node estimates, returned by Average/Sum/Count
+	out    []int64   // rounded counts, returned by CountExact
+
+	// sendFn/recvFn are the round callbacks, built once (they close over the
+	// scratch, not over per-run locals) so the round loop passes the same
+	// two heap objects every time instead of allocating closures per round.
+	sendFn func(v int) (pair, bool)
+	recvFn func(v int, in []sim.Delivery[pair])
+}
+
+// NewScratch returns an empty scratch bound to e; buffers are sized lazily.
+func NewScratch(e *sim.Engine) *Scratch {
+	return &Scratch{ws: sim.NewWorkspace[pair](e)}
+}
+
+// Rebind attaches the scratch (and its workspace) to a fresh engine; see
+// sim.Workspace.Rebind for the aliasing rules.
+func (s *Scratch) Rebind(e *sim.Engine) {
+	s.ws.Rebind(e)
+}
+
+func ensurePairs(buf []pair, n int) []pair {
+	if cap(buf) < n {
+		return make([]pair, n)
+	}
+	return buf[:n]
+}
+
 // Average runs push-sum for the given number of rounds and returns every
-// node's estimate of the population average of values. rounds <= 0 selects
-// DefaultRounds(n, 1e-9).
-func Average(e *sim.Engine, values []float64, rounds int) []float64 {
+// node's estimate of the population average of values; see the package-level
+// Average. The returned slice is scratch-owned: valid until the next run.
+func (s *Scratch) Average(values []float64, rounds int) []float64 {
+	e := s.ws.Engine()
 	n := e.N()
 	if len(values) != n {
 		panic("pushsum: values length does not match population")
@@ -51,32 +94,38 @@ func Average(e *sim.Engine, values []float64, rounds int) []float64 {
 	if rounds <= 0 {
 		rounds = DefaultRounds(n, 1e-9)
 	}
-	state := make([]pair, n)
+	s.state = ensurePairs(s.state, n)
+	state := s.state
 	for v := range state {
 		state[v] = pair{s: values[v], w: 1}
 	}
-	ws := sim.NewWorkspace[pair](e)
 	// halves[v] records v's split and sent[v] whether its send happened this
 	// round; the engine invokes send before recv, so each round first
 	// decides every node's split, then applies deliveries. The send callback
 	// runs exactly once per live node.
-	halves := make([]pair, n)
-	sent := make([]bool, n)
+	s.halves = ensurePairs(s.halves, n)
+	if cap(s.sent) < n {
+		s.sent = make([]bool, n)
+	}
+	sent := s.sent[:n]
+	if s.sendFn == nil {
+		s.sendFn = func(v int) (pair, bool) {
+			h := pair{s: s.state[v].s / 2, w: s.state[v].w / 2}
+			s.halves[v] = h
+			s.sent[v] = true
+			return h, true
+		}
+		s.recvFn = func(v int, in []sim.Delivery[pair]) {
+			for _, d := range in {
+				s.state[v].s += d.Msg.s
+				s.state[v].w += d.Msg.w
+			}
+		}
+	}
+	halves := s.halves
 	for r := 0; r < rounds; r++ {
 		clear(sent)
-		ws.Push(MessageBits,
-			func(v int) (pair, bool) {
-				h := pair{s: state[v].s / 2, w: state[v].w / 2}
-				halves[v] = h
-				sent[v] = true
-				return h, true
-			},
-			func(v int, in []sim.Delivery[pair]) {
-				for _, d := range in {
-					state[v].s += d.Msg.s
-					state[v].w += d.Msg.w
-				}
-			})
+		s.ws.Push(MessageBits, s.sendFn, s.recvFn)
 		// Subtract the halves that were actually sent. Deliveries were
 		// already added; doing the subtraction after recv is safe because
 		// both sides are additive.
@@ -87,35 +136,85 @@ func Average(e *sim.Engine, values []float64, rounds int) []float64 {
 			}
 		}
 	}
-	out := make([]float64, n)
+	if cap(s.est) < n {
+		s.est = make([]float64, n)
+	}
+	out := s.est[:n]
 	for v := range out {
 		if state[v].w > 0 {
 			out[v] = state[v].s / state[v].w
+		} else {
+			out[v] = 0
 		}
 	}
 	return out
 }
 
-// Sum returns every node's estimate of Σ values, i.e. n times the average
-// estimate. The relative error matches Average's.
-func Sum(e *sim.Engine, values []float64, rounds int) []float64 {
-	avg := Average(e, values, rounds)
-	n := float64(e.N())
+// Sum returns every node's estimate of Σ values; see the package-level Sum.
+// The returned slice is scratch-owned.
+func (s *Scratch) Sum(values []float64, rounds int) []float64 {
+	avg := s.Average(values, rounds)
+	n := float64(s.ws.Engine().N())
 	for i := range avg {
 		avg[i] *= n
 	}
 	return avg
 }
 
-// Count returns every node's estimate of |{v : pred(v)}| as a float64.
-func Count(e *sim.Engine, pred []bool, rounds int) []float64 {
-	vals := make([]float64, len(pred))
+// Count returns every node's estimate of |{v : pred(v)}|; see the
+// package-level Count. The returned slice is scratch-owned.
+func (s *Scratch) Count(pred []bool, rounds int) []float64 {
+	if cap(s.vals) < len(pred) {
+		s.vals = make([]float64, len(pred))
+	}
+	vals := s.vals[:len(pred)]
 	for i, p := range pred {
 		if p {
 			vals[i] = 1
+		} else {
+			vals[i] = 0
 		}
 	}
-	return Sum(e, vals, rounds)
+	return s.Sum(vals, rounds)
+}
+
+// CountExact counts predicate holders exactly; see the package-level
+// CountExact. The returned slice is scratch-owned.
+func (s *Scratch) CountExact(pred []bool, rounds int) []int64 {
+	n := s.ws.Engine().N()
+	if rounds <= 0 {
+		// Absolute error < 1/2 on a count up to n needs relative error
+		// ~1/(2n); DefaultRounds charges 2*log2 n for that term.
+		rounds = DefaultRounds(n, 1.0/(4*float64(n)))
+	}
+	est := s.Count(pred, rounds)
+	if cap(s.out) < n {
+		s.out = make([]int64, n)
+	}
+	out := s.out[:n]
+	for v, x := range est {
+		out[v] = int64(math.Round(x))
+	}
+	return out
+}
+
+// Average runs push-sum for the given number of rounds and returns every
+// node's estimate of the population average of values. rounds <= 0 selects
+// DefaultRounds(n, 1e-9). One-shot form over a throwaway Scratch; the caller
+// owns the returned slice.
+func Average(e *sim.Engine, values []float64, rounds int) []float64 {
+	return NewScratch(e).Average(values, rounds)
+}
+
+// Sum returns every node's estimate of Σ values, i.e. n times the average
+// estimate. The relative error matches Average's.
+func Sum(e *sim.Engine, values []float64, rounds int) []float64 {
+	return NewScratch(e).Sum(values, rounds)
+}
+
+// Count returns every node's estimate of |{v : pred(v)}| as a float64.
+func Count(e *sim.Engine, pred []bool, rounds int) []float64 {
+	return NewScratch(e).Count(pred, rounds)
 }
 
 // CountExact counts predicate holders and rounds every node's estimate to
@@ -124,18 +223,7 @@ func Count(e *sim.Engine, pred []bool, rounds int) []float64 {
 // the *exact* rank R in Algorithm 3, Step 5. The extra precision costs only
 // a constant factor more rounds since log(1/(1/2n)) = O(log n).
 func CountExact(e *sim.Engine, pred []bool, rounds int) []int64 {
-	n := e.N()
-	if rounds <= 0 {
-		// Absolute error < 1/2 on a count up to n needs relative error
-		// ~1/(2n); DefaultRounds charges 2*log2 n for that term.
-		rounds = DefaultRounds(n, 1.0/(4*float64(n)))
-	}
-	est := Count(e, pred, rounds)
-	out := make([]int64, n)
-	for v, x := range est {
-		out[v] = int64(math.Round(x))
-	}
-	return out
+	return NewScratch(e).CountExact(pred, rounds)
 }
 
 // RankOf returns every node's integer estimate of |{u : values[u] <= x}|,

@@ -38,34 +38,74 @@ func SampleSize(n int, eps float64) int {
 	return s
 }
 
-// Direct runs the direct-sampling algorithm: SampleSize(n, ε) pull rounds,
-// each node answering the empirical φ-quantile of its own samples. Returns
-// each node's output.
-func Direct(e *sim.Engine, values []int64, phi, eps float64) []int64 {
+// Scratch owns the per-run state of the sampling baselines — the per-node
+// sample tables and output buffer — plus the sim workspace underneath, so
+// repeated baseline runs over one population stop re-allocating their
+// protocol state. The package-level functions are one-shot wrappers over a
+// throwaway Scratch with identical transcripts. (Doubling and Compacted
+// still allocate their growing merge buffers internally: unbounded buffer
+// growth is the phenomenon those baselines exist to measure.)
+type Scratch struct {
+	ws      *sim.PullWorkspace
+	samples [][]int64 // per-node sample rows, capacity reused
+	out     []int64
+}
+
+// NewScratch returns an empty scratch bound to e; buffers are sized lazily.
+func NewScratch(e *sim.Engine) *Scratch {
+	return &Scratch{ws: sim.NewPullWorkspace(e)}
+}
+
+// Rebind attaches the scratch (and its workspace) to a fresh engine; see
+// sim.Workspace.Rebind for the aliasing rules.
+func (s *Scratch) Rebind(e *sim.Engine) {
+	s.ws.Rebind(e)
+}
+
+// Direct runs the direct-sampling algorithm on the scratch; see the
+// package-level Direct. The returned slice is scratch-owned: valid until the
+// next run on this scratch.
+func (s *Scratch) Direct(values []int64, phi, eps float64) []int64 {
+	e := s.ws.Engine()
 	n := e.N()
 	if len(values) != n {
 		panic(fmt.Sprintf("sampling: %d values for %d nodes", len(values), n))
 	}
 	t := SampleSize(n, eps)
-	samples := make([][]int64, n)
-	for v := range samples {
-		samples[v] = make([]int64, 0, t)
+	if cap(s.samples) < n {
+		grown := make([][]int64, n)
+		copy(grown, s.samples)
+		s.samples = grown
 	}
-	ws := sim.NewPullWorkspace(e)
-	dst := ws.Dst(0)
+	samples := s.samples[:n]
+	for v := range samples {
+		samples[v] = samples[v][:0]
+	}
+	dst := s.ws.Dst(0)
 	for r := 0; r < t; r++ {
-		ws.Pull(dst, 64)
+		s.ws.Pull(dst, 64)
 		for v := 0; v < n; v++ {
 			if p := dst[v]; p != sim.NoPeer {
 				samples[v] = append(samples[v], values[p])
 			}
 		}
 	}
-	out := make([]int64, n)
+	if cap(s.out) < n {
+		s.out = make([]int64, n)
+	}
+	out := s.out[:n]
 	for v := range out {
 		out[v] = empiricalQuantile(samples[v], phi, values[v])
 	}
 	return out
+}
+
+// Direct runs the direct-sampling algorithm: SampleSize(n, ε) pull rounds,
+// each node answering the empirical φ-quantile of its own samples. Returns
+// each node's output. One-shot form over a throwaway Scratch; the caller
+// owns the returned slice.
+func Direct(e *sim.Engine, values []int64, phi, eps float64) []int64 {
+	return NewScratch(e).Direct(values, phi, eps)
 }
 
 // DoublingRounds returns the round budget of the doubling algorithm:

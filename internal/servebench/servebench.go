@@ -1,0 +1,194 @@
+// Package servebench holds the session serving benchmark: a closed-loop
+// throughput measurement over one gossipq.Session with parallel clients,
+// shared by the BenchmarkSession suite (session_bench_test.go) and
+// cmd/servebench, so BENCH_serve.json measures exactly the workload CI's
+// bench-smoke step runs. Where BENCH_sim.json tracks the engine's ns/round,
+// BENCH_serve.json tracks the serving layer's queries/sec and allocs/query —
+// the repo's second performance trajectory.
+package servebench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"gossipq"
+	"gossipq/internal/dist"
+)
+
+// Options describes one closed-loop serving measurement.
+type Options struct {
+	// N is the population size (default 65536).
+	N int
+	// Clients is the number of concurrent closed-loop clients (default 4).
+	Clients int
+	// QueriesPerClient is each client's query count (default 16).
+	QueriesPerClient int
+	// Seed seeds the workload and the session (default 1).
+	Seed uint64
+	// Eps is the approximation width (default 0.05). Widths below the
+	// tournament validity region would turn every query into an O(log n)
+	// exact run; Run rejects that rather than silently measuring a
+	// different algorithm.
+	Eps float64
+	// Exact switches the workload to exact queries.
+	Exact bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.N == 0 {
+		o.N = 1 << 16
+	}
+	if o.Clients == 0 {
+		o.Clients = 4
+	}
+	if o.QueriesPerClient == 0 {
+		o.QueriesPerClient = 16
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Eps == 0 {
+		o.Eps = 0.05
+	}
+	return o
+}
+
+// Result is one benchmark row of BENCH_serve.json.
+type Result struct {
+	Name             string  `json:"name"`
+	N                int     `json:"n"`
+	Clients          int     `json:"clients"`
+	Queries          int     `json:"queries"`
+	QueriesPerSec    float64 `json:"queries_per_sec"`
+	NsPerQuery       float64 `json:"ns_per_query"`
+	AllocsPerQuery   float64 `json:"allocs_per_query"`
+	BytesPerQuery    float64 `json:"bytes_per_query"`
+	RoundsPerQuery   float64 `json:"rounds_per_query"`
+	MessagesPerQuery float64 `json:"messages_per_query"`
+}
+
+// phiFor spreads client traffic over a fixed φ set, so the plan shapes vary
+// the way mixed production traffic would.
+func phiFor(client, i int) float64 {
+	phis := [...]float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}
+	return phis[(client*3+i)%len(phis)]
+}
+
+// NewSession builds the benchmark session: the dist workload at o.N and one
+// session with per-query Workers=1, the serving configuration in which
+// cross-query concurrency owns the cores and the steady state is
+// allocation-free.
+func NewSession(o Options) (*gossipq.Session, error) {
+	o = o.withDefaults()
+	values := dist.Generate(dist.Uniform, o.N, o.Seed)
+	return gossipq.NewSession(values, gossipq.Config{Seed: o.Seed, Workers: 1})
+}
+
+// Warm runs one query per client-phi shape so every pooled rig, plan
+// backing, and (for exact) the distinctified copy exist before measurement.
+func Warm(s *gossipq.Session, o Options) error {
+	o = o.withDefaults()
+	for c := 0; c < o.Clients; c++ {
+		if _, _, err := runClient(s, o, c, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runClient issues count closed-loop queries as client c, returning the
+// client's summed rounds and messages so Run can report true traffic
+// averages over the measured phi mix.
+func runClient(s *gossipq.Session, o Options, c, count int) (rounds, messages int64, err error) {
+	for i := 0; i < count; i++ {
+		var a gossipq.Answer
+		if o.Exact {
+			a, err = s.ExactQuantile(phiFor(c, i))
+		} else {
+			a, err = s.ApproxQuantile(phiFor(c, i), o.Eps)
+		}
+		if err != nil {
+			return rounds, messages, err
+		}
+		rounds += int64(a.Metrics.Rounds)
+		messages += a.Metrics.Messages
+	}
+	return rounds, messages, nil
+}
+
+// Run executes the closed loop: Clients goroutines, each issuing
+// QueriesPerClient queries back-to-back, against one warm session. It
+// reports wall-clock throughput and per-query allocation/volume averages
+// (allocations measured over the whole loop via runtime.MemStats, so pool
+// and GC effects are included rather than hidden).
+func Run(o Options) (Result, error) {
+	o = o.withDefaults()
+	if !o.Exact && o.Eps < gossipq.MinApproxEps(o.N) {
+		return Result{}, fmt.Errorf(
+			"servebench: eps %g below the tournament validity region at n=%d (%g); use Exact to benchmark the exact algorithm",
+			o.Eps, o.N, gossipq.MinApproxEps(o.N))
+	}
+	s, err := NewSession(o)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := Warm(s, o); err != nil {
+		return Result{}, err
+	}
+	issuedBefore := s.QueriesIssued()
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, o.Clients)
+	perClientRounds := make([]int64, o.Clients)
+	perClientMessages := make([]int64, o.Clients)
+	for c := 0; c < o.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rounds, messages, err := runClient(s, o, c, o.QueriesPerClient)
+			perClientRounds[c] = rounds
+			perClientMessages[c] = messages
+			if err != nil {
+				errs <- err
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	close(errs)
+	for err := range errs {
+		return Result{}, err
+	}
+
+	queries := int(s.QueriesIssued() - issuedBefore)
+	mode := "approx"
+	if o.Exact {
+		mode = "exact"
+	}
+	var totalRounds, totalMessages int64
+	for c := 0; c < o.Clients; c++ {
+		totalRounds += perClientRounds[c]
+		totalMessages += perClientMessages[c]
+	}
+	res := Result{
+		Name:             fmt.Sprintf("serve/%s/n=%d/clients=%d", mode, o.N, o.Clients),
+		N:                o.N,
+		Clients:          o.Clients,
+		Queries:          queries,
+		QueriesPerSec:    float64(queries) / elapsed.Seconds(),
+		NsPerQuery:       float64(elapsed.Nanoseconds()) / float64(queries),
+		AllocsPerQuery:   float64(after.Mallocs-before.Mallocs) / float64(queries),
+		BytesPerQuery:    float64(after.TotalAlloc-before.TotalAlloc) / float64(queries),
+		RoundsPerQuery:   float64(totalRounds) / float64(queries),
+		MessagesPerQuery: float64(totalMessages) / float64(queries),
+	}
+	return res, nil
+}

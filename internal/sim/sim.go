@@ -176,6 +176,36 @@ func shardBounds(n, k int) []int {
 	return bounds
 }
 
+// Reset reseeds the engine in place and zeroes its complexity counters,
+// yielding the exact state New(n, seed, opts...) would have produced with the
+// same population, failure model, and worker count — bit-for-bit, since shard
+// bounds depend only on (n, workers). No memory is allocated: the per-node
+// RNG streams are reseeded where they are. This is the primitive that lets a
+// serving layer amortize the O(n) engine setup across many queries: one
+// engine object per pooled scratch, Reset per query. The engine must not be
+// mid-round, and workspaces bound to it remain valid.
+func (e *Engine) Reset(seed uint64) {
+	e.src = xrand.NewSource(seed)
+	// The serial path avoids the per-shard closure: reseeding is the only
+	// per-query O(n) setup left, and on a single-shard engine it must not
+	// allocate (the session layer's zero-alloc steady state counts on it).
+	if len(e.bounds) == 2 {
+		for v := 0; v < e.n; v++ {
+			e.src.SeedInto(&e.rngs[v], uint64(v))
+		}
+	} else {
+		e.forEachShard(func(_, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				e.src.SeedInto(&e.rngs[v], uint64(v))
+			}
+		})
+	}
+	e.round = 0
+	e.messages = 0
+	e.bits = 0
+	e.maxBits = 0
+}
+
 // N returns the population size.
 func (e *Engine) N() int { return e.n }
 
@@ -271,6 +301,22 @@ func (e *Engine) peer(v int) int32 {
 func (e *Engine) Pull(dst []int32, msgBits int) {
 	if len(dst) != e.n {
 		panic(fmt.Sprintf("sim: Pull dst length %d, want %d", len(dst), e.n))
+	}
+	// Serial fast path: no per-shard closure, so a single-shard round is
+	// allocation-free (closures passed near a `go` statement are heap-
+	// allocated even on branches that never spawn).
+	if len(e.bounds) == 2 {
+		var ok int64
+		for v := 0; v < e.n; v++ {
+			if !e.noFail && e.failed(v) {
+				dst[v] = NoPeer
+				continue
+			}
+			dst[v] = e.peer(v)
+			ok++
+		}
+		e.account(1, ok, msgBits)
+		return
 	}
 	e.forEachShard(func(s, lo, hi int) {
 		var local int64

@@ -29,6 +29,7 @@ type Workspace[M any] struct {
 	blockSum []int32        // per-target-block message totals for the merge
 	inbox    []Delivery[M]  // receiver-grouped deliveries, sender-ordered
 	batch    []batchSend[M] // per-sender staging (PushBatch)
+	batchPer int            // pre-carved target capacity per sender
 	dsts     [][]int32      // reusable Pull destination buffers
 }
 
@@ -77,6 +78,7 @@ func (w *Workspace[M]) Rebind(e *Engine) {
 		w.blockSum = nil
 		w.inbox = nil
 		w.batch = nil
+		w.batchPer = 0
 		w.dsts = nil
 	}
 	w.e = e
@@ -208,6 +210,53 @@ func (w *Workspace[M]) Push(msgBits int, send func(v int) (M, bool), recv func(v
 	}
 	targets, msgs := w.targets, w.msgs
 
+	// Serial fast path: same sweeps, no per-shard closures. Closures passed
+	// toward a `go` statement are heap-allocated even on branches that never
+	// spawn, so the single-shard round loop — the per-query configuration of
+	// the serving session — must not create any.
+	if len(e.bounds) == 2 {
+		for v := 0; v < n; v++ {
+			if !e.noFail && e.failed(v) {
+				targets[v] = NoPeer
+				continue
+			}
+			t := e.peer(v)
+			m, sendIt := send(v)
+			if !sendIt {
+				targets[v] = NoPeer
+				continue
+			}
+			targets[v] = t
+			msgs[v] = m
+		}
+		c := w.counts
+		clear(c)
+		for v := 0; v < n; v++ {
+			if t := targets[v]; t != NoPeer {
+				c[t]++
+			}
+		}
+		sent := w.mergeCounts()
+		w.ensureInbox(sent)
+		inbox := w.inbox
+		for v := 0; v < n; v++ {
+			t := targets[v]
+			if t == NoPeer {
+				continue
+			}
+			inbox[c[t]] = Delivery[M]{From: int32(v), Msg: msgs[v]}
+			c[t]++
+		}
+		offsets := w.offsets
+		for v := 0; v < n; v++ {
+			if in := inbox[offsets[v]:offsets[v+1]]; len(in) > 0 {
+				recv(v, in)
+			}
+		}
+		e.account(1, int64(sent), msgBits)
+		return
+	}
+
 	e.forEachShard(func(_, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			if !e.noFail && e.failed(v) {
@@ -270,18 +319,14 @@ func (w *Workspace[M]) Push(msgBits int, send func(v int) (M, bool), recv func(v
 func (w *Workspace[M]) PushBatch(msgBits int, send func(v int) []M, recv func(v int, in []Delivery[M]), onDrop func(v int, msg M)) int {
 	e := w.e
 	n := e.n
-	if w.batch == nil {
-		w.batch = make([]batchSend[M], n)
-		// Pre-carve a small target list per sender from one flat backing;
-		// only senders with more than four in-flight messages ever grow
-		// theirs (and then keep the grown list).
-		flat := make([]int32, 4*n)
-		for v := range w.batch {
-			w.batch[v].targets = flat[4*v : 4*v : 4*v+4]
-		}
-	}
+	w.ReserveBatch(4)
 	w.ensureSort()
 	batch := w.batch
+
+	// Serial fast path; see Push for why the closure-free duplicate exists.
+	if len(e.bounds) == 2 {
+		return w.pushBatchSerial(msgBits, send, recv, onDrop)
+	}
 
 	e.forEachShard(func(s, lo, hi int) {
 		localMax := 0
@@ -352,6 +397,108 @@ func (w *Workspace[M]) PushBatch(msgBits int, send func(v int) []M, recv func(v 
 	})
 
 	w.deliver(recv)
+	e.account(phaseRounds, int64(sent), msgBits)
+	return phaseRounds
+}
+
+// ReserveBatch pre-carves the PushBatch staging with room for perSender
+// targets per sender (minimum four, the default), carved from one flat
+// backing. PushBatch grows any sender's list past its carve on demand — and
+// the grown list is kept — but each growth is a heap allocation, so callers
+// whose protocols can stage more than four messages per sender (the token
+// protocol's split phases, bounded by the O(1) w.h.p. per-node token load)
+// reserve their bound up front to keep steady-state phases allocation-free.
+// No-op when the staging already exists with at least this capacity.
+func (w *Workspace[M]) ReserveBatch(perSender int) {
+	if perSender < 4 {
+		perSender = 4
+	}
+	if w.batch != nil && w.batchPer >= perSender {
+		return
+	}
+	n := w.e.n
+	w.batch = make([]batchSend[M], n)
+	flat := make([]int32, perSender*n)
+	for v := range w.batch {
+		w.batch[v].targets = flat[perSender*v : perSender*v : perSender*(v+1)]
+	}
+	w.batchPer = perSender
+}
+
+// ReserveInbox grows the grouped-inbox backing to hold capacity deliveries.
+// Protocols with a hard per-phase delivery bound (the token protocol never
+// has more than n tokens in flight) reserve it so phases under fresh seeds
+// — whose delivery counts fluctuate — never regrow the inbox in steady
+// state. No-op when the inbox is already at least this large.
+func (w *Workspace[M]) ReserveInbox(capacity int) {
+	if cap(w.inbox) < capacity {
+		w.inbox = make([]Delivery[M], 0, capacity)
+	}
+}
+
+// pushBatchSerial is PushBatch's closure-free single-shard path; sweeps and
+// transcript are identical to the sharded version.
+func (w *Workspace[M]) pushBatchSerial(msgBits int, send func(v int) []M, recv func(v int, in []Delivery[M]), onDrop func(v int, msg M)) int {
+	e := w.e
+	n := e.n
+	batch := w.batch
+	phaseRounds := 1
+	for v := 0; v < n; v++ {
+		ms := send(v)
+		b := &batch[v]
+		b.msgs = ms
+		b.targets = b.targets[:0]
+		if len(ms) == 0 {
+			continue
+		}
+		if len(ms) > phaseRounds {
+			phaseRounds = len(ms)
+		}
+		for j := range ms {
+			// Per-message failure coin at the j-th round of the phase.
+			if !e.noFail {
+				p := e.fail.Prob(v, e.round+j)
+				if p > 0 && e.rngs[v].Bool(p) {
+					b.targets = append(b.targets, NoPeer)
+					if onDrop != nil {
+						onDrop(v, ms[j])
+					}
+					continue
+				}
+			}
+			b.targets = append(b.targets, e.peer(v))
+		}
+	}
+
+	c := w.counts
+	clear(c)
+	for v := 0; v < n; v++ {
+		for _, t := range batch[v].targets {
+			if t != NoPeer {
+				c[t]++
+			}
+		}
+	}
+	sent := w.mergeCounts()
+	w.ensureInbox(sent)
+	inbox := w.inbox
+	for v := 0; v < n; v++ {
+		b := &batch[v]
+		for j, t := range b.targets {
+			if t == NoPeer {
+				continue
+			}
+			inbox[c[t]] = Delivery[M]{From: int32(v), Msg: b.msgs[j]}
+			c[t]++
+		}
+		b.msgs = nil // release the caller's slice once scattered
+	}
+	offsets := w.offsets
+	for v := 0; v < n; v++ {
+		if in := inbox[offsets[v]:offsets[v+1]]; len(in) > 0 {
+			recv(v, in)
+		}
+	}
 	e.account(phaseRounds, int64(sent), msgBits)
 	return phaseRounds
 }

@@ -42,6 +42,18 @@ func NewFlooder(e *sim.Engine) *Flooder {
 	}
 }
 
+// Rebind attaches the flooder to a fresh engine, keeping its buffers when
+// the population size is unchanged; see sim.Workspace.Rebind for the
+// aliasing rules.
+func (f *Flooder) Rebind(e *sim.Engine) {
+	f.ws.Rebind(e)
+	n := e.N()
+	if len(f.cur) != n {
+		f.cur = make([]int64, n)
+		f.next = make([]int64, n)
+	}
+}
+
 // Max floods the maximum of values through pull gossip for the given number
 // of rounds (Rounds(n) if rounds <= 0) and returns each node's resulting
 // view. The returned slice is reused by the next flood on this Flooder;

@@ -76,12 +76,122 @@ func ChooseCopies(valuedCount, target, capacity int) int64 {
 	return m
 }
 
+// Scratch owns the per-run buffers of the token protocol — the per-node
+// held-token table, the per-node outgoing staging the split/spread phases
+// push from, and the result's value/holder arrays — plus the sim workspace
+// underneath. Algorithm 3 re-replicates once per contraction iteration, so a
+// query that holds one Scratch performs zero protocol-state allocations once
+// the rows are warm. The package-level Distribute is a one-shot wrapper over
+// a throwaway Scratch with an identical transcript.
+type Scratch struct {
+	ws    *sim.Workspace[Token]
+	held  [][]Token // per-node resident tokens, carved from one slab
+	outgo [][]Token // per-node staging for PushBatch sends, ditto
+	rowN  int       // population the rows are carved for
+	value []int64
+	has   []bool
+
+	// Phase callbacks, built once over the scratch itself so the phase loops
+	// pass the same heap objects every run instead of allocating closures.
+	splitSend  func(v int) []Token
+	spreadSend func(v int) []Token
+	recvFn     func(v int, in []sim.Delivery[Token])
+	dropFn     func(v int, tok Token)
+}
+
+// NewScratch returns an empty scratch bound to e; buffers are sized lazily.
+func NewScratch(e *sim.Engine) *Scratch {
+	return &Scratch{ws: sim.NewWorkspace[Token](e)}
+}
+
+// Rebind attaches the scratch (and its workspace) to a fresh engine; see
+// sim.Workspace.Rebind for the aliasing rules.
+func (s *Scratch) Rebind(e *sim.Engine) {
+	s.ws.Rebind(e)
+}
+
+// ensureCallbacks builds the phase callbacks on first use. Each touches only
+// node v's rows, so they are safe under the engine's shard parallelism
+// exactly as the previous per-phase closures were.
+func (s *Scratch) ensureCallbacks() {
+	if s.splitSend != nil {
+		return
+	}
+	s.splitSend = func(v int) []Token {
+		out := s.outgo[v][:0]
+		kept := s.held[v][:0]
+		for _, tok := range s.held[v] {
+			if tok.Weight > 1 {
+				half := Token{Value: tok.Value, Weight: tok.Weight / 2}
+				kept = append(kept, half)
+				out = append(out, half)
+			} else {
+				kept = append(kept, tok)
+			}
+		}
+		s.held[v] = kept
+		s.outgo[v] = out
+		return out
+	}
+	s.spreadSend = func(v int) []Token {
+		if len(s.held[v]) <= 1 {
+			return nil
+		}
+		out := append(s.outgo[v][:0], s.held[v][1:]...)
+		s.held[v] = s.held[v][:1]
+		s.outgo[v] = out
+		return out
+	}
+	s.recvFn = func(v int, in []sim.Delivery[Token]) {
+		for _, d := range in {
+			s.held[v] = append(s.held[v], d.Msg)
+		}
+	}
+	// Failed push: the half returns home (merge-back; onDrop runs on v's
+	// own shard so held[v] is touched only by v). It is kept as a separate
+	// token and keeps splitting in later phases, weight-equivalent to the
+	// paper's merge.
+	s.dropFn = func(v int, tok Token) {
+		s.held[v] = append(s.held[v], tok)
+	}
+}
+
+// tokenRowCap is the pre-carved per-node row capacity. The protocol keeps
+// the per-node token load O(1) w.h.p. (Result.MaxLoad, typically ≤ 6 in the
+// E10 benchmark), so 16 covers every run we have observed; a row that ever
+// exceeds it falls back to an ordinary grown slice, which the scratch then
+// retains. Carving all rows from two flat slabs means runs under different
+// seeds — whose scatter patterns load different nodes — still perform zero
+// append growth in steady state.
+const tokenRowCap = 16
+
+// ensureRows carves the per-node held/outgo rows for population n.
+func (s *Scratch) ensureRows(n int) {
+	if s.rowN == n {
+		return
+	}
+	s.held = make([][]Token, n)
+	s.outgo = make([][]Token, n)
+	heldSlab := make([]Token, tokenRowCap*n)
+	outSlab := make([]Token, tokenRowCap*n)
+	for v := 0; v < n; v++ {
+		s.held[v] = heldSlab[tokenRowCap*v : tokenRowCap*v : tokenRowCap*(v+1)]
+		s.outgo[v] = outSlab[tokenRowCap*v : tokenRowCap*v : tokenRowCap*(v+1)]
+	}
+	// A sender's split phase stages one message per heavy held token, so the
+	// workspace staging needs the same per-node bound as the rows; total
+	// in-flight tokens are bounded by n (ErrOverfull), bounding deliveries.
+	s.ws.ReserveBatch(tokenRowCap)
+	s.ws.ReserveInbox(n)
+	s.rowN = n
+}
+
 // Distribute replicates each valued node's value copies times (a power of
-// two) and spreads the unit tokens so every node ends with at most one.
-// valued and values must have length n; only values[v] with valued[v] are
-// read. maxPhases <= 0 selects a 6·log2(n)+64 cap (never hit in practice;
-// exceeding it returns an error rather than looping forever).
-func Distribute(e *sim.Engine, valued []bool, values []int64, copies int64, maxPhases int) (Result, error) {
+// two) and spreads the unit tokens so every node ends with at most one;
+// see the package-level Distribute. The result's Value and Has slices are
+// scratch-owned: valid until the next run on this scratch.
+func (s *Scratch) Distribute(valued []bool, values []int64, copies int64, maxPhases int) (Result, error) {
+	e := s.ws.Engine()
 	n := e.N()
 	if len(valued) != n || len(values) != n {
 		panic(fmt.Sprintf("tokens: inputs length %d/%d for %d nodes", len(valued), len(values), n))
@@ -102,14 +212,16 @@ func Distribute(e *sim.Engine, valued []bool, values []int64, copies int64, maxP
 		maxPhases = 6*sim.CeilLog2(n) + 64
 	}
 
-	held := make([][]Token, n)
+	s.ensureRows(n)
+	s.ensureCallbacks()
+	held := s.held
 	for v := 0; v < n; v++ {
+		held[v] = held[v][:0]
 		if valued[v] {
 			held[v] = append(held[v], Token{Value: values[v], Weight: copies})
 		}
 	}
 	res := Result{MaxLoad: 1}
-	ws := sim.NewWorkspace[Token](e)
 
 	// Split phases: every token of weight > 1 halves; one half is pushed.
 	// lg(copies) phases suffice without failures; with failures the
@@ -120,34 +232,7 @@ func Distribute(e *sim.Engine, valued []bool, values []int64, copies int64, maxP
 			break
 		}
 		res.SplitPhases++
-		ws.PushBatch(MessageBits,
-			func(v int) []Token {
-				var out []Token
-				kept := held[v][:0]
-				for _, tok := range held[v] {
-					if tok.Weight > 1 {
-						half := Token{Value: tok.Value, Weight: tok.Weight / 2}
-						kept = append(kept, half)
-						out = append(out, half)
-					} else {
-						kept = append(kept, tok)
-					}
-				}
-				held[v] = kept
-				return out
-			},
-			func(v int, in []sim.Delivery[Token]) {
-				for _, d := range in {
-					held[v] = append(held[v], d.Msg)
-				}
-			},
-			func(v int, tok Token) {
-				// Failed push: the half returns home (merge-back; onDrop
-				// runs on v's own shard so held[v] is touched only by v).
-				// It is kept as a separate token and keeps splitting in
-				// later phases, weight-equivalent to the paper's merge.
-				held[v] = append(held[v], tok)
-			})
+		s.ws.PushBatch(MessageBits, s.splitSend, s.recvFn, s.dropFn)
 		res.MaxLoad = maxInt(res.MaxLoad, maxLoad(held))
 	}
 	if anyHeavy(held) {
@@ -160,32 +245,20 @@ func Distribute(e *sim.Engine, valued []bool, values []int64, copies int64, maxP
 			break
 		}
 		res.SpreadPhases++
-		ws.PushBatch(MessageBits,
-			func(v int) []Token {
-				if len(held[v]) <= 1 {
-					return nil
-				}
-				out := make([]Token, len(held[v])-1)
-				copy(out, held[v][1:])
-				held[v] = held[v][:1]
-				return out
-			},
-			func(v int, in []sim.Delivery[Token]) {
-				for _, d := range in {
-					held[v] = append(held[v], d.Msg)
-				}
-			},
-			func(v int, tok Token) {
-				held[v] = append(held[v], tok)
-			})
+		s.ws.PushBatch(MessageBits, s.spreadSend, s.recvFn, s.dropFn)
 		res.MaxLoad = maxInt(res.MaxLoad, maxLoad(held))
 	}
 	if maxLoad(held) > 1 {
 		return res, fmt.Errorf("tokens: load not unit after %d spread phases", res.SpreadPhases)
 	}
 
-	res.Value = make([]int64, n)
-	res.Has = make([]bool, n)
+	if cap(s.value) < n {
+		s.value = make([]int64, n)
+		s.has = make([]bool, n)
+	}
+	res.Value = s.value[:n]
+	res.Has = s.has[:n]
+	clear(res.Has)
 	for v := 0; v < n; v++ {
 		if len(held[v]) == 1 {
 			res.Value[v] = held[v][0].Value
@@ -193,6 +266,16 @@ func Distribute(e *sim.Engine, valued []bool, values []int64, copies int64, maxP
 		}
 	}
 	return res, nil
+}
+
+// Distribute replicates each valued node's value copies times (a power of
+// two) and spreads the unit tokens so every node ends with at most one.
+// valued and values must have length n; only values[v] with valued[v] are
+// read. maxPhases <= 0 selects a 6·log2(n)+64 cap (never hit in practice;
+// exceeding it returns an error rather than looping forever). One-shot form
+// over a throwaway Scratch; the caller owns the result slices.
+func Distribute(e *sim.Engine, valued []bool, values []int64, copies int64, maxPhases int) (Result, error) {
+	return NewScratch(e).Distribute(valued, values, copies, maxPhases)
 }
 
 // TotalWeight sums all token weights over a held-token table. Conservation

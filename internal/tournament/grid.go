@@ -1,0 +1,36 @@
+package tournament
+
+import "sort"
+
+// SuffixMinCuts transforms a grid-quantile cut table (cuts[g][v] = node v's
+// estimate of the grid[g]-quantile) in place into its per-node suffix-min
+// envelope: cuts[g][v] becomes min over g' >= g of the original cuts[g'][v].
+// The envelope is non-decreasing in g for every node, which is what makes
+// EnvelopeRankIndex a binary search, and it preserves the rank answers
+// exactly: the largest g with (original) cuts[g][v] < x equals the largest g
+// with (envelope) cuts[g][v] < x, because the suffix min at g dips below x
+// iff some original cut at index >= g does, and the largest such index is
+// its own witness. Individual grid estimates may locally invert by the
+// per-cut ±ε noise; monotonizing once here replaces the O(|grid|) per-node
+// linear rank scan with an O(log |grid|) search without changing a single
+// output. The backward sweep is grid-major, i.e. sequential over each
+// n-sized row — cache-friendly where the per-node column scan was not.
+func SuffixMinCuts(cuts [][]int64) {
+	for g := len(cuts) - 2; g >= 0; g-- {
+		row, next := cuts[g], cuts[g+1]
+		for v := range row {
+			if next[v] < row[v] {
+				row[v] = next[v]
+			}
+		}
+	}
+}
+
+// EnvelopeRankIndex returns the largest grid index g with env[g][v] < x, or
+// -1 if node v's value sits at or below every envelope cut. env must be a
+// SuffixMinCuts envelope (non-decreasing per node); the result then equals
+// the largest g whose ORIGINAL cut satisfied cuts[g][v] < x — the
+// Corollary 1.5 rank locator.
+func EnvelopeRankIndex(env [][]int64, v int, x int64) int {
+	return sort.Search(len(env), func(g int) bool { return env[g][v] >= x }) - 1
+}

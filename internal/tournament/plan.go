@@ -32,6 +32,16 @@ type Plan2 struct {
 // standing assumption (Lemma 2.10 requires ε < 1/8; larger ε only makes the
 // problem easier and 1/8 already accepts a quarter of all ranks).
 func NewPlan2(phi, eps float64) Plan2 {
+	return NewPlan2Into(phi, eps, nil, nil)
+}
+
+// NewPlan2Into is NewPlan2 appending the schedule into the provided H and
+// Deltas backings (contents overwritten, capacity reused). Schedules are a
+// handful of float recursion steps, so recomputing into a scratch-owned
+// backing costs nothing measurable — what it buys is that per-query
+// schedule construction (whose (φ, ε) operating points vary per query in
+// the exact algorithm's bracket loop) never allocates.
+func NewPlan2Into(phi, eps float64, h, deltas []float64) Plan2 {
 	eps = ClampEps(eps)
 	p := Plan2{Phi: phi, Eps: eps, T: 0.5 - eps, UseMin: phi <= 0.5}
 	var h0 float64
@@ -43,7 +53,8 @@ func NewPlan2(phi, eps float64) Plan2 {
 	if h0 < 0 {
 		h0 = 0
 	}
-	p.H = []float64{h0}
+	p.H = append(h[:0], h0)
+	p.Deltas = deltas[:0]
 	hi := h0
 	for hi > p.T {
 		next := hi * hi
@@ -85,6 +96,12 @@ type Plan3 struct {
 // NewPlan3 computes the 3-TOURNAMENT schedule for approximating the median
 // to ±ε over n nodes.
 func NewPlan3(eps float64, n int) Plan3 {
+	return NewPlan3Into(eps, n, nil)
+}
+
+// NewPlan3Into is NewPlan3 appending the recursion into the provided
+// backing; see NewPlan2Into.
+func NewPlan3Into(eps float64, n int, l0 []float64) Plan3 {
 	if eps <= 0 {
 		eps = 1e-9
 	}
@@ -96,7 +113,7 @@ func NewPlan3(eps float64, n int) Plan3 {
 	if l < 0 {
 		l = 0
 	}
-	p.L = []float64{l}
+	p.L = append(l0[:0], l)
 	// Cap the loop with the analytic bound plus slack; the recursion
 	// converges quadratically once below 1/4 so this never binds in
 	// practice, but it makes termination obvious for any float inputs.

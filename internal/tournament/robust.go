@@ -1,7 +1,6 @@
 package tournament
 
 import (
-	"fmt"
 	"math"
 
 	"gossipq/internal/sim"
@@ -84,135 +83,10 @@ func FinalPulls(mu float64, k int) int {
 // source was good after the previous iteration), and tournaments consume
 // only good pulls. After the final step, ExtraRounds adoption rounds shrink
 // the uncovered set geometrically (Theorem 1.4).
+//
+// This is the one-shot form over a throwaway Scratch (the result's Output
+// and Has slices are that scratch's buffers, which the caller therefore
+// owns); repeated runs should go through Scratch.RobustApproxQuantile.
 func RobustApproxQuantile(e *sim.Engine, values []int64, phi, eps float64, opt RobustOptions) RobustResult {
-	n := e.N()
-	if len(values) != n {
-		panic(fmt.Sprintf("tournament: %d values for %d nodes", len(values), n))
-	}
-	eps = ClampEps(eps)
-	mu := opt.Mu
-	if mu == 0 {
-		mu = sim.MaxProb(e.Failures(), n)
-	}
-
-	cur := make([]int64, n)
-	copy(cur, values)
-	next := make([]int64, n)
-	good := make([]bool, n)
-	for v := range good {
-		good[v] = true // "Initially, every node is good."
-	}
-	nextGood := make([]bool, n)
-	ws := sim.NewPullWorkspace(e)
-	dst := ws.Dst(0)
-
-	// gatherGood pulls k times and returns, per node, up to `cap` values
-	// pulled from good sources (in pull order).
-	gather := func(k, capPer int, out [][]int64) {
-		for v := range out {
-			out[v] = out[v][:0]
-		}
-		for r := 0; r < k; r++ {
-			ws.Pull(dst, MessageBits)
-			for v := 0; v < n; v++ {
-				p := dst[v]
-				if p == sim.NoPeer || !good[p] {
-					continue
-				}
-				if len(out[v]) < capPer {
-					out[v] = append(out[v], cur[p])
-				}
-			}
-		}
-	}
-
-	plan2 := NewPlan2(phi, eps)
-	k2 := PullsPerIteration(mu, 2)
-	pulls := make([][]int64, n)
-	for v := range pulls {
-		pulls[v] = make([]int64, 0, 4)
-	}
-	deltaRNG := deltaSource(e)
-	for i := 0; i < plan2.Iterations(); i++ {
-		gather(k2, 2, pulls)
-		delta := plan2.Deltas[i]
-		for v := 0; v < n; v++ {
-			if !good[v] || len(pulls[v]) < 2 {
-				nextGood[v] = false
-				next[v] = cur[v]
-				continue
-			}
-			nextGood[v] = true
-			if delta >= 1 || deltaRNG(v, i).Bool(delta) {
-				next[v] = pick2(pulls[v][0], pulls[v][1], plan2.UseMin)
-			} else {
-				next[v] = pulls[v][0] // the 1-δ arm adopts the first good pull
-			}
-		}
-		cur, next = next, cur
-		good, nextGood = nextGood, good
-		if opt.OnIteration != nil {
-			opt.OnIteration(1, i, cur)
-		}
-	}
-
-	plan3 := NewPlan3(eps/4, n)
-	k3 := PullsPerIteration(mu, 3)
-	for i := 0; i < plan3.Iterations(); i++ {
-		gather(k3, 3, pulls)
-		for v := 0; v < n; v++ {
-			if !good[v] || len(pulls[v]) < 3 {
-				nextGood[v] = false
-				next[v] = cur[v]
-				continue
-			}
-			nextGood[v] = true
-			next[v] = median3(pulls[v][0], pulls[v][1], pulls[v][2])
-		}
-		cur, next = next, cur
-		good, nextGood = nextGood, good
-		if opt.OnIteration != nil {
-			opt.OnIteration(2, i, cur)
-		}
-	}
-
-	// Final step: pull FinalPulls times; nodes with K good pulls output the
-	// median of the first K, others become bad and output nothing.
-	kf := opt.k()
-	finalPulls := make([][]int64, n)
-	for v := range finalPulls {
-		finalPulls[v] = make([]int64, 0, kf)
-	}
-	gather(FinalPulls(mu, kf), kf, finalPulls)
-	res := RobustResult{Output: make([]int64, n), Has: make([]bool, n)}
-	for v := 0; v < n; v++ {
-		if good[v] && len(finalPulls[v]) >= kf {
-			res.Output[v] = medianOf(finalPulls[v])
-			res.Has[v] = true
-		}
-	}
-
-	// Adoption rounds (Theorem 1.4's +t): uncovered nodes pull and adopt
-	// the first output they reach; covered nodes keep theirs.
-	for r := 0; r < opt.ExtraRounds; r++ {
-		ws.Pull(dst, MessageBits)
-		adoptedVal := make([]int64, 0, 64)
-		adoptedIdx := make([]int, 0, 64)
-		for v := 0; v < n; v++ {
-			if res.Has[v] {
-				continue
-			}
-			if p := dst[v]; p != sim.NoPeer && res.Has[p] {
-				adoptedIdx = append(adoptedIdx, v)
-				adoptedVal = append(adoptedVal, res.Output[p])
-			}
-		}
-		// Two-step application keeps the round synchronous: adoptions in
-		// round r expose their output only from round r+1 on.
-		for j, v := range adoptedIdx {
-			res.Output[v] = adoptedVal[j]
-			res.Has[v] = true
-		}
-	}
-	return res
+	return NewScratch(e).RobustApproxQuantile(values, phi, eps, opt)
 }

@@ -1,8 +1,6 @@
 package tournament
 
 import (
-	"fmt"
-
 	"gossipq/internal/sim"
 	"gossipq/internal/xrand"
 )
@@ -44,74 +42,14 @@ func (o Options) k() int {
 // returned slice holds each node's output; w.h.p. (for ε >= MinEps(n))
 // every output's rank among the ORIGINAL values lies within [(φ-ε)n,
 // (φ+ε)n].
+//
+// This is the one-shot form: it allocates a throwaway Scratch per call (the
+// returned slice is that scratch's output buffer, which the caller therefore
+// owns). Callers running many computations on one population should hold a
+// Scratch and use its method of the same name, which reuses every piece of
+// protocol state across runs with an identical transcript.
 func ApproxQuantile(e *sim.Engine, values []int64, phi, eps float64, opt Options) []int64 {
-	n := e.N()
-	if len(values) != n {
-		panic(fmt.Sprintf("tournament: %d values for %d nodes", len(values), n))
-	}
-	eps = ClampEps(eps)
-
-	cur := make([]int64, n)
-	copy(cur, values)
-	next := make([]int64, n)
-	ws := sim.NewPullWorkspace(e)
-	dst1, dst2, dst3 := ws.Dst(0), ws.Dst(1), ws.Dst(2)
-
-	// Phase I: 2-TOURNAMENT (Algorithm 1). Skipped entirely when the target
-	// is already the median (φ = 1/2 gives zero iterations).
-	plan2 := NewPlan2(phi, eps)
-	deltaRNG := deltaSource(e)
-	for i := 0; i < plan2.Iterations(); i++ {
-		ws.Pull(dst1, MessageBits)
-		ws.Pull(dst2, MessageBits)
-		delta := plan2.Deltas[i]
-		if opt.DisableTruncation {
-			delta = 1
-		}
-		for v := 0; v < n; v++ {
-			p1, p2 := dst1[v], dst2[v]
-			doTournament := delta >= 1 || deltaRNG(v, i).Bool(delta)
-			switch {
-			case p1 == sim.NoPeer && p2 == sim.NoPeer:
-				next[v] = cur[v] // both pulls failed; keep value
-			case !doTournament || p2 == sim.NoPeer:
-				// δ-branch line 10-11: adopt one sampled value.
-				if p1 == sim.NoPeer {
-					p1 = p2
-				}
-				next[v] = cur[p1]
-			case p1 == sim.NoPeer:
-				next[v] = cur[p2]
-			default:
-				next[v] = pick2(cur[p1], cur[p2], plan2.UseMin)
-			}
-		}
-		cur, next = next, cur
-		if opt.OnIteration != nil {
-			opt.OnIteration(1, i, cur)
-		}
-	}
-
-	// Phase II: 3-TOURNAMENT (Algorithm 2) with ε' = ε/4 per Lemma 2.11:
-	// after Phase I any quantile in [1/2 - ε/4, 1/2 + ε/4] of the shifted
-	// values is a correct answer, so approximating the median of the
-	// shifted values to ±ε/4 suffices.
-	plan3 := NewPlan3(eps/4, n)
-	for i := 0; i < plan3.Iterations(); i++ {
-		ws.Pull(dst1, MessageBits)
-		ws.Pull(dst2, MessageBits)
-		ws.Pull(dst3, MessageBits)
-		for v := 0; v < n; v++ {
-			next[v] = median3Pulled(cur, v, dst1[v], dst2[v], dst3[v])
-		}
-		cur, next = next, cur
-		if opt.OnIteration != nil {
-			opt.OnIteration(2, i, cur)
-		}
-	}
-
-	// Final step: every node samples K values and outputs their median.
-	return sampleMedian(ws, cur, opt.k())
+	return NewScratch(e).ApproxQuantile(values, phi, eps, opt)
 }
 
 // Median approximates the median to ±ε: the φ = 1/2 special case in which
@@ -169,33 +107,6 @@ func median3(a, b, c int64) int64 {
 	return b
 }
 
-// sampleMedian performs Algorithm 2's final step: k pull rounds per node,
-// output the median of the pulled values (own value fills in for failed
-// pulls so every node outputs something even under failures).
-func sampleMedian(ws *sim.PullWorkspace, cur []int64, k int) []int64 {
-	n := ws.Engine().N()
-	samples := make([][]int64, n)
-	for v := range samples {
-		samples[v] = make([]int64, 0, k)
-	}
-	dst := ws.Dst(0)
-	for r := 0; r < k; r++ {
-		ws.Pull(dst, MessageBits)
-		for v := 0; v < n; v++ {
-			if p := dst[v]; p != sim.NoPeer {
-				samples[v] = append(samples[v], cur[p])
-			} else {
-				samples[v] = append(samples[v], cur[v])
-			}
-		}
-	}
-	out := make([]int64, n)
-	for v := range out {
-		out[v] = medianOf(samples[v])
-	}
-	return out
-}
-
 // medianOf returns the lower median of xs, sorting in place.
 func medianOf(xs []int64) int64 {
 	insertionSort(xs)
@@ -219,18 +130,6 @@ func insertionSort(xs []int64) {
 // deltaTag names the δ-coin stream within the engine's algorithm namespace
 // ("2TOU").
 const deltaTag = 0x32544F55
-
-// deltaSource returns a lazily seeded per-node coin for the δ-truncated
-// iteration of Algorithm 1, drawn from the engine's algorithm namespace so
-// it never correlates with peer sampling.
-func deltaSource(e *sim.Engine) func(v, iter int) *xrand.RNG {
-	src := e.AlgorithmSource(deltaTag)
-	var r xrand.RNG
-	return func(v, iter int) *xrand.RNG {
-		src.SeedInto(&r, uint64(v)<<20|uint64(iter))
-		return &r
-	}
-}
 
 // DeltaCoin reports the δ-truncation coin outcome for node v in 2-TOURNAMENT
 // iteration iter of a run rooted at seed — the exact draw deltaSource

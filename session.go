@@ -1,0 +1,364 @@
+package gossipq
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"gossipq/internal/dist"
+	"gossipq/internal/exact"
+	"gossipq/internal/sim"
+	"gossipq/internal/stats"
+	"gossipq/internal/tournament"
+	"gossipq/internal/xrand"
+)
+
+// Session amortizes per-query setup across many quantile computations over
+// one fixed population. Construction loads the values once (a private copy);
+// the tie-breaking distinctification for exact queries and the centralized
+// verification oracle are each built lazily, once, on first use. Every query
+// then runs on an engine seeded deterministically from (session seed, query
+// id) — ids are assigned by an atomic counter, so a query's transcript is a
+// pure function of the session seed, its id, and its parameters — using an
+// engine/scratch rig checked out of a sync.Pool: the engine is reseeded in
+// place (sim.Engine.Reset), the protocol scratches are re-bound to it
+// (sim.Workspace.Rebind), and all per-run protocol state (value
+// double-buffers, pull staging, push-sum pairs, token tables, schedule
+// plans) is drawn from the rig. Steady-state queries therefore perform zero
+// protocol-state allocations once the pool is warm.
+//
+// A Session is safe for arbitrary goroutine concurrency: concurrent queries
+// check out distinct rigs and never share mutable state. (If
+// Config.OnIteration is set, it may accordingly be invoked from multiple
+// goroutines at once.) The one-shot package functions (ApproxQuantile,
+// ExactQuantile, Median) are thin wrappers over a throwaway session and
+// produce bit-for-bit the transcripts they produced before sessions
+// existed.
+type Session struct {
+	cfg    Config
+	values []int64
+	n      int
+
+	// rawSeed marks the one-shot wrapper mode: the single query runs on an
+	// engine seeded with cfg.Seed itself, exactly as the pre-session facade
+	// did, rather than with a (seed, id)-derived stream.
+	rawSeed bool
+	seeds   xrand.Source
+	nextID  atomic.Uint64
+
+	distinctOnce sync.Once
+	distinct     []int64
+	mult         int64
+
+	oracleOnce sync.Once
+	oracle     *stats.Oracle
+
+	pool sync.Pool // *queryRig
+}
+
+// queryRig is one engine plus every protocol scratch bound to it — the unit
+// the session pool hands to a query. The exact-algorithm scratch is built on
+// first exact query so approximate-only sessions never pay for it.
+type queryRig struct {
+	e    *sim.Engine
+	tour *tournament.Scratch
+	ex   *exact.Scratch
+}
+
+// querySeedTag namespaces the per-query engine seeds within the session
+// seed's derivation tree ("Qery"), so query streams never collide with any
+// other use of the seed.
+const querySeedTag = 0x51657279
+
+// Query describes one quantile computation for Session.Batch.
+type Query struct {
+	// Phi is the quantile target in [0, 1].
+	Phi float64
+	// Eps is the approximation width; must be positive unless Exact is set.
+	// As with the one-shot ApproxQuantile, widths below the tournament
+	// validity region substitute the exact algorithm.
+	Eps float64
+	// Exact requests the Theorem 1.1 exact algorithm; Eps is then ignored.
+	Exact bool
+}
+
+// Answer is the outcome of one session query.
+type Answer struct {
+	// QueryID is the session-unique id the query ran under. Re-running the
+	// same parameters under the same id on a session with the same Config
+	// reproduces the answer bit-for-bit.
+	QueryID uint64
+	// Value is the answer: for exact queries the exact ⌈φn⌉-smallest value;
+	// for approximate queries the output of the lowest-numbered covered
+	// node (node 0 unless failures are configured), any node's output being
+	// a valid ±εn answer.
+	Value int64
+	// Covered is the number of nodes holding an output — n except under a
+	// failure model (Theorem 1.4).
+	Covered int
+	// Metrics is the query's complexity accounting.
+	Metrics Metrics
+	// Err records a per-query runtime failure in Batch results; single-query
+	// methods return it as their error instead.
+	Err error
+}
+
+// errNoOutputs is returned when a failure model left no node with an output
+// (possible only at extreme failure rates with ExtraRounds = 0).
+var errNoOutputs = errors.New("gossipq: no node produced an output")
+
+// NewSession loads values into a session. The slice is copied; the caller
+// may reuse it. Config semantics match the one-shot functions: Seed drives
+// all randomness (per query, via the query id), Failures/Workers/K/
+// ExtraRounds apply to every query.
+func NewSession(values []int64, cfg Config) (*Session, error) {
+	if err := validate(values, 0, cfg); err != nil {
+		return nil, err
+	}
+	owned := make([]int64, len(values))
+	copy(owned, values)
+	return newSession(owned, cfg, false), nil
+}
+
+// newOneShot wraps values (borrowed, not copied — the session never outlives
+// the call) in a raw-seed throwaway session for the one-shot facade
+// functions.
+func newOneShot(values []int64, cfg Config) *Session {
+	return newSession(values, cfg, true)
+}
+
+func newSession(values []int64, cfg Config, rawSeed bool) *Session {
+	return &Session{
+		cfg:     cfg,
+		values:  values,
+		n:       len(values),
+		rawSeed: rawSeed,
+		seeds:   xrand.NewSource(cfg.Seed).Sub(querySeedTag),
+	}
+}
+
+// N returns the population size.
+func (s *Session) N() int { return s.n }
+
+// QueriesIssued returns how many query ids have been assigned so far.
+func (s *Session) QueriesIssued() uint64 { return s.nextID.Load() }
+
+func (s *Session) seedFor(id uint64) uint64 {
+	if s.rawSeed {
+		return s.cfg.Seed
+	}
+	return s.seeds.StreamSeed(id)
+}
+
+// checkout takes a rig from the pool, building one on a cold pool. A rig's
+// scratches are created bound to the rig's own engine and the pairing never
+// changes — per-query "setup" is exactly one Engine.Reset in the run paths.
+// (Scratch.Rebind exists for callers that hop one scratch across engines,
+// e.g. the conformance runner; rigs don't.)
+func (s *Session) checkout() *queryRig {
+	r, _ := s.pool.Get().(*queryRig)
+	if r == nil {
+		e := s.cfg.engine(s.n)
+		r = &queryRig{e: e, tour: tournament.NewScratch(e)}
+	}
+	return r
+}
+
+func (s *Session) release(r *queryRig) { s.pool.Put(r) }
+
+func (r *queryRig) exactScratch() *exact.Scratch {
+	if r.ex == nil {
+		r.ex = exact.NewScratch(r.e)
+	}
+	return r.ex
+}
+
+// ensureDistinct applies the §2 tie-breaking reduction once per session.
+func (s *Session) ensureDistinct() {
+	s.distinctOnce.Do(func() {
+		s.distinct, s.mult = dist.MakeDistinct(s.values)
+	})
+}
+
+// ensureOracle builds the centralized order-statistics oracle once.
+func (s *Session) ensureOracle() *stats.Oracle {
+	s.oracleOnce.Do(func() {
+		s.oracle = stats.NewOracle(s.values)
+	})
+	return s.oracle
+}
+
+// Verify reports whether x is an acceptable ε-approximate φ-quantile of the
+// session's values, using the lazily built exact oracle. Intended for
+// harnesses and serving-side answer checks; the first call pays the O(n log
+// n) oracle sort.
+func (s *Session) Verify(x int64, phi, eps float64) bool {
+	return s.ensureOracle().WithinEpsilon(x, phi, eps)
+}
+
+// OracleQuantile returns the exact ⌈φn⌉-smallest value from the lazily
+// built centralized oracle — the ground truth session queries are checked
+// against.
+func (s *Session) OracleQuantile(phi float64) int64 {
+	return s.ensureOracle().Quantile(phi)
+}
+
+func (s *Session) validateQuery(q Query) error {
+	if q.Phi < 0 || q.Phi > 1 || math.IsNaN(q.Phi) {
+		return fmt.Errorf("%w, got %v", errBadPhi, q.Phi)
+	}
+	if !q.Exact && (q.Eps <= 0 || math.IsNaN(q.Eps)) {
+		return fmt.Errorf("%w, got %v", errBadEps, q.Eps)
+	}
+	return nil
+}
+
+// ApproxQuantile answers one approximate query (Theorem 1.2): the returned
+// Value's rank is within ±εn of ⌈φn⌉ w.h.p.
+func (s *Session) ApproxQuantile(phi, eps float64) (Answer, error) {
+	return s.one(Query{Phi: phi, Eps: eps})
+}
+
+// ExactQuantile answers one exact query (Theorem 1.1): the returned Value
+// is the exact ⌈φn⌉-smallest value w.h.p.
+func (s *Session) ExactQuantile(phi float64) (Answer, error) {
+	return s.one(Query{Phi: phi, Exact: true})
+}
+
+func (s *Session) one(q Query) (Answer, error) {
+	if err := s.validateQuery(q); err != nil {
+		return Answer{}, err
+	}
+	rig := s.checkout()
+	defer s.release(rig)
+	ans := s.runOn(rig, s.nextID.Add(1)-1, q)
+	err := ans.Err
+	ans.Err = nil
+	return ans, err
+}
+
+// Batch answers the queries in order on one pooled rig, assigning
+// consecutive ids (interleaved with any concurrent callers' ids). The
+// answers slice is freshly allocated; runtime failures are recorded
+// per-answer in Err. A validation error on any query fails the whole batch
+// before any query runs.
+func (s *Session) Batch(qs []Query) ([]Answer, error) {
+	return s.BatchInto(nil, qs)
+}
+
+// BatchInto is Batch appending into dst, for callers recycling answer
+// slices in a zero-allocation serving loop.
+func (s *Session) BatchInto(dst []Answer, qs []Query) ([]Answer, error) {
+	for _, q := range qs {
+		if err := s.validateQuery(q); err != nil {
+			return dst, err
+		}
+	}
+	rig := s.checkout()
+	defer s.release(rig)
+	for _, q := range qs {
+		dst = append(dst, s.runOn(rig, s.nextID.Add(1)-1, q))
+	}
+	return dst, nil
+}
+
+// runOn executes one query on a checked-out rig. The rig's engine is
+// reseeded for the query id, so the transcript depends only on (session
+// seed, id, query, Config) — never on which pooled rig served it.
+func (s *Session) runOn(rig *queryRig, id uint64, q Query) Answer {
+	rig.e.Reset(s.seedFor(id))
+	ans := Answer{QueryID: id}
+	if q.Exact || q.Eps < tournament.MinEps(s.n) {
+		// Exact algorithm — requested, or substituted in the small-ε regime
+		// exactly as the one-shot ApproxQuantile composes the two.
+		value, err := s.exactOn(rig, q.Phi)
+		ans.Metrics = fromSim(rig.e.Metrics())
+		if err != nil {
+			ans.Err = err
+			return ans
+		}
+		ans.Value = value
+		ans.Covered = s.n
+		return ans
+	}
+	if s.cfg.failing(s.n) {
+		res := rig.tour.RobustApproxQuantile(s.values, q.Phi, q.Eps, tournament.RobustOptions{
+			K:           s.cfg.K,
+			ExtraRounds: s.cfg.ExtraRounds,
+			OnIteration: s.cfg.OnIteration,
+		})
+		ans.Metrics = fromSim(rig.e.Metrics())
+		ans.Covered = res.Covered()
+		found := false
+		for v, h := range res.Has {
+			if h {
+				ans.Value = res.Output[v]
+				found = true
+				break
+			}
+		}
+		if !found {
+			ans.Err = errNoOutputs
+		}
+		return ans
+	}
+	out := rig.tour.ApproxQuantile(s.values, q.Phi, q.Eps, tournament.Options{
+		K: s.cfg.K, OnIteration: s.cfg.OnIteration,
+	})
+	ans.Value = out[0]
+	ans.Covered = s.n
+	ans.Metrics = fromSim(rig.e.Metrics())
+	return ans
+}
+
+// exactOn runs the exact algorithm over the session's distinctified values
+// (built once) and inverts the tie-breaking transform.
+func (s *Session) exactOn(rig *queryRig, phi float64) (int64, error) {
+	s.ensureDistinct()
+	res, err := rig.exactScratch().Quantile(s.distinct, phi, exact.Options{K: s.cfg.K})
+	if err != nil {
+		return 0, err
+	}
+	return floorDiv(res.Value, s.mult), nil
+}
+
+// approxFull runs one approximate query returning the full per-node result
+// the one-shot facade exposes. Plain/robust output slices are rig-owned,
+// which is safe exactly because one-shot wrappers use throwaway sessions.
+func (s *Session) approxFull(phi, eps float64) (ApproxResult, error) {
+	if eps < tournament.MinEps(s.n) {
+		// Small-ε regime: Theorem 1.2 via the exact algorithm.
+		ex, err := s.exactFull(phi)
+		if err != nil {
+			return ApproxResult{}, err
+		}
+		return ApproxResult{Outputs: ex.Outputs, Has: allTrue(s.n), Metrics: ex.Metrics}, nil
+	}
+	rig := s.checkout()
+	defer s.release(rig)
+	rig.e.Reset(s.seedFor(s.nextID.Add(1) - 1))
+	if s.cfg.failing(s.n) {
+		res := rig.tour.RobustApproxQuantile(s.values, phi, eps, tournament.RobustOptions{
+			K:           s.cfg.K,
+			ExtraRounds: s.cfg.ExtraRounds,
+			OnIteration: s.cfg.OnIteration,
+		})
+		return ApproxResult{Outputs: res.Output, Has: res.Has, Metrics: fromSim(rig.e.Metrics())}, nil
+	}
+	out := rig.tour.ApproxQuantile(s.values, phi, eps, tournament.Options{K: s.cfg.K, OnIteration: s.cfg.OnIteration})
+	return ApproxResult{Outputs: out, Has: allTrue(s.n), Metrics: fromSim(rig.e.Metrics())}, nil
+}
+
+// exactFull runs one exact query returning the full one-shot result shape.
+func (s *Session) exactFull(phi float64) (ExactResult, error) {
+	rig := s.checkout()
+	defer s.release(rig)
+	rig.e.Reset(s.seedFor(s.nextID.Add(1) - 1))
+	value, err := s.exactOn(rig, phi)
+	if err != nil {
+		return ExactResult{}, err
+	}
+	return ExactResult{Value: value, Outputs: repeat(value, s.n), Metrics: fromSim(rig.e.Metrics())}, nil
+}

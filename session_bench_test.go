@@ -1,0 +1,68 @@
+package gossipq_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"gossipq"
+	"gossipq/internal/servebench"
+)
+
+// BenchmarkSessionQuery measures one steady-state approximate query on a
+// warm session at the serving population — the per-query cost the session
+// layer amortizes everything else into. -benchmem must show ~0 allocs/op
+// (protocol state is pooled; see TestSessionSteadyStateAllocs for the hard
+// zero assertion).
+func BenchmarkSessionQuery(b *testing.B) {
+	for _, n := range []int{1 << 14, 1 << 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			o := servebench.Options{N: n, Clients: 1}
+			s, err := servebench.NewSession(o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := servebench.Warm(s, o); err != nil {
+				b.Fatal(err)
+			}
+			var m gossipq.Metrics
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, err := s.ApproxQuantile(0.5, 0.05)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m = a.Metrics
+			}
+			b.ReportMetric(float64(m.Rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkSessionQueryParallel measures concurrent session traffic: every
+// worker goroutine checks rigs out of the shared pool, the serving regime
+// cmd/gossipq serve and BENCH_serve.json run in.
+func BenchmarkSessionQueryParallel(b *testing.B) {
+	const n = 1 << 16
+	o := servebench.Options{N: n, Clients: 8}
+	s, err := servebench.NewSession(o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := servebench.Warm(s, o); err != nil {
+		b.Fatal(err)
+	}
+	phis := []float64{0.1, 0.25, 0.5, 0.75, 0.9}
+	var next atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := next.Add(1)
+			if _, err := s.ApproxQuantile(phis[i%uint64(len(phis))], 0.05); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

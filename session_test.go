@@ -1,0 +1,291 @@
+package gossipq_test
+
+import (
+	"runtime/debug"
+	"sync"
+	"testing"
+
+	"gossipq"
+	"gossipq/internal/dist"
+)
+
+// TestSessionAnswersMatchOracle checks every query mode of a session against
+// the centralized oracle: approximate answers within ±εn, exact answers (and
+// small-ε substituted ones) equal to the exact order statistic, on a
+// duplicate-heavy workload so the once-per-session distinctification is
+// exercised.
+func TestSessionAnswersMatchOracle(t *testing.T) {
+	for _, wl := range []dist.Kind{dist.Uniform, dist.DuplicateHeavy} {
+		values := dist.Generate(wl, 2048, 11)
+		s, err := gossipq.NewSession(values, gossipq.Config{Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, phi := range []float64{0, 0.25, 0.5, 0.99, 1} {
+			a, err := s.ApproxQuantile(phi, 0.1)
+			if err != nil {
+				t.Fatalf("%v approx(%v): %v", wl, phi, err)
+			}
+			if !s.Verify(a.Value, phi, 0.1) {
+				t.Errorf("%v approx(%v): %d outside ±εn", wl, phi, a.Value)
+			}
+			if a.Covered != s.N() {
+				t.Errorf("%v approx(%v): covered %d, want %d", wl, phi, a.Covered, s.N())
+			}
+			x, err := s.ExactQuantile(phi)
+			if err != nil {
+				t.Fatalf("%v exact(%v): %v", wl, phi, err)
+			}
+			if want := s.OracleQuantile(phi); x.Value != want {
+				t.Errorf("%v exact(%v): %d, oracle %d", wl, phi, x.Value, want)
+			}
+		}
+		// Small ε below the tournament validity region substitutes the
+		// exact algorithm, as in the one-shot facade.
+		a, err := s.ApproxQuantile(0.5, 0.001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := s.OracleQuantile(0.5); a.Value != want {
+			t.Errorf("%v substituted exact: %d, oracle %d", wl, a.Value, want)
+		}
+		if a.Metrics.MaxMessageBits != gossipq.MaxTheoremMessageBits {
+			t.Errorf("%v substituted exact: message bits %d", wl, a.Metrics.MaxMessageBits)
+		}
+	}
+}
+
+// TestSessionQueryValidation pins the error behavior of session queries: bad
+// parameters fail, and a batch with any invalid query fails whole before
+// running anything.
+func TestSessionQueryValidation(t *testing.T) {
+	values := dist.Generate(dist.Uniform, 256, 3)
+	if _, err := gossipq.NewSession(values[:1], gossipq.Config{}); err == nil {
+		t.Error("1-value session accepted")
+	}
+	if _, err := gossipq.NewSession(values, gossipq.Config{Workers: -1}); err == nil {
+		t.Error("negative Workers accepted")
+	}
+	s, err := gossipq.NewSession(values, gossipq.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ApproxQuantile(1.5, 0.1); err == nil {
+		t.Error("phi=1.5 accepted")
+	}
+	if _, err := s.ApproxQuantile(0.5, 0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := s.ExactQuantile(-0.1); err == nil {
+		t.Error("phi=-0.1 accepted")
+	}
+	before := s.QueriesIssued()
+	if _, err := s.Batch([]gossipq.Query{{Phi: 0.5, Eps: 0.1}, {Phi: 2}}); err == nil {
+		t.Error("batch with invalid query accepted")
+	}
+	if got := s.QueriesIssued(); got != before {
+		t.Errorf("failed batch consumed %d query ids", got-before)
+	}
+}
+
+// TestSessionRobustCoverage runs session queries under the §5 failure model:
+// covered nodes' consensus answer must verify, coverage must follow
+// Theorem 1.4.
+func TestSessionRobustCoverage(t *testing.T) {
+	values := dist.Generate(dist.Zipf, 2048, 17)
+	s, err := gossipq.NewSession(values, gossipq.Config{
+		Seed: 9, Failures: gossipq.UniformFailures(0.3), ExtraRounds: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		a, err := s.ApproxQuantile(0.5, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.Verify(a.Value, 0.5, 0.1) {
+			t.Errorf("robust answer %d outside ±εn", a.Value)
+		}
+		if a.Covered <= s.N()*9/10 || a.Covered > s.N() {
+			t.Errorf("coverage %d/%d outside Theorem 1.4 expectation", a.Covered, s.N())
+		}
+	}
+}
+
+// TestSessionConcurrentDeterminism is the concurrency contract test: many
+// goroutines issue batches concurrently (so query ids race), then every
+// answered (id, query) pair is replayed in id order on a fresh session with
+// the same Config. Per-(seed, query id) determinism demands identical
+// values, coverage, and metrics no matter which goroutine or pooled rig
+// served the query the first time. Run under -race this also exercises the
+// pool and lazy oracle/distinctify paths for data races.
+func TestSessionConcurrentDeterminism(t *testing.T) {
+	values := dist.Generate(dist.Gaussian, 512, 23)
+	cfg := gossipq.Config{Seed: 31}
+	s, err := gossipq.NewSession(values, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 6
+	const perG = 5
+	phis := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	queries := func(g int) []gossipq.Query {
+		qs := make([]gossipq.Query, perG)
+		for i := range qs {
+			qs[i] = gossipq.Query{Phi: phis[(g+i)%len(phis)], Eps: 0.14 + 0.01*float64(g)}
+		}
+		if g%3 == 0 {
+			qs[perG-1] = gossipq.Query{Phi: phis[g%len(phis)], Exact: true}
+		}
+		return qs
+	}
+
+	type issued struct {
+		q gossipq.Query
+		a gossipq.Answer
+	}
+	byID := make([]issued, goroutines*perG)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			qs := queries(g)
+			answers, err := s.Batch(qs)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i, a := range answers {
+				if a.Err != nil {
+					errs <- a.Err
+					return
+				}
+				byID[a.QueryID] = issued{q: qs[i], a: a}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := s.QueriesIssued(); got != goroutines*perG {
+		t.Fatalf("issued %d ids, want %d", got, goroutines*perG)
+	}
+
+	// Replay in id order on a fresh session: sequential issuance reassigns
+	// the same ids 0, 1, 2, ..., so every answer must reproduce bit-for-bit.
+	replay, err := gossipq.NewSession(values, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, rec := range byID {
+		as, err := replay.Batch([]gossipq.Query{rec.q})
+		if err != nil {
+			t.Fatalf("replay id %d: %v", id, err)
+		}
+		a := as[0]
+		if err := a.Err; err != nil {
+			t.Fatalf("replay id %d: %v", id, err)
+		}
+		a.Err = nil
+		if a != rec.a {
+			t.Errorf("id %d: replayed %+v, concurrent run got %+v", id, a, rec.a)
+		}
+	}
+}
+
+// TestSessionSteadyStateAllocs is the tentpole's acceptance gate: once the
+// rig pool, plan caches, and the session's lazy distinctification are warm,
+// approximate queries, exact queries, and whole recycled batches perform
+// ZERO allocations. GC is paused so sync.Pool cannot be drained mid-count.
+func TestSessionSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector shadow bookkeeping allocates; alloc counts are only meaningful unraced")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	values := dist.Generate(dist.Uniform, 1024, 41)
+	s, err := gossipq.NewSession(values, gossipq.Config{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-up: every query mode once, so buffers, plan caches, and the
+	// distinctified copy exist before counting.
+	if _, err := s.ApproxQuantile(0.3, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ExactQuantile(0.5); err != nil {
+		t.Fatal(err)
+	}
+
+	if avg := testing.AllocsPerRun(20, func() {
+		if _, err := s.ApproxQuantile(0.3, 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("approx query: %v allocs/op in steady state, want 0", avg)
+	}
+
+	if avg := testing.AllocsPerRun(3, func() {
+		if _, err := s.ExactQuantile(0.5); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("exact query: %v allocs/op in steady state, want 0", avg)
+	}
+
+	qs := []gossipq.Query{{Phi: 0.1, Eps: 0.1}, {Phi: 0.5, Eps: 0.1}, {Phi: 0.9, Eps: 0.1}}
+	answers := make([]gossipq.Answer, 0, len(qs))
+	if avg := testing.AllocsPerRun(10, func() {
+		var err error
+		answers, err = s.BatchInto(answers[:0], qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("recycled batch: %v allocs/op in steady state, want 0", avg)
+	}
+}
+
+// TestSessionGoldenTranscripts pins session query transcripts the way
+// golden_api_test.go pins the one-shot facade: a fixed (workload, session
+// seed) table of queries whose answers and metrics must never drift
+// silently. (The one-shot wrappers themselves are pinned by
+// TestGoldenFacadeTranscripts, whose hashes predate sessions — their
+// passing is the proof that the wrappers' transcripts are unchanged.)
+func TestSessionGoldenTranscripts(t *testing.T) {
+	values := dist.Generate(dist.Uniform, 1024, 101)
+	s, err := gossipq.NewSession(values, gossipq.Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := s.Batch([]gossipq.Query{
+		{Phi: 0.25, Eps: 0.1},
+		{Phi: 0.5, Exact: true},
+		{Phi: 0.75, Eps: 0.125},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []gossipq.Answer{
+		{QueryID: 0, Value: 8861905198482390, Covered: 1024,
+			Metrics: gossipq.Metrics{Rounds: 43, Messages: 44032, Bits: 2818048, MaxMessageBits: 64}},
+		{QueryID: 1, Value: 18193484616731343, Covered: 1024,
+			Metrics: gossipq.Metrics{Rounds: 1370, Messages: 1300298, Bits: 103130368, MaxMessageBits: 128}},
+		{QueryID: 2, Value: 25495158205156480, Covered: 1024,
+			Metrics: gossipq.Metrics{Rounds: 40, Messages: 40960, Bits: 2621440, MaxMessageBits: 64}},
+	}
+	for i, a := range answers {
+		if a.Err != nil {
+			t.Fatalf("query %d: %v", i, a.Err)
+		}
+		if a != want[i] {
+			t.Errorf("query %d: %+v, golden %+v", i, a, want[i])
+		}
+	}
+}

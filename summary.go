@@ -20,6 +20,9 @@ type Summary struct {
 	grid []float64 // ascending quantile targets
 	// cuts[g][v] is node v's estimate of the grid[g]-quantile.
 	cuts [][]int64
+	// env is the per-node suffix-min envelope of cuts (non-decreasing in g
+	// for every node), precomputed once so Rank is a binary search.
+	env [][]int64
 	// Metrics is the build's complexity accounting.
 	Metrics Metrics
 }
@@ -43,12 +46,16 @@ func BuildSummary(values []int64, eps float64, cfg Config) (*Summary, error) {
 		}
 	}
 	e := cfg.engine(n)
-	s := &Summary{eps: eps}
-	for _, phi := range tournament.QuantileGrid(step) {
-		out := tournament.ApproxQuantile(e, values, phi, gridEps, tournament.Options{K: cfg.K})
-		s.grid = append(s.grid, phi)
-		s.cuts = append(s.cuts, out)
+	s := &Summary{eps: eps, grid: tournament.QuantileGrid(step)}
+	// One scratch serves all grid runs (transcript-identical to running
+	// ApproxQuantile per grid point on this engine).
+	s.cuts = tournament.GridQuantiles(e, values, s.grid, gridEps, tournament.Options{K: cfg.K}, nil)
+	s.env = make([][]int64, len(s.cuts))
+	for g := range s.cuts {
+		s.env[g] = make([]int64, n)
+		copy(s.env[g], s.cuts[g])
 	}
+	tournament.SuffixMinCuts(s.env)
 	s.Metrics = fromSim(e.Metrics())
 	return s, nil
 }
@@ -83,15 +90,14 @@ func (s *Summary) Query(v int, phi float64) int64 {
 
 // Rank returns node v's local estimate of the normalized rank of x among
 // the population's values, within ±ε w.h.p. — the Corollary 1.5 primitive
-// generalized to arbitrary query points.
+// generalized to arbitrary query points. It is an O(log(1/ε)) binary search
+// over the monotone-repaired envelope built at construction, and answers
+// exactly what the naive largest-grid-index scan over the raw cuts would
+// (see tournament.SuffixMinCuts for the equivalence).
 func (s *Summary) Rank(v int, x int64) float64 {
-	// The cut values at one node are non-decreasing in the grid target up
-	// to ±ε wiggle; binary search for robustness after a monotone repair.
 	est := s.grid[0] / 2
-	for g := range s.grid {
-		if s.cuts[g][v] < x {
-			est = s.grid[g] + s.grid[0]/2
-		}
+	if g := tournament.EnvelopeRankIndex(s.env, v, x); g >= 0 {
+		est = s.grid[g] + s.grid[0]/2
 	}
 	if est > 1 {
 		est = 1
