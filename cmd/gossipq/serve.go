@@ -1,14 +1,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"gossipq"
 	"gossipq/internal/dist"
@@ -18,11 +22,17 @@ import (
 // synthetic population and serves quantile queries over HTTP/JSON. The
 // session layer makes the handlers trivially concurrent — every request
 // checks an engine/scratch rig out of the session pool and runs its own
-// deterministic gossip computation.
+// deterministic gossip computation; with -summary-eps the session also
+// publishes a versioned ε-summary snapshot and approximate queries become
+// local lock-free lookups (responses report mode "snapshot" and the
+// generation that answered).
 //
-//	GET  /quantile?phi=0.99&eps=0.01[&exact=true]   one query
+//	GET  /quantile?phi=0.99&eps=0.01[&exact=true][&mode=live]   one query
 //	POST /batch    {"queries":[{"phi":0.5,"eps":0.05},{"phi":0.9,"exact":true}]}
-//	GET  /healthz  liveness + population and traffic counters
+//	GET  /healthz  liveness + population, traffic, and snapshot status
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// drain, the background refresher stops, and the process exits 0.
 func serveCmd(args []string) int {
 	fs := flag.NewFlagSet("gossipq serve", flag.ExitOnError)
 	var (
@@ -33,6 +43,8 @@ func serveCmd(args []string) int {
 		eps      = fs.Float64("eps", 0.05, "default approximation width for queries that omit eps")
 		workers  = fs.Int("workers", 1, "per-query simulation workers; 1 leaves the cores to concurrent queries")
 		check    = fs.Bool("check", false, "verify every answer against the centralized oracle (adds \"ok\" to responses)")
+		sumEps   = fs.Float64("summary-eps", 0, "serve approximate queries from a versioned ε-summary snapshot at this width (0 disables the snapshot tier)")
+		refresh  = fs.Duration("refresh", 0, "rebuild the snapshot every interval (0 keeps the initial build; requires -summary-eps)")
 	)
 	fs.Parse(args)
 
@@ -51,10 +63,31 @@ func serveCmd(args []string) int {
 		// Pay the oracle sort now, not on the first checked request.
 		session.OracleQuantile(0.5)
 	}
+	snapshots := *sumEps > 0
+	if snapshots {
+		info, err := session.StartRefresher(*sumEps, *refresh)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		log.Printf("gossipq serve: snapshot tier on: eps=%g grid=%d build=%d rounds/%d messages (refresh %v)",
+			info.Eps, info.GridSize, info.BuildMetrics.Rounds, info.BuildMetrics.Messages, *refresh)
+	} else if *refresh > 0 {
+		fmt.Fprintln(os.Stderr, "gossipq serve: -refresh requires -summary-eps")
+		return 2
+	}
+	// defaultMode is what queries get unless they say mode=live/snapshot
+	// themselves: with the snapshot tier on, approximate traffic reads the
+	// published summary and only exact (or explicitly live) queries run the
+	// protocol per request.
+	defaultMode := gossipq.ServeLive
+	if snapshots {
+		defaultMode = gossipq.ServeSnapshot
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/quantile", func(w http.ResponseWriter, r *http.Request) {
-		q, err := queryFromURL(r, *eps)
+		q, err := queryFromURL(r, *eps, defaultMode)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
@@ -80,7 +113,7 @@ func serveCmd(args []string) int {
 		}
 		qs := make([]gossipq.Query, len(req.Queries))
 		for i, qj := range req.Queries {
-			q, err := qj.query(*eps)
+			q, err := qj.query(*eps, defaultMode)
 			if err != nil {
 				httpError(w, http.StatusBadRequest, fmt.Errorf("query %d: %w", i, err))
 				return
@@ -101,34 +134,58 @@ func serveCmd(args []string) int {
 		writeJSON(w, resp)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, map[string]any{
+		h := map[string]any{
 			"status":         "ok",
 			"n":              session.N(),
 			"workload":       *workload,
 			"queries_issued": session.QueriesIssued(),
-		})
+		}
+		if info, ok := session.Snapshot(); ok {
+			h["snapshot_version"] = info.Version
+			h["snapshot_eps"] = info.Eps
+			h["snapshot_age_ms"] = info.Age().Milliseconds()
+		}
+		writeJSON(w, h)
 	})
 
 	log.Printf("gossipq serve: session over %d %s values (seed %d), eps default %g, listening on %s",
 		*n, *workload, *seed, *eps, *addr)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		// Listen failed before any signal (bad address, port in use, ...).
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	case <-ctx.Done():
+	}
+	log.Printf("gossipq serve: signal received, draining")
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelShutdown()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	session.Close() // stop the snapshot refresher after the last request drains
+	log.Printf("gossipq serve: bye")
 	return 0
 }
 
 // queryJSON is the wire shape of one query; a zero eps selects the server's
-// default width. Phi is a pointer so an omitted (or typo'd) phi key is a
-// 400, matching /quantile's missing-parameter check, rather than silently
-// answering the 0-quantile.
+// default width, an empty mode the server's default serving mode. Phi is a
+// pointer so an omitted (or typo'd) phi key is a 400, matching /quantile's
+// missing-parameter check, rather than silently answering the 0-quantile.
 type queryJSON struct {
 	Phi   *float64 `json:"phi"`
 	Eps   float64  `json:"eps"`
 	Exact bool     `json:"exact"`
+	Mode  string   `json:"mode"`
 }
 
-func (q queryJSON) query(defaultEps float64) (gossipq.Query, error) {
+func (q queryJSON) query(defaultEps float64, defaultMode gossipq.ServeMode) (gossipq.Query, error) {
 	if q.Phi == nil {
 		return gossipq.Query{}, fmt.Errorf("missing phi in query")
 	}
@@ -136,26 +193,48 @@ func (q queryJSON) query(defaultEps float64) (gossipq.Query, error) {
 	if eps == 0 {
 		eps = defaultEps
 	}
-	return gossipq.Query{Phi: *q.Phi, Eps: eps, Exact: q.Exact}, nil
+	mode, err := parseMode(q.Mode, defaultMode)
+	if err != nil {
+		return gossipq.Query{}, err
+	}
+	return gossipq.Query{Phi: *q.Phi, Eps: eps, Exact: q.Exact, Mode: mode}, nil
+}
+
+// parseMode maps the wire spelling to a ServeMode; "" keeps the server
+// default, "live" forces a per-query protocol run even when the snapshot
+// tier is on, "snapshot" asks for a snapshot read (falling back to live if
+// nothing published covers the width).
+func parseMode(s string, def gossipq.ServeMode) (gossipq.ServeMode, error) {
+	switch s {
+	case "":
+		return def, nil
+	case "live":
+		return gossipq.ServeLive, nil
+	case "snapshot":
+		return gossipq.ServeSnapshot, nil
+	}
+	return def, fmt.Errorf("bad mode %q (want live or snapshot)", s)
 }
 
 // answerJSON is the wire shape of one answer. OK is present only when the
-// server runs with -check.
+// server runs with -check; SnapshotVersion only on snapshot-served answers.
 type answerJSON struct {
-	Phi      float64 `json:"phi"`
-	Eps      float64 `json:"eps,omitempty"`
-	Exact    bool    `json:"exact"`
-	Value    int64   `json:"value"`
-	QueryID  uint64  `json:"query_id"`
-	Covered  int     `json:"covered"`
-	Rounds   int     `json:"rounds"`
-	Messages int64   `json:"messages"`
-	Error    string  `json:"error,omitempty"`
-	OK       *bool   `json:"ok,omitempty"`
+	Phi             float64 `json:"phi"`
+	Eps             float64 `json:"eps,omitempty"`
+	Exact           bool    `json:"exact"`
+	Value           int64   `json:"value"`
+	Mode            string  `json:"mode"`
+	SnapshotVersion uint64  `json:"snapshot_version,omitempty"`
+	QueryID         uint64  `json:"query_id"`
+	Covered         int     `json:"covered"`
+	Rounds          int     `json:"rounds"`
+	Messages        int64   `json:"messages"`
+	Error           string  `json:"error,omitempty"`
+	OK              *bool   `json:"ok,omitempty"`
 }
 
-func queryFromURL(r *http.Request, defaultEps float64) (gossipq.Query, error) {
-	q := gossipq.Query{Eps: defaultEps}
+func queryFromURL(r *http.Request, defaultEps float64, defaultMode gossipq.ServeMode) (gossipq.Query, error) {
+	q := gossipq.Query{Eps: defaultEps, Mode: defaultMode}
 	phiS := r.URL.Query().Get("phi")
 	if phiS == "" {
 		return q, fmt.Errorf("missing phi parameter")
@@ -179,26 +258,31 @@ func queryFromURL(r *http.Request, defaultEps float64) (gossipq.Query, error) {
 		}
 		q.Exact = exact
 	}
+	if q.Mode, err = parseMode(r.URL.Query().Get("mode"), defaultMode); err != nil {
+		return q, err
+	}
 	return q, nil
 }
 
 func answerOne(s *gossipq.Session, q gossipq.Query, check bool) (answerJSON, error) {
-	answers, err := s.Batch([]gossipq.Query{q})
+	a, err := s.Ask(q)
 	if err != nil {
 		return answerJSON{}, err
 	}
-	return toAnswerJSON(s, q, answers[0], check), nil
+	return toAnswerJSON(s, q, a, check), nil
 }
 
 func toAnswerJSON(s *gossipq.Session, q gossipq.Query, a gossipq.Answer, check bool) answerJSON {
 	out := answerJSON{
-		Phi:      q.Phi,
-		Exact:    q.Exact,
-		Value:    a.Value,
-		QueryID:  a.QueryID,
-		Covered:  a.Covered,
-		Rounds:   a.Metrics.Rounds,
-		Messages: a.Metrics.Messages,
+		Phi:             q.Phi,
+		Exact:           q.Exact,
+		Value:           a.Value,
+		Mode:            a.Mode.String(),
+		SnapshotVersion: a.SnapshotVersion,
+		QueryID:         a.QueryID,
+		Covered:         a.Covered,
+		Rounds:          a.Metrics.Rounds,
+		Messages:        a.Metrics.Messages,
 	}
 	if !q.Exact {
 		out.Eps = q.Eps

@@ -40,20 +40,28 @@ func main() {
 	)
 	flag.Parse()
 
-	// The headline row is concurrent approximate traffic at n = 65536; the
-	// clients sweep shows how cross-query parallelism scales, and the exact
-	// row tracks the expensive algorithm at a size it answers in seconds.
+	// The live rows replay the per-query protocol: the headline is
+	// concurrent approximate traffic at n = 65536, the clients sweep shows
+	// how cross-query parallelism scales, and the exact row tracks the
+	// expensive algorithm at a size it answers in seconds. The snapshot
+	// rows measure the same population served from a published ε-summary —
+	// the before/after pair the snapshot tier exists for — and need five
+	// orders of magnitude more queries per client to fill a measurable
+	// wall-clock interval.
 	opts := []servebench.Options{
 		{N: 1 << 16, Clients: 1, QueriesPerClient: 16},
 		{N: 1 << 16, Clients: 4, QueriesPerClient: 16},
 		{N: 1 << 16, Clients: 8, QueriesPerClient: 12},
 		{N: 1 << 13, Clients: 4, QueriesPerClient: 2, Exact: true},
+		{N: 1 << 16, Clients: 1, QueriesPerClient: 1 << 20, SummaryEps: 0.05},
+		{N: 1 << 16, Clients: 8, QueriesPerClient: 1 << 18, SummaryEps: 0.05},
 	}
 	if *quick {
 		opts = []servebench.Options{
 			{N: 1 << 14, Clients: 1, QueriesPerClient: 8},
 			{N: 1 << 14, Clients: 4, QueriesPerClient: 8},
 			{N: 1 << 12, Clients: 2, QueriesPerClient: 2, Exact: true},
+			{N: 1 << 14, Clients: 2, QueriesPerClient: 1 << 16, SummaryEps: 0.05},
 		}
 	}
 

@@ -22,7 +22,10 @@ type runResult struct {
 	has        []bool
 	ownQ       []float64
 	exactValue int64
-	metrics    gossipq.Metrics
+	// snapPhis is set by snapshot cells: outputs[i] answers snapPhis[i]
+	// (for every other algorithm outputs is per-node).
+	snapPhis []float64
+	metrics  gossipq.Metrics
 	// phases holds cumulative metrics snapshots around each engine-scenario
 	// phase; violations collects invariant breaks detected during execution
 	// (inbox ordering, batch round counts).
@@ -128,6 +131,11 @@ func (s Scenario) RoundBound() int {
 		return exactEnvelope(s.N, mu)
 	case AlgOwn:
 		return expectedOwnRounds(s.N, s.Eps)
+	case AlgSnapshot:
+		// The summary build runs the identical grid schedule as
+		// OwnQuantiles: one tournament per point of the step-ε/2 grid at
+		// width ε/4 (clamped to the validity region).
+		return expectedOwnRounds(s.N, s.Eps)
 	default:
 		return 0
 	}
@@ -186,6 +194,17 @@ func checkRank(s Scenario, rr runResult, oracle *stats.Oracle) []Violation {
 				vs = append(vs, Violation{"exact-rank", fmt.Sprintf(
 					"node %d output %d disagrees with consensus value %d", v, x, rr.exactValue)})
 				break
+			}
+		}
+	case AlgSnapshot:
+		// outputs[i] is the snapshot's answer to probe snapPhis[i]; the
+		// summary's contract is rank within ±εn of ⌈φn⌉ for every probe.
+		for i, phi := range rr.snapPhis {
+			if !oracle.WithinEpsilon(rr.outputs[i], phi, s.Eps) {
+				vs = append(vs, Violation{"eps-rank", fmt.Sprintf(
+					"snapshot answer %d for phi=%v has rank %d, target %d±%d",
+					rr.outputs[i], phi, oracle.Rank(rr.outputs[i]),
+					targetRank(phi, s.N), int(s.Eps*float64(s.N)))})
 			}
 		}
 	case AlgOwn:
@@ -252,7 +271,7 @@ func checkRounds(s Scenario, rr runResult) []Violation {
 					"%d rounds, robust schedule predicts %d", rr.metrics.Rounds, want)})
 			}
 		}
-	case AlgOwn:
+	case AlgOwn, AlgSnapshot:
 		if s.Failure.Model == nil {
 			if want := expectedOwnRounds(s.N, s.Eps); rr.metrics.Rounds != want {
 				vs = append(vs, Violation{"round-schedule", fmt.Sprintf(
@@ -273,7 +292,11 @@ func checkBits(s Scenario, rr runResult) []Violation {
 		vs = append(vs, Violation{"bits-cap", fmt.Sprintf(
 			"MaxMessageBits %d outside (0, %d]", mb, gossipq.MaxTheoremMessageBits)})
 	}
-	tournamentOnly := (s.Alg == AlgApprox || s.Alg == AlgMedian || s.Alg == AlgOwn) && s.tournamentPath()
+	// Snapshot builds are always pure tournament: the grid width is clamped
+	// into the validity region internally, never substituted by the exact
+	// algorithm.
+	tournamentOnly := (s.Alg == AlgApprox || s.Alg == AlgMedian || s.Alg == AlgOwn) && s.tournamentPath() ||
+		s.Alg == AlgSnapshot
 	if tournamentOnly && mb != 64 {
 		vs = append(vs, Violation{"bits-cap", fmt.Sprintf(
 			"tournament-only run peaked at %d bits, want exactly 64", mb)})
@@ -304,7 +327,8 @@ func checkMetricsSanity(s Scenario, rr runResult) []Violation {
 		vs = append(vs, Violation{"metrics", fmt.Sprintf(
 			"%d bits below messages·64 = %d·64 — some message was undersized", m.Bits, m.Messages)})
 	}
-	pullOnly := (s.Alg == AlgApprox || s.Alg == AlgMedian || s.Alg == AlgOwn) && s.tournamentPath()
+	pullOnly := (s.Alg == AlgApprox || s.Alg == AlgMedian || s.Alg == AlgOwn) && s.tournamentPath() ||
+		s.Alg == AlgSnapshot
 	if pullOnly && s.Failure.Model == nil && m.Messages != int64(s.N)*int64(m.Rounds) {
 		vs = append(vs, Violation{"metrics", fmt.Sprintf(
 			"failure-free pull schedule delivered %d messages, want exactly n·rounds = %d",

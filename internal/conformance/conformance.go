@@ -39,6 +39,14 @@ const (
 	AlgMedian Algorithm = "median" // gossipq.Median
 	AlgExact  Algorithm = "exact"  // gossipq.ExactQuantile
 	AlgOwn    Algorithm = "own"    // gossipq.OwnQuantiles
+	// AlgSnapshot drives the session snapshot tier: two Session.Refresh
+	// generations at width Eps, then ServeSnapshot reads over a φ probe
+	// sweep. Checked invariants: every answer within ±εn of the oracle
+	// (Corollary 1.5 applied through the summary grid), the build's round
+	// count equals the deterministic grid schedule, and — via the runner's
+	// determinism re-run — (session seed, refresh count) reproduces the
+	// snapshot bit-for-bit regardless of engine worker count.
+	AlgSnapshot Algorithm = "snapshot"
 	// AlgEngine drives a raw simulator engine through a pull/push/push-batch
 	// phase mix, checking the Metrics Sub/Add algebra and exercising
 	// workspace reuse (Rebind) across scenarios within a runner shard.
@@ -176,6 +184,9 @@ func Grid(short bool) []Scenario {
 			add(Scenario{Alg: AlgMedian, Workload: kind, N: n, Phi: 0.5, Eps: 0.08, Failure: fails[0]})
 			add(Scenario{Alg: AlgExact, Workload: kind, N: n, Phi: 0.7, Failure: fails[0]})
 			add(Scenario{Alg: AlgOwn, Workload: kind, N: n, Eps: 0.3, Failure: fails[0]})
+			// Snapshot cells stay on the failure-free plane by construction:
+			// Session.Refresh refuses failure models (see BuildSummary).
+			add(Scenario{Alg: AlgSnapshot, Workload: kind, N: n, Eps: 0.25, Failure: fails[0]})
 		}
 	}
 	// Quantile edge cases: the exact algorithm's φ ∈ {0, ½, 1} endgames.

@@ -51,7 +51,7 @@ func TestGridCoversAxes(t *testing.T) {
 		fails[s.Failure.Name] = true
 		ns[s.N] = true
 	}
-	for _, a := range []Algorithm{AlgApprox, AlgMedian, AlgExact, AlgOwn, AlgEngine} {
+	for _, a := range []Algorithm{AlgApprox, AlgMedian, AlgExact, AlgOwn, AlgSnapshot, AlgEngine} {
 		if !algs[a] {
 			t.Errorf("short grid misses algorithm %s", a)
 		}

@@ -278,11 +278,52 @@ func (sh *shard) execute(s Scenario, values []int64, workers int) (runResult, er
 		// outputs carries the inputs so the rank checker can locate each
 		// node's true quantile.
 		return runResult{outputs: values, ownQ: res.Quantile, metrics: res.Metrics}, nil
+	case AlgSnapshot:
+		return runSnapshot(s, values, cfg)
 	case AlgEngine:
 		return sh.runEngine(s, values, workers)
 	default:
 		return runResult{}, fmt.Errorf("conformance: unknown algorithm %q", s.Alg)
 	}
+}
+
+// snapshotProbePhis is the φ sweep snapshot cells answer; outputs[i] is the
+// snapshot's answer to snapshotProbePhis[i].
+var snapshotProbePhis = []float64{0.05, 0.25, 0.5, 0.75, 0.95}
+
+// runSnapshot drives the session snapshot tier: it publishes two refresh
+// generations (exercising the per-generation seed stream, not just r=0) and
+// reads the probe sweep from the second. Serving-mode discipline is checked
+// inline — every read must come from snapshot generation 2, never a live
+// fallback — while rank, round-schedule, and determinism checks run on the
+// normalized result like any other cell. The reported metrics are the
+// second build's cost: what a production refresh pays per interval.
+func runSnapshot(s Scenario, values []int64, cfg gossipq.Config) (runResult, error) {
+	sess, err := gossipq.NewSession(values, cfg)
+	if err != nil {
+		return runResult{}, err
+	}
+	if _, err := sess.Refresh(s.Eps); err != nil {
+		return runResult{}, err
+	}
+	info, err := sess.Refresh(s.Eps)
+	if err != nil {
+		return runResult{}, err
+	}
+	rr := runResult{snapPhis: snapshotProbePhis, metrics: info.BuildMetrics}
+	for _, phi := range snapshotProbePhis {
+		a, err := sess.Ask(gossipq.Query{Phi: phi, Eps: s.Eps, Mode: gossipq.ServeSnapshot})
+		if err != nil {
+			return runResult{}, err
+		}
+		if a.Mode != gossipq.ServeSnapshot || a.SnapshotVersion != info.Version {
+			rr.violations = append(rr.violations, Violation{"snapshot-mode", fmt.Sprintf(
+				"phi=%v served %v from version %d, want snapshot version %d",
+				phi, a.Mode, a.SnapshotVersion, info.Version)})
+		}
+		rr.outputs = append(rr.outputs, a.Value)
+	}
+	return rr, nil
 }
 
 // runEngine drives a raw simulator engine through a pull/push/push-batch

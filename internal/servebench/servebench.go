@@ -34,6 +34,12 @@ type Options struct {
 	Eps float64
 	// Exact switches the workload to exact queries.
 	Exact bool
+	// SummaryEps, when positive, measures the snapshot serving tier: the
+	// session publishes one ε-summary at this width before the clock
+	// starts, and clients issue ServeSnapshot queries at width Eps —
+	// lock-free local reads instead of per-query protocol runs. Exact and
+	// SummaryEps are mutually exclusive (exact queries always run live).
+	SummaryEps float64
 }
 
 func (o Options) withDefaults() Options {
@@ -58,6 +64,7 @@ func (o Options) withDefaults() Options {
 // Result is one benchmark row of BENCH_serve.json.
 type Result struct {
 	Name             string  `json:"name"`
+	Mode             string  `json:"mode"`
 	N                int     `json:"n"`
 	Clients          int     `json:"clients"`
 	Queries          int     `json:"queries"`
@@ -104,9 +111,18 @@ func Warm(s *gossipq.Session, o Options) error {
 func runClient(s *gossipq.Session, o Options, c, count int) (rounds, messages int64, err error) {
 	for i := 0; i < count; i++ {
 		var a gossipq.Answer
-		if o.Exact {
+		switch {
+		case o.Exact:
 			a, err = s.ExactQuantile(phiFor(c, i))
-		} else {
+		case o.SummaryEps > 0:
+			a, err = s.Ask(gossipq.Query{Phi: phiFor(c, i), Eps: o.Eps, Mode: gossipq.ServeSnapshot})
+			if err == nil && a.Mode != gossipq.ServeSnapshot {
+				// A fallback to a live run would be a silently different
+				// benchmark; the coverage validation in Run should make
+				// this unreachable.
+				err = fmt.Errorf("servebench: snapshot query fell back to a live run")
+			}
+		default:
 			a, err = s.ApproxQuantile(phiFor(c, i), o.Eps)
 		}
 		if err != nil {
@@ -130,9 +146,26 @@ func Run(o Options) (Result, error) {
 			"servebench: eps %g below the tournament validity region at n=%d (%g); use Exact to benchmark the exact algorithm",
 			o.Eps, o.N, gossipq.MinApproxEps(o.N))
 	}
+	if o.SummaryEps > 0 {
+		if o.Exact {
+			return Result{}, fmt.Errorf("servebench: SummaryEps and Exact are mutually exclusive (exact queries always run live)")
+		}
+		if o.SummaryEps > o.Eps {
+			return Result{}, fmt.Errorf(
+				"servebench: summary eps %g wider than query eps %g — no query would be covered by the snapshot",
+				o.SummaryEps, o.Eps)
+		}
+	}
 	s, err := NewSession(o)
 	if err != nil {
 		return Result{}, err
+	}
+	if o.SummaryEps > 0 {
+		// Publish the snapshot before the clock starts: the build is the
+		// amortized cost, the measured loop is pure reads.
+		if _, err := s.Refresh(o.SummaryEps); err != nil {
+			return Result{}, err
+		}
 	}
 	if err := Warm(s, o); err != nil {
 		return Result{}, err
@@ -168,10 +201,17 @@ func Run(o Options) (Result, error) {
 		return Result{}, err
 	}
 
+	// Snapshot reads consume no query ids (the whole point), so the issued
+	// delta counts only live traffic; count the loop's queries directly in
+	// that mode.
 	queries := int(s.QueriesIssued() - issuedBefore)
 	mode := "approx"
-	if o.Exact {
+	switch {
+	case o.Exact:
 		mode = "exact"
+	case o.SummaryEps > 0:
+		mode = "snapshot"
+		queries = o.Clients * o.QueriesPerClient
 	}
 	var totalRounds, totalMessages int64
 	for c := 0; c < o.Clients; c++ {
@@ -180,6 +220,7 @@ func Run(o Options) (Result, error) {
 	}
 	res := Result{
 		Name:             fmt.Sprintf("serve/%s/n=%d/clients=%d", mode, o.N, o.Clients),
+		Mode:             mode,
 		N:                o.N,
 		Clients:          o.Clients,
 		Queries:          queries,

@@ -36,6 +36,12 @@ import (
 // ExactQuantile, Median) are thin wrappers over a throwaway session and
 // produce bit-for-bit the transcripts they produced before sessions
 // existed.
+//
+// On top of the live path, a session can publish a versioned ε-summary
+// snapshot (Refresh, StartRefresher) that ServeSnapshot queries read
+// lock-free and allocation-free — the serving tier that turns "one
+// protocol run per query" into "one grid build per monitoring interval";
+// see snapshot.go.
 type Session struct {
 	cfg    Config
 	values []int64
@@ -56,6 +62,20 @@ type Session struct {
 	oracle     *stats.Oracle
 
 	pool sync.Pool // *queryRig
+
+	// Snapshot serving tier (snapshot.go): the current versioned ε-summary
+	// behind lock-free reads, plus the refresh/refresher lifecycle. snapMu
+	// serializes refreshes and guards the refresh counter, the closed flag,
+	// and the refresher channels; freeMu guards the retired-backing
+	// freelist, which readers push to from their own goroutines.
+	snap          atomic.Pointer[snapshot]
+	snapMu        sync.Mutex
+	refreshes     uint64
+	closed        bool
+	stopRefresher chan struct{}
+	refresherDone chan struct{}
+	freeMu        sync.Mutex
+	free          []summaryBacking
 }
 
 // queryRig is one engine plus every protocol scratch bound to it — the unit
@@ -82,13 +102,17 @@ type Query struct {
 	Eps float64
 	// Exact requests the Theorem 1.1 exact algorithm; Eps is then ignored.
 	Exact bool
+	// Mode selects live or snapshot serving for approximate queries; the
+	// zero value is ServeLive. See ServeMode for the fallback rules.
+	Mode ServeMode
 }
 
 // Answer is the outcome of one session query.
 type Answer struct {
 	// QueryID is the session-unique id the query ran under. Re-running the
 	// same parameters under the same id on a session with the same Config
-	// reproduces the answer bit-for-bit.
+	// reproduces the answer bit-for-bit. Snapshot-served answers consume no
+	// id and leave QueryID zero — their provenance is SnapshotVersion.
 	QueryID uint64
 	// Value is the answer: for exact queries the exact ⌈φn⌉-smallest value;
 	// for approximate queries the output of the lowest-numbered covered
@@ -103,6 +127,14 @@ type Answer struct {
 	// Err records a per-query runtime failure in Batch results; single-query
 	// methods return it as their error instead.
 	Err error
+	// Mode reports how the query was actually served: ServeLive answers ran
+	// a gossip protocol under QueryID; ServeSnapshot answers are local
+	// lookups against the published ε-summary, whose entire gossip cost was
+	// paid by the build — their Metrics is all-zero.
+	Mode ServeMode
+	// SnapshotVersion is the snapshot generation that served a
+	// ServeSnapshot answer (zero for live answers).
+	SnapshotVersion uint64
 }
 
 // errNoOutputs is returned when a failure model left no node with an output
@@ -227,9 +259,19 @@ func (s *Session) ExactQuantile(phi float64) (Answer, error) {
 	return s.one(Query{Phi: phi, Exact: true})
 }
 
+// Ask answers one query described by q — the Query-struct form of
+// ApproxQuantile/ExactQuantile, which is how serving layers select a
+// ServeMode per request.
+func (s *Session) Ask(q Query) (Answer, error) {
+	return s.one(q)
+}
+
 func (s *Session) one(q Query) (Answer, error) {
 	if err := s.validateQuery(q); err != nil {
 		return Answer{}, err
+	}
+	if ans, ok := s.snapshotAnswer(q); ok {
+		return ans, nil
 	}
 	rig := s.checkout()
 	defer s.release(rig)
@@ -240,7 +282,8 @@ func (s *Session) one(q Query) (Answer, error) {
 }
 
 // Batch answers the queries in order on one pooled rig, assigning
-// consecutive ids (interleaved with any concurrent callers' ids). The
+// consecutive ids to the live-served queries (interleaved with any
+// concurrent callers' ids; snapshot-served queries consume none). The
 // answers slice is freshly allocated; runtime failures are recorded
 // per-answer in Err. A validation error on any query fails the whole batch
 // before any query runs.
@@ -256,10 +299,22 @@ func (s *Session) BatchInto(dst []Answer, qs []Query) ([]Answer, error) {
 			return dst, err
 		}
 	}
-	rig := s.checkout()
-	defer s.release(rig)
+	// The rig is checked out lazily (and released without defer, which
+	// would heap-allocate the captured variable): a batch fully served by
+	// the snapshot never touches the pool at all.
+	var rig *queryRig
 	for _, q := range qs {
+		if ans, ok := s.snapshotAnswer(q); ok {
+			dst = append(dst, ans)
+			continue
+		}
+		if rig == nil {
+			rig = s.checkout()
+		}
 		dst = append(dst, s.runOn(rig, s.nextID.Add(1)-1, q))
+	}
+	if rig != nil {
+		s.release(rig)
 	}
 	return dst, nil
 }

@@ -40,6 +40,38 @@ func BenchmarkSessionQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionSnapshotQuery measures one snapshot read on a session
+// with a published ε-summary — the post-tier per-query cost /quantile pays
+// under -summary-eps. -benchmem must show 0 allocs/op; compare against
+// BenchmarkSessionQuery for the live-replay cost the snapshot amortizes
+// away.
+func BenchmarkSessionSnapshotQuery(b *testing.B) {
+	for _, n := range []int{1 << 14, 1 << 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			o := servebench.Options{N: n, Clients: 1}
+			s, err := servebench.NewSession(o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Refresh(0.05); err != nil {
+				b.Fatal(err)
+			}
+			q := gossipq.Query{Phi: 0.5, Eps: 0.05, Mode: gossipq.ServeSnapshot}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, err := s.Ask(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if a.Mode != gossipq.ServeSnapshot {
+					b.Fatal("snapshot query fell back to live")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSessionQueryParallel measures concurrent session traffic: every
 // worker goroutine checks rigs out of the shared pool, the serving regime
 // cmd/gossipq serve and BENCH_serve.json run in.

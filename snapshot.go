@@ -1,0 +1,299 @@
+package gossipq
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"gossipq/internal/xrand"
+)
+
+// This file is the session's snapshot serving tier: a versioned ε-summary
+// (Summary) published behind an atomic pointer, rebuilt deterministically on
+// demand (Refresh) or on a TTL (StartRefresher), and read lock-free by
+// ServeSnapshot queries. The design splits the paper's cost statement in
+// two: the (1/ε)·O(log log n + log 1/ε)-round grid build is paid per
+// refresh on a pooled engine/scratch rig, and every query between
+// refreshes is a local O(1) table lookup — zero messages, zero rounds,
+// zero allocations.
+
+// ServeMode selects how a session answers an approximate query.
+type ServeMode uint8
+
+const (
+	// ServeLive (the zero value) runs the gossip protocol for every query —
+	// the original session behavior, and the only mode exact queries use.
+	ServeLive ServeMode = iota
+	// ServeSnapshot answers from the session's current published ε-summary
+	// when one exists and covers the requested ε (summary eps ≤ query eps);
+	// otherwise the query falls back to a live protocol run. Snapshot
+	// answers consume no query ids and report zero Metrics — the entire
+	// gossip cost was paid by the build (see Answer.SnapshotVersion).
+	ServeSnapshot
+)
+
+// String returns "live" or "snapshot" — the wire spelling of the mode in
+// the query server's responses.
+func (m ServeMode) String() string {
+	if m == ServeSnapshot {
+		return "snapshot"
+	}
+	return "live"
+}
+
+// SnapshotInfo is the metadata of one published snapshot generation.
+type SnapshotInfo struct {
+	// Version numbers generations 1, 2, 3, ... in refresh order.
+	Version uint64
+	// Eps is the summary's accuracy: snapshot answers are within ±Eps·n of
+	// the true rank w.h.p.
+	Eps float64
+	// GridSize is the number of cut points the summary stores per node.
+	GridSize int
+	// Watermark is the session's query-id counter observed when the build
+	// started: a live answer with QueryID < Watermark predates this
+	// generation.
+	Watermark uint64
+	// BuiltAt is the wall-clock completion time of the build.
+	BuiltAt time.Time
+	// BuildMetrics is the gossip cost of the grid build — the "pay once per
+	// monitoring interval" side of the snapshot trade.
+	BuildMetrics Metrics
+}
+
+// Age returns how long ago the snapshot was built.
+func (i SnapshotInfo) Age() time.Duration { return time.Since(i.BuiltAt) }
+
+// snapshot is one published generation: the immutable summary plus build
+// metadata and the reference count that lets retired generations donate
+// their cut/envelope arrays to the next rebuild.
+type snapshot struct {
+	sum       *Summary
+	version   uint64
+	watermark uint64
+	builtAt   time.Time
+
+	// refs counts the publish reference plus in-flight readers. The
+	// reference that drops it to zero recycles the summary's backing;
+	// recycled makes that transition once-only even though late readers can
+	// bounce the count off zero again (increment, fail the pointer
+	// re-check, release).
+	refs     atomic.Int64
+	recycled atomic.Bool
+}
+
+func (p *snapshot) info() SnapshotInfo {
+	return SnapshotInfo{
+		Version:      p.version,
+		Eps:          p.sum.eps,
+		GridSize:     p.sum.GridSize(),
+		Watermark:    p.watermark,
+		BuiltAt:      p.builtAt,
+		BuildMetrics: p.sum.Metrics,
+	}
+}
+
+// acquireSnapshot takes a read reference on the current snapshot, or nil if
+// none is published. The increment-then-recheck dance closes the race with
+// a concurrent Refresh unpublishing the generation: a reader that
+// incremented a just-retired snapshot's count sees the pointer move, backs
+// out, and retries on the successor — it never touches a recycled array.
+// refs can only be zero once the snapshot is unpublished (the publish
+// reference pins it while current), so a successful re-check proves the
+// reference is valid.
+func (s *Session) acquireSnapshot() *snapshot {
+	for {
+		p := s.snap.Load()
+		if p == nil {
+			return nil
+		}
+		p.refs.Add(1)
+		if s.snap.Load() == p {
+			return p
+		}
+		p.release(s)
+	}
+}
+
+// release drops one snapshot reference; the one that zeroes the count
+// pushes the backing arrays onto the session's freelist for the next
+// rebuild. The releasing goroutine's reads all precede its decrement, and
+// the freelist mutex orders the push before any pop, so a rebuild never
+// writes an array a reader is still on.
+func (p *snapshot) release(s *Session) {
+	if p.refs.Add(-1) == 0 && p.recycled.CompareAndSwap(false, true) {
+		s.freeMu.Lock()
+		s.free = append(s.free, p.sum.backing())
+		s.freeMu.Unlock()
+	}
+}
+
+// popBacking takes a retired backing off the freelist, or an empty one
+// (lazily allocated by the build) when none has been released yet.
+func (s *Session) popBacking() summaryBacking {
+	s.freeMu.Lock()
+	defer s.freeMu.Unlock()
+	if k := len(s.free); k > 0 {
+		b := s.free[k-1]
+		s.free[k-1] = summaryBacking{}
+		s.free = s.free[:k-1]
+		return b
+	}
+	return summaryBacking{}
+}
+
+// Snapshot reports the currently published snapshot's metadata, if any.
+func (s *Session) Snapshot() (SnapshotInfo, bool) {
+	p := s.acquireSnapshot()
+	if p == nil {
+		return SnapshotInfo{}, false
+	}
+	info := p.info()
+	p.release(s)
+	return info, true
+}
+
+// refreshSeedTag namespaces refresh-build engine seeds ("Snap") within the
+// session seed's derivation tree, disjoint from the query-id stream
+// (querySeedTag): snapshot builds never perturb live-query transcripts, and
+// the r-th refresh is a pure function of (session seed, r).
+const refreshSeedTag = 0x536e6170
+
+func (s *Session) refreshSeed(r uint64) uint64 {
+	return xrand.NewSource(s.cfg.Seed).Sub(refreshSeedTag).StreamSeed(r)
+}
+
+var (
+	errSessionClosed   = errors.New("gossipq: session closed")
+	errRefresherActive = errors.New("gossipq: refresher already running")
+)
+
+// Refresh builds a new ε-summary on a pooled rig and publishes it as the
+// session's current snapshot, returning its metadata. The build is
+// deterministic: refresh number r runs on an engine seeded from (session
+// seed, r) in its own namespace, so two sessions with equal Config and
+// refresh counts publish bit-identical snapshots no matter what queries ran
+// in between. Refreshes serialize with each other; readers are never
+// blocked — they keep answering from the previous generation until the
+// atomic pointer swap, and the retired generation's arrays are recycled
+// into a later rebuild once its last reader releases it.
+//
+// Like BuildSummary, Refresh requires a failure-free Config (the grid build
+// runs the non-robust tournament) and eps in (0, 0.5].
+func (s *Session) Refresh(eps float64) (SnapshotInfo, error) {
+	if err := validSummaryEps(eps); err != nil {
+		return SnapshotInfo{}, err
+	}
+	if s.cfg.failing(s.n) {
+		return SnapshotInfo{}, errSummaryFailures
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if s.closed {
+		return SnapshotInfo{}, errSessionClosed
+	}
+	r := s.refreshes
+	s.refreshes++
+	watermark := s.nextID.Load()
+	rig := s.checkout()
+	rig.e.Reset(s.refreshSeed(r))
+	sum := buildSummaryInto(rig.tour, s.values, eps, s.cfg.K, s.popBacking())
+	s.release(rig)
+	sn := &snapshot{sum: sum, version: r + 1, watermark: watermark, builtAt: time.Now()}
+	sn.refs.Store(1) // the publish reference
+	if old := s.snap.Swap(sn); old != nil {
+		old.release(s)
+	}
+	return sn.info(), nil
+}
+
+// StartRefresher publishes an initial snapshot at width eps synchronously,
+// then — for ttl > 0 — starts a background goroutine that rebuilds every
+// ttl until Close. With ttl ≤ 0 it is exactly one Refresh (on-demand
+// refreshing stays available either way). At most one refresher may run
+// per session.
+func (s *Session) StartRefresher(eps float64, ttl time.Duration) (SnapshotInfo, error) {
+	info, err := s.Refresh(eps)
+	if err != nil {
+		return info, err
+	}
+	if ttl <= 0 {
+		return info, nil
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if s.closed {
+		return info, errSessionClosed
+	}
+	if s.stopRefresher != nil {
+		return info, errRefresherActive
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s.stopRefresher, s.refresherDone = stop, done
+	go func() {
+		defer close(done)
+		t := time.NewTicker(ttl)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if _, err := s.Refresh(eps); err != nil {
+					// Only possible once the session is closed; the Close
+					// that raced us is about to stop this goroutine anyway.
+					return
+				}
+			}
+		}
+	}()
+	return info, nil
+}
+
+// Close stops the background refresher (if any) and marks the session
+// closed: further refreshes fail with an error, while queries — snapshot
+// and live — keep answering from the state already published. Close is
+// idempotent and safe to call concurrently with queries and refreshes.
+func (s *Session) Close() error {
+	s.snapMu.Lock()
+	stop, done := s.stopRefresher, s.refresherDone
+	s.stopRefresher, s.refresherDone = nil, nil
+	s.closed = true
+	s.snapMu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	return nil
+}
+
+// snapshotAnswer serves q from the current snapshot when the query asks for
+// ServeSnapshot and the snapshot covers it: a summary built at width εs
+// answers any request with eps ≥ εs inside the requested bound. The read
+// path is lock-free — two reference-count operations around three loads —
+// and allocation-free; exact queries, uncovered widths, and snapshot-less
+// sessions report !ok and fall back to a live run. The answer is node 0's
+// local estimate, matching the covered-node convention of live approximate
+// answers (any node's view is a valid ±εn answer).
+func (s *Session) snapshotAnswer(q Query) (Answer, bool) {
+	if q.Mode != ServeSnapshot || q.Exact {
+		return Answer{}, false
+	}
+	p := s.acquireSnapshot()
+	if p == nil {
+		return Answer{}, false
+	}
+	if p.sum.eps > q.Eps {
+		p.release(s)
+		return Answer{}, false
+	}
+	ans := Answer{
+		Value:           p.sum.Query(0, q.Phi),
+		Covered:         s.n,
+		Mode:            ServeSnapshot,
+		SnapshotVersion: p.version,
+	}
+	p.release(s)
+	return ans, true
+}

@@ -1,0 +1,389 @@
+package gossipq_test
+
+import (
+	"runtime/debug"
+	"sync"
+	"testing"
+	"time"
+
+	"gossipq"
+	"gossipq/internal/dist"
+)
+
+// TestSnapshotServingBasics covers the snapshot read contract: before any
+// refresh, ServeSnapshot queries fall back to live; after Refresh they are
+// served locally (version stamped, zero metrics, no query id consumed) and
+// verify against the oracle; uncovered widths and exact queries keep
+// running live.
+func TestSnapshotServingBasics(t *testing.T) {
+	values := dist.Generate(dist.Zipf, 4096, 51)
+	s, err := gossipq.NewSession(values, gossipq.Config{Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No snapshot yet: must fall back to a live run.
+	a, err := s.Ask(gossipq.Query{Phi: 0.5, Eps: 0.1, Mode: gossipq.ServeSnapshot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mode != gossipq.ServeLive || a.SnapshotVersion != 0 {
+		t.Fatalf("pre-refresh snapshot query served as %v version %d, want live fallback", a.Mode, a.SnapshotVersion)
+	}
+	if _, ok := s.Snapshot(); ok {
+		t.Fatal("Snapshot() reports a snapshot before any refresh")
+	}
+
+	info, err := s.Refresh(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 || info.Eps != 0.05 || info.GridSize < 2 {
+		t.Fatalf("first refresh info = %+v", info)
+	}
+	if info.BuildMetrics.Rounds <= 0 || info.BuildMetrics.Messages <= 0 {
+		t.Fatalf("build metrics empty: %+v", info.BuildMetrics)
+	}
+	if got, ok := s.Snapshot(); !ok || got.Version != 1 {
+		t.Fatalf("Snapshot() = %+v, %v after refresh", got, ok)
+	}
+
+	issued := s.QueriesIssued()
+	for _, phi := range []float64{0, 0.1, 0.25, 0.5, 0.9, 1} {
+		a, err := s.Ask(gossipq.Query{Phi: phi, Eps: 0.05, Mode: gossipq.ServeSnapshot})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Mode != gossipq.ServeSnapshot || a.SnapshotVersion != 1 {
+			t.Fatalf("phi=%v served as %v version %d, want snapshot v1", phi, a.Mode, a.SnapshotVersion)
+		}
+		if a.Metrics != (gossipq.Metrics{}) {
+			t.Fatalf("phi=%v: snapshot answer has non-zero metrics %+v", phi, a.Metrics)
+		}
+		if a.Covered != s.N() {
+			t.Fatalf("phi=%v: covered %d, want %d", phi, a.Covered, s.N())
+		}
+		if !s.Verify(a.Value, phi, 0.05) {
+			t.Errorf("phi=%v: snapshot answer %d outside ±εn", phi, a.Value)
+		}
+	}
+	if got := s.QueriesIssued(); got != issued {
+		t.Errorf("snapshot reads consumed %d query ids", got-issued)
+	}
+
+	// Width below the summary's eps is not covered: live fallback.
+	a, err = s.Ask(gossipq.Query{Phi: 0.5, Eps: 0.01, Mode: gossipq.ServeSnapshot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mode != gossipq.ServeLive {
+		t.Errorf("eps=0.01 below summary eps served from snapshot")
+	}
+	// Exact queries always run live.
+	a, err = s.Ask(gossipq.Query{Phi: 0.5, Exact: true, Mode: gossipq.ServeSnapshot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mode != gossipq.ServeLive {
+		t.Errorf("exact query served from snapshot")
+	}
+	if want := s.OracleQuantile(0.5); a.Value != want {
+		t.Errorf("exact through snapshot mode: %d, oracle %d", a.Value, want)
+	}
+
+	// Batches mix snapshot and live answers per query.
+	answers, err := s.Batch([]gossipq.Query{
+		{Phi: 0.25, Eps: 0.05, Mode: gossipq.ServeSnapshot},
+		{Phi: 0.25, Eps: 0.05},
+		{Phi: 0.75, Eps: 0.05, Mode: gossipq.ServeSnapshot},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantModes := []gossipq.ServeMode{gossipq.ServeSnapshot, gossipq.ServeLive, gossipq.ServeSnapshot}
+	for i, a := range answers {
+		if a.Err != nil {
+			t.Fatalf("batch answer %d: %v", i, a.Err)
+		}
+		if a.Mode != wantModes[i] {
+			t.Errorf("batch answer %d served as %v, want %v", i, a.Mode, wantModes[i])
+		}
+	}
+}
+
+// TestSnapshotRefreshDeterminism is the conformance lens's core claim at
+// unit scope: refresh r is a pure function of (session seed, r) — two
+// sessions with the same Config publish bit-identical snapshots at every
+// generation, no matter what live traffic ran on each in between.
+func TestSnapshotRefreshDeterminism(t *testing.T) {
+	values := dist.Generate(dist.Gaussian, 2048, 53)
+	phis := []float64{0.05, 0.3, 0.5, 0.77, 0.95}
+	const generations = 3
+
+	record := func(liveTraffic int) [][]int64 {
+		s, err := gossipq.NewSession(values, gossipq.Config{Seed: 71})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Perturb the query-id stream differently per session: refresh
+		// seeds must not care.
+		for i := 0; i < liveTraffic; i++ {
+			if _, err := s.ApproxQuantile(0.5, 0.1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var gens [][]int64
+		for g := 0; g < generations; g++ {
+			info, err := s.Refresh(0.1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Version != uint64(g+1) {
+				t.Fatalf("refresh %d published version %d", g, info.Version)
+			}
+			row := make([]int64, len(phis))
+			for i, phi := range phis {
+				a, err := s.Ask(gossipq.Query{Phi: phi, Eps: 0.1, Mode: gossipq.ServeSnapshot})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a.SnapshotVersion != uint64(g+1) {
+					t.Fatalf("generation %d answered from version %d", g+1, a.SnapshotVersion)
+				}
+				row[i] = a.Value
+			}
+			gens = append(gens, row)
+		}
+		return gens
+	}
+
+	a := record(0)
+	b := record(7)
+	for g := range a {
+		for i := range a[g] {
+			if a[g][i] != b[g][i] {
+				t.Errorf("generation %d phi=%v: %d vs %d across sessions — refresh not deterministic",
+					g+1, phis[i], a[g][i], b[g][i])
+			}
+		}
+	}
+}
+
+// TestSnapshotReadAllocs asserts the acceptance gate on the read path: a
+// steady-state snapshot query performs ZERO allocations. A refresh after
+// the first two recycles the retired generation's cut/envelope backings,
+// so steady-state rebuilds stay within a small constant header cost too.
+func TestSnapshotReadAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector shadow bookkeeping allocates; alloc counts are only meaningful unraced")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	values := dist.Generate(dist.Uniform, 4096, 57)
+	s, err := gossipq.NewSession(values, gossipq.Config{Seed: 59})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Refresh(0.1); err != nil {
+		t.Fatal(err)
+	}
+
+	q := gossipq.Query{Phi: 0.9, Eps: 0.1, Mode: gossipq.ServeSnapshot}
+	if avg := testing.AllocsPerRun(100, func() {
+		a, err := s.Ask(q)
+		if err != nil || a.Mode != gossipq.ServeSnapshot {
+			t.Fatalf("a=%+v err=%v", a, err)
+		}
+	}); avg != 0 {
+		t.Errorf("snapshot read: %v allocs/op, want 0", avg)
+	}
+
+	// Rebuilds recycle backings: with no readers pinning old generations,
+	// a refresh allocates only the generation header (Summary + grid +
+	// snapshot struct), never the grid × n cut/envelope rows again. The
+	// bound is far below one row (4096 × 8 bytes), so a recycling
+	// regression fails loudly.
+	if avg := testing.AllocsPerRun(5, func() {
+		if _, err := s.Refresh(0.1); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 16 {
+		t.Errorf("steady-state refresh: %v allocs/op, want ≤ 16 (backings not recycled?)", avg)
+	}
+}
+
+// TestSnapshotReadsRacingRefresh is the concurrency contract (run under
+// -race in CI): reader goroutines hammer snapshot queries while the main
+// goroutine republishes generation after generation. Every answer must be
+// exactly one deterministic generation's answer — the version it reports
+// must reproduce, bit-for-bit, on a reference session refreshed to that
+// generation — and stay within ±εn of the oracle.
+func TestSnapshotReadsRacingRefresh(t *testing.T) {
+	const n = 1024
+	const eps = 0.1
+	const generations = 6
+	values := dist.Generate(dist.Uniform, n, 63)
+	phis := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+
+	// Reference answers per (generation, phi), from a session that never
+	// sees concurrency.
+	ref, err := gossipq.NewSession(values, gossipq.Config{Seed: 67})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]int64, generations+1)
+	for g := 1; g <= generations; g++ {
+		if _, err := ref.Refresh(eps); err != nil {
+			t.Fatal(err)
+		}
+		want[g] = make([]int64, len(phis))
+		for i, phi := range phis {
+			a, err := ref.Ask(gossipq.Query{Phi: phi, Eps: eps, Mode: gossipq.ServeSnapshot})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[g][i] = a.Value
+		}
+	}
+
+	s, err := gossipq.NewSession(values, gossipq.Config{Seed: 67})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Refresh(eps); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	errs := make(chan error, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pi := (g + i) % len(phis)
+				a, err := s.Ask(gossipq.Query{Phi: phis[pi], Eps: eps, Mode: gossipq.ServeSnapshot})
+				if err != nil {
+					errs <- err
+					return
+				}
+				v := a.SnapshotVersion
+				if a.Mode != gossipq.ServeSnapshot || v < 1 || v > generations {
+					errs <- err
+					return
+				}
+				if a.Value != want[v][pi] {
+					t.Errorf("phi=%v: answer %d from version %d, deterministic rebuild says %d",
+						phis[pi], a.Value, v, want[v][pi])
+					return
+				}
+				if !s.Verify(a.Value, phis[pi], eps) {
+					t.Errorf("phi=%v: racing snapshot answer %d outside ±εn", phis[pi], a.Value)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 2; g <= generations; g++ {
+		if _, err := s.Refresh(eps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSnapshotRefresherLifecycle covers StartRefresher/Close semantics: the
+// TTL goroutine republishes new generations, Close stops it and blocks
+// further refreshes while reads keep answering, and Close is idempotent.
+func TestSnapshotRefresherLifecycle(t *testing.T) {
+	values := dist.Generate(dist.Uniform, 512, 69)
+	s, err := gossipq.NewSession(values, gossipq.Config{Seed: 73})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.StartRefresher(0.2, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 {
+		t.Fatalf("initial refresher build published version %d", info.Version)
+	}
+	if _, err := s.StartRefresher(0.2, time.Millisecond); err == nil {
+		t.Error("second refresher accepted")
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		cur, ok := s.Snapshot()
+		if ok && cur.Version >= 3 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("TTL refresher never advanced past version 2")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after, ok := s.Snapshot()
+	if !ok {
+		t.Fatal("snapshot gone after Close")
+	}
+	time.Sleep(10 * time.Millisecond)
+	again, _ := s.Snapshot()
+	if again.Version != after.Version {
+		t.Errorf("refresher still publishing after Close: %d -> %d", after.Version, again.Version)
+	}
+	if _, err := s.Refresh(0.2); err == nil {
+		t.Error("Refresh accepted on a closed session")
+	}
+	// Reads — snapshot and live — survive Close.
+	a, err := s.Ask(gossipq.Query{Phi: 0.5, Eps: 0.2, Mode: gossipq.ServeSnapshot})
+	if err != nil || a.Mode != gossipq.ServeSnapshot {
+		t.Errorf("snapshot read after Close: %+v, %v", a, err)
+	}
+	if _, err := s.ApproxQuantile(0.5, 0.2); err != nil {
+		t.Errorf("live read after Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestSnapshotRefreshValidation pins the refresh error paths: bad widths,
+// and the documented refusal to build summaries under a failure model.
+func TestSnapshotRefreshValidation(t *testing.T) {
+	values := dist.Generate(dist.Uniform, 512, 77)
+	s, err := gossipq.NewSession(values, gossipq.Config{Seed: 79})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{0, -0.1, 0.6} {
+		if _, err := s.Refresh(eps); err == nil {
+			t.Errorf("Refresh(%v) accepted", eps)
+		}
+	}
+	f, err := gossipq.NewSession(values, gossipq.Config{
+		Seed: 81, Failures: gossipq.UniformFailures(0.2), ExtraRounds: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Refresh(0.1); err == nil {
+		t.Error("Refresh accepted under a failure model")
+	}
+}

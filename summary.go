@@ -1,6 +1,7 @@
 package gossipq
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -14,7 +15,11 @@ import (
 // as one Corollary 1.5 run — any node can answer any quantile query or rank
 // query locally, with ±ε accuracy, without further communication. This is
 // the natural production shape of the paper's algorithms: pay the gossip
-// once per monitoring interval, query for free.
+// once per monitoring interval, query for free. Session.Refresh builds
+// summaries on the session's pooled rigs and publishes them as versioned
+// snapshots behind lock-free reads; see the Session snapshot API.
+//
+// A Summary is immutable after construction and safe for concurrent reads.
 type Summary struct {
 	eps  float64
 	grid []float64 // ascending quantile targets
@@ -27,16 +32,59 @@ type Summary struct {
 	Metrics Metrics
 }
 
+// summaryBacking is the reusable storage of one summary generation: the cut
+// table and its envelope. The snapshot layer recycles backings across
+// rebuilds — a retired generation's arrays become the next build's
+// destination once its last reader releases it — so steady-state refreshes
+// allocate only the small Summary header.
+type summaryBacking struct {
+	cuts, env [][]int64
+}
+
+var errSummaryFailures = errors.New(
+	"gossipq: BuildSummary requires a failure-free Config: the grid build runs the non-robust tournament per grid point")
+
+// validSummaryEps rejects widths outside the summary's (0, 0.5] domain.
+func validSummaryEps(eps float64) error {
+	if eps <= 0 || math.IsNaN(eps) || eps > 0.5 {
+		return fmt.Errorf("%w in (0, 0.5], got %v", errBadEps, eps)
+	}
+	return nil
+}
+
 // BuildSummary runs the grid of approximate quantile computations. ε is the
 // summary's accuracy: Query and Rank answers are within ±ε of truth w.h.p.
+//
+// BuildSummary requires a failure-free Config and returns an error under a
+// failure model rather than running it: the grid build runs the plain
+// (non-robust) tournament per grid point, and silently degrading its ±ε
+// guarantee under injected failures would be worse than refusing. A robust
+// summary needs the §5.1 machinery per grid point (RobustApproxQuantile)
+// and per-node coverage bookkeeping — a deliberate non-goal here.
 func BuildSummary(values []int64, eps float64, cfg Config) (*Summary, error) {
 	if err := validate(values, 0, cfg); err != nil {
 		return nil, err
 	}
-	if eps <= 0 || math.IsNaN(eps) || eps > 0.5 {
-		return nil, fmt.Errorf("%w in (0, 0.5], got %v", errBadEps, eps)
+	if err := validSummaryEps(eps); err != nil {
+		return nil, err
 	}
-	n := len(values)
+	if cfg.failing(len(values)) {
+		return nil, errSummaryFailures
+	}
+	e := cfg.engine(len(values))
+	return buildSummaryInto(tournament.NewScratch(e), values, eps, cfg.K, summaryBacking{}), nil
+}
+
+// buildSummaryInto is the engine-room of BuildSummary and Session.Refresh:
+// it runs the grid build on a caller-owned scratch (and thus the scratch's
+// engine — reseed it first), drawing cut and envelope storage from b. The
+// transcript depends only on the engine's seed and (n, eps, k): it is
+// bit-for-bit the pre-split BuildSummary transcript. The returned Summary
+// owns b's (resized) arrays; recycle them only after every reader of the
+// returned Summary is done.
+func buildSummaryInto(sc *tournament.Scratch, values []int64, eps float64, k int, b summaryBacking) *Summary {
+	e := sc.Engine()
+	n := e.N()
 	step := eps / 2
 	gridEps := eps / 4
 	if m := tournament.MinEps(n); gridEps < m {
@@ -45,19 +93,25 @@ func BuildSummary(values []int64, eps float64, cfg Config) (*Summary, error) {
 			gridEps = step
 		}
 	}
-	e := cfg.engine(n)
 	s := &Summary{eps: eps, grid: tournament.QuantileGrid(step)}
 	// One scratch serves all grid runs (transcript-identical to running
 	// ApproxQuantile per grid point on this engine).
-	s.cuts = tournament.GridQuantiles(e, values, s.grid, gridEps, tournament.Options{K: cfg.K}, nil)
-	s.env = make([][]int64, len(s.cuts))
+	s.cuts = sc.GridQuantiles(values, s.grid, gridEps, tournament.Options{K: k}, b.cuts)[:len(s.grid)]
+	s.env = tournament.EnsureRowCount(b.env, len(s.grid))[:len(s.grid)]
 	for g := range s.cuts {
-		s.env[g] = make([]int64, n)
+		s.env[g] = tournament.EnsureInt64(s.env[g], n)
 		copy(s.env[g], s.cuts[g])
 	}
 	tournament.SuffixMinCuts(s.env)
 	s.Metrics = fromSim(e.Metrics())
-	return s, nil
+	return s
+}
+
+// backing returns the summary's storage for recycling into a later build.
+// The full-capacity slices are recovered by the next build's row-count
+// grow, even across grids of different sizes.
+func (s *Summary) backing() summaryBacking {
+	return summaryBacking{cuts: s.cuts, env: s.env}
 }
 
 // Eps returns the summary's accuracy parameter.
@@ -68,9 +122,12 @@ func (s *Summary) GridSize() int { return len(s.grid) }
 
 // Query returns node v's local estimate of the φ-quantile: the stored cut
 // point whose grid target is nearest to φ. The answer's rank is within
-// ±ε·n of ⌈φn⌉ w.h.p.
+// ±ε·n of ⌈φn⌉ w.h.p. φ outside [0, 1] is clamped to the nearest endpoint;
+// NaN clamps to 0 (the same branch an out-of-range-low φ takes), mirroring
+// how Session.validateQuery refuses NaN rather than computing an undefined
+// grid index from it.
 func (s *Summary) Query(v int, phi float64) int64 {
-	if phi < 0 {
+	if phi < 0 || math.IsNaN(phi) {
 		phi = 0
 	}
 	if phi > 1 {

@@ -71,6 +71,30 @@ func TestSummaryQueryClamps(t *testing.T) {
 	if s.Eps() != 0.25 {
 		t.Errorf("Eps = %v", s.Eps())
 	}
+	// Regression: phi=NaN used to slip past both clamp branches and index
+	// the grid with an undefined (and with Round, negative-huge) index. It
+	// now clamps to 0, the same branch out-of-range-low takes.
+	for v := 0; v < 2048; v += 511 {
+		if got, want := s.Query(v, math.NaN()), s.Query(v, 0); got != want {
+			t.Errorf("node %d: Query(NaN) = %d, want Query(0) = %d", v, got, want)
+		}
+	}
+}
+
+func TestBuildSummaryRejectsFailureModel(t *testing.T) {
+	values := dist.Generate(dist.Uniform, 1024, 35)
+	// The grid build runs the non-robust tournament; rather than silently
+	// dropping the ±ε guarantee, a failing Config is refused outright.
+	_, err := BuildSummary(values, 0.1, Config{
+		Seed: 45, Failures: UniformFailures(0.2), ExtraRounds: 4,
+	})
+	if err == nil {
+		t.Fatal("BuildSummary accepted a failure-model Config")
+	}
+	// Failure knobs that are configured but inert (rate 0) stay allowed.
+	if _, err := BuildSummary(values, 0.1, Config{Seed: 45, ExtraRounds: 4}); err != nil {
+		t.Fatalf("failure-free Config with ExtraRounds rejected: %v", err)
+	}
 }
 
 func TestSummaryNodeViewSortedAndSized(t *testing.T) {
