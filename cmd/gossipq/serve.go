@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -16,6 +18,7 @@ import (
 
 	"gossipq"
 	"gossipq/internal/dist"
+	"gossipq/internal/telemetry"
 )
 
 // serveCmd implements `gossipq serve`: it loads one gossipq.Session over a
@@ -30,23 +33,37 @@ import (
 //	GET  /quantile?phi=0.99&eps=0.01[&exact=true][&mode=live]   one query
 //	POST /batch    {"queries":[{"phi":0.5,"eps":0.05},{"phi":0.9,"exact":true}]}
 //	GET  /healthz  liveness + population, traffic, and snapshot status
+//	GET  /metrics  Prometheus text exposition of the server's telemetry
+//
+// With -debug-addr a second listener serves net/http/pprof on its own mux,
+// kept off the public address so profiling endpoints are never exposed by
+// accident.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // drain, the background refresher stops, and the process exits 0.
 func serveCmd(args []string) int {
 	fs := flag.NewFlagSet("gossipq serve", flag.ExitOnError)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:8356", "listen address")
-		n        = fs.Int("n", 65536, "number of nodes")
-		workload = fs.String("workload", "uniform", "value distribution: "+strings.Join(dist.Names(), "|"))
-		seed     = fs.Uint64("seed", 1, "session seed (each query derives its engine from (seed, query id))")
-		eps      = fs.Float64("eps", 0.05, "default approximation width for queries that omit eps")
-		workers  = fs.Int("workers", 1, "per-query simulation workers; 1 leaves the cores to concurrent queries")
-		check    = fs.Bool("check", false, "verify every answer against the centralized oracle (adds \"ok\" to responses)")
-		sumEps   = fs.Float64("summary-eps", 0, "serve approximate queries from a versioned ε-summary snapshot at this width (0 disables the snapshot tier)")
-		refresh  = fs.Duration("refresh", 0, "rebuild the snapshot every interval (0 keeps the initial build; requires -summary-eps)")
+		addr      = fs.String("addr", "127.0.0.1:8356", "listen address")
+		debugAddr = fs.String("debug-addr", "", "listen address for net/http/pprof (empty disables the debug listener)")
+		logLevel  = fs.String("log-level", "info", "log verbosity: debug|info|warn|error (debug logs every request)")
+		n         = fs.Int("n", 65536, "number of nodes")
+		workload  = fs.String("workload", "uniform", "value distribution: "+strings.Join(dist.Names(), "|"))
+		seed      = fs.Uint64("seed", 1, "session seed (each query derives its engine from (seed, query id))")
+		eps       = fs.Float64("eps", 0.05, "default approximation width for queries that omit eps")
+		workers   = fs.Int("workers", 1, "per-query simulation workers; 1 leaves the cores to concurrent queries")
+		check     = fs.Bool("check", false, "verify every answer against the centralized oracle (adds \"ok\" to responses)")
+		sumEps    = fs.Float64("summary-eps", 0, "serve approximate queries from a versioned ε-summary snapshot at this width (0 disables the snapshot tier)")
+		refresh   = fs.Duration("refresh", 0, "rebuild the snapshot every interval (0 keeps the initial build; requires -summary-eps)")
 	)
 	fs.Parse(args)
+
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	slog.SetDefault(logger)
 
 	kind, err := dist.ByName(*workload)
 	if err != nil {
@@ -70,8 +87,10 @@ func serveCmd(args []string) int {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
 		}
-		log.Printf("gossipq serve: snapshot tier on: eps=%g grid=%d build=%d rounds/%d messages (refresh %v)",
-			info.Eps, info.GridSize, info.BuildMetrics.Rounds, info.BuildMetrics.Messages, *refresh)
+		slog.Info("snapshot tier on",
+			"eps", info.Eps, "grid", info.GridSize,
+			"build_rounds", info.BuildMetrics.Rounds, "build_messages", info.BuildMetrics.Messages,
+			"refresh", *refresh)
 	} else if *refresh > 0 {
 		fmt.Fprintln(os.Stderr, "gossipq serve: -refresh requires -summary-eps")
 		return 2
@@ -85,8 +104,10 @@ func serveCmd(args []string) int {
 		defaultMode = gossipq.ServeSnapshot
 	}
 
+	m := newServerMetrics(session, *n)
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("/quantile", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("/quantile", m.instrument("/quantile", func(w http.ResponseWriter, r *http.Request) {
 		q, err := queryFromURL(r, *eps, defaultMode)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
@@ -98,8 +119,8 @@ func serveCmd(args []string) int {
 			return
 		}
 		writeJSON(w, a)
-	})
-	mux.HandleFunc("/batch", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.Handle("/batch", m.instrument("/batch", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 			return
@@ -132,13 +153,27 @@ func serveCmd(args []string) int {
 			resp.Answers[i] = toAnswerJSON(session, qs[i], a, *check)
 		}
 		writeJSON(w, resp)
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.Handle("/healthz", m.instrument("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := session.Stats()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
 		h := map[string]any{
 			"status":         "ok",
 			"n":              session.N(),
 			"workload":       *workload,
 			"queries_issued": session.QueriesIssued(),
+			"uptime_seconds": time.Since(m.start).Seconds(),
+			"queries": map[string]int64{
+				"live":               st.LiveQueries,
+				"exact":              st.ExactQueries,
+				"snapshot":           st.SnapshotQueries,
+				"snapshot_fallbacks": st.SnapshotFallbacks,
+			},
+			"runtime": map[string]any{
+				"goroutines":       runtime.NumGoroutine(),
+				"heap_alloc_bytes": ms.HeapAlloc,
+			},
 		}
 		if info, ok := session.Snapshot(); ok {
 			h["snapshot_version"] = info.Version
@@ -146,15 +181,41 @@ func serveCmd(args []string) int {
 			h["snapshot_age_ms"] = info.Age().Milliseconds()
 		}
 		writeJSON(w, h)
-	})
+	}))
+	mux.Handle("/metrics", m.instrument("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", telemetry.ContentType)
+		if _, err := m.reg.WriteTo(w); err != nil {
+			slog.Debug("metrics scrape write failed", "err", err)
+		}
+	}))
 
-	log.Printf("gossipq serve: session over %d %s values (seed %d), eps default %g, listening on %s",
-		*n, *workload, *seed, *eps, *addr)
+	slog.Info("serving",
+		"n", *n, "workload", *workload, "seed", *seed, "eps_default", *eps, "addr", *addr)
 	srv := &http.Server{Addr: *addr, Handler: mux}
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		// pprof registers on its own mux and listener: profiling stays
+		// reachable only on the operator-chosen debug address.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: dmux}
+		go func() {
+			slog.Info("debug listener on", "addr", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				slog.Error("debug listener failed", "err", err)
+			}
+		}()
+	}
+
 	select {
 	case err := <-errc:
 		// Listen failed before any signal (bad address, port in use, ...).
@@ -162,16 +223,190 @@ func serveCmd(args []string) int {
 		return 1
 	case <-ctx.Done():
 	}
-	log.Printf("gossipq serve: signal received, draining")
+	slog.Info("signal received, draining")
 	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancelShutdown()
+	if debugSrv != nil {
+		debugSrv.Shutdown(shutdownCtx)
+	}
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
 	session.Close() // stop the snapshot refresher after the last request drains
-	log.Printf("gossipq serve: bye")
+	slog.Info("bye")
 	return 0
+}
+
+// newLogger builds the process logger at the requested level. Logs go to
+// stderr in logfmt-ish text form.
+func newLogger(level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("gossipq serve: bad -log-level %q (want debug|info|warn|error)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
+}
+
+// serverMetrics is the serving tier's telemetry: per-endpoint request/error
+// counters and latency histograms recorded in the handler path (zero-alloc,
+// lock-free), plus scrape-time collector functions over the session's own
+// counters and the Go runtime — no double bookkeeping on any hot path.
+type serverMetrics struct {
+	reg   *telemetry.Registry
+	start time.Time
+
+	requests map[string]*telemetry.Counter
+	errors   map[string]*telemetry.Counter
+	latency  map[string]*telemetry.Histogram
+}
+
+// metricEndpoints enumerates the instrumented paths; per-path series are
+// pre-registered so the request path never touches the registry lock.
+var metricEndpoints = []string{"/quantile", "/batch", "/healthz", "/metrics"}
+
+func newServerMetrics(session *gossipq.Session, n int) *serverMetrics {
+	m := &serverMetrics{
+		reg:      telemetry.NewRegistry(),
+		start:    time.Now(),
+		requests: map[string]*telemetry.Counter{},
+		errors:   map[string]*telemetry.Counter{},
+		latency:  map[string]*telemetry.Histogram{},
+	}
+	// 1µs..~8.4s in doubling buckets covers snapshot lookups (sub-µs rounds
+	// up into the first bucket) through cold exact runs.
+	durBuckets := telemetry.ExpBuckets(1000, 2, 24)
+	for _, path := range metricEndpoints {
+		l := telemetry.L("path", path)
+		m.requests[path] = m.reg.Counter("gossipq_http_requests_total",
+			"HTTP requests served, by endpoint.", l)
+		m.errors[path] = m.reg.Counter("gossipq_http_errors_total",
+			"HTTP responses with status >= 400, by endpoint.", l)
+		m.latency[path] = m.reg.Histogram("gossipq_http_request_duration_seconds",
+			"HTTP request latency, by endpoint.", durBuckets, telemetry.Seconds, l)
+	}
+
+	stats := func(f func(gossipq.SessionStats) float64) func() float64 {
+		return func() float64 { return f(session.Stats()) }
+	}
+	m.reg.CounterFunc("gossipq_queries_total",
+		"Session queries answered, by serving mode.",
+		stats(func(s gossipq.SessionStats) float64 { return float64(s.LiveQueries) }),
+		telemetry.L("mode", "live"))
+	m.reg.CounterFunc("gossipq_queries_total", "Session queries answered, by serving mode.",
+		stats(func(s gossipq.SessionStats) float64 { return float64(s.ExactQueries) }),
+		telemetry.L("mode", "exact"))
+	m.reg.CounterFunc("gossipq_queries_total", "Session queries answered, by serving mode.",
+		stats(func(s gossipq.SessionStats) float64 { return float64(s.SnapshotQueries) }),
+		telemetry.L("mode", "snapshot"))
+	m.reg.CounterFunc("gossipq_snapshot_fallbacks_total",
+		"ServeSnapshot queries that fell back to a live run.",
+		stats(func(s gossipq.SessionStats) float64 { return float64(s.SnapshotFallbacks) }))
+	m.reg.CounterFunc("gossipq_snapshot_refreshes_total",
+		"Completed snapshot builds.",
+		stats(func(s gossipq.SessionStats) float64 { return float64(s.Refreshes) }))
+	m.reg.CounterFunc("gossipq_snapshot_refresh_build_seconds_total",
+		"Cumulative wall-clock time spent building snapshots.",
+		stats(func(s gossipq.SessionStats) float64 { return s.RefreshBuildTotal.Seconds() }))
+	m.reg.GaugeFunc("gossipq_snapshot_last_refresh_build_seconds",
+		"Wall-clock duration of the most recent snapshot build.",
+		stats(func(s gossipq.SessionStats) float64 { return s.LastRefreshBuild.Seconds() }))
+	m.reg.CounterFunc("gossipq_snapshot_backings_total",
+		"Snapshot builds by grid-array provenance (freelist recycle vs fresh allocation).",
+		stats(func(s gossipq.SessionStats) float64 { return float64(s.RecycledBackings) }),
+		telemetry.L("source", "recycled"))
+	m.reg.CounterFunc("gossipq_snapshot_backings_total",
+		"Snapshot builds by grid-array provenance (freelist recycle vs fresh allocation).",
+		stats(func(s gossipq.SessionStats) float64 { return float64(s.FreshBackings) }),
+		telemetry.L("source", "fresh"))
+
+	m.reg.GaugeFunc("gossipq_snapshot_version",
+		"Version of the published snapshot generation (0 when none).",
+		func() float64 {
+			if info, ok := session.Snapshot(); ok {
+				return float64(info.Version)
+			}
+			return 0
+		})
+	m.reg.GaugeFunc("gossipq_snapshot_eps",
+		"Accuracy width of the published snapshot (0 when none).",
+		func() float64 {
+			if info, ok := session.Snapshot(); ok {
+				return info.Eps
+			}
+			return 0
+		})
+	m.reg.GaugeFunc("gossipq_snapshot_age_seconds",
+		"Age of the published snapshot (0 when none).",
+		func() float64 {
+			if info, ok := session.Snapshot(); ok {
+				return info.Age().Seconds()
+			}
+			return 0
+		})
+	m.reg.GaugeFunc("gossipq_snapshot_grid_size",
+		"Cut points per node in the published snapshot (0 when none).",
+		func() float64 {
+			if info, ok := session.Snapshot(); ok {
+				return float64(info.GridSize)
+			}
+			return 0
+		})
+
+	m.reg.GaugeFunc("gossipq_population", "Loaded population size.",
+		func() float64 { return float64(n) })
+	m.reg.GaugeFunc("gossipq_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(m.start).Seconds() })
+	m.reg.GaugeFunc("go_goroutines", "Current goroutine count.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	m.reg.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	return m
+}
+
+// statusWriter captures the response status for error accounting; an unset
+// status means the handler wrote a body (or nothing) with an implicit 200.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the per-endpoint request counter, latency
+// histogram, and error counter. The recording itself is allocation-free; the
+// wrapper allocates one statusWriter per request, which net/http's own
+// per-request allocations dwarf.
+func (m *serverMetrics) instrument(path string, h http.HandlerFunc) http.Handler {
+	reqs, errs, lat := m.requests[path], m.errors[path], m.latency[path]
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		d := time.Since(start)
+		reqs.Inc()
+		lat.Observe(d.Nanoseconds())
+		if sw.status >= 400 {
+			errs.Inc()
+		}
+		slog.Debug("request", "path", path, "status", sw.status, "dur", d)
+	})
 }
 
 // queryJSON is the wire shape of one query; a zero eps selects the server's
@@ -303,15 +538,38 @@ func toAnswerJSON(s *gossipq.Session, q gossipq.Query, a gossipq.Answer, check b
 	return out
 }
 
+// httpError writes an error response with the body fully buffered first, so
+// the status line, Content-Length, and payload are always consistent.
 func httpError(w http.ResponseWriter, code int, err error) {
+	b, mErr := json.Marshal(map[string]string{"error": err.Error()})
+	if mErr != nil {
+		// Marshaling a map[string]string cannot fail; keep a plain-text
+		// fallback anyway rather than sending an empty body.
+		http.Error(w, err.Error(), code)
+		return
+	}
+	b = append(b, '\n')
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	w.Write(b)
 }
 
+// writeJSON encodes v into a buffer before touching the ResponseWriter: an
+// encoding failure becomes a clean 500 instead of a half-written 200 (the
+// old stream-encode path could only log after the headers were gone), and
+// successful responses carry an exact Content-Length.
 func writeJSON(w http.ResponseWriter, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		slog.Error("encoding response", "err", err)
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("encoding response"))
+		return
+	}
+	b = append(b, '\n')
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("serve: encoding response: %v", err)
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	if _, err := w.Write(b); err != nil {
+		slog.Debug("writing response", "err", err)
 	}
 }

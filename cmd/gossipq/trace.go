@@ -1,0 +1,101 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gossipq"
+	"gossipq/internal/dist"
+	"gossipq/internal/sim"
+	"gossipq/internal/trace"
+)
+
+// simMetrics converts public metrics back to the engine's type so the trace
+// totals can be compared against the run's reported accounting.
+func simMetrics(m gossipq.Metrics) sim.Metrics {
+	return sim.Metrics{Rounds: m.Rounds, Messages: m.Messages, Bits: m.Bits, MaxMessageBits: m.MaxMessageBits}
+}
+
+// traceCmd runs one quantile computation under a round observer and prints a
+// per-phase breakdown of rounds, messages, and bits — the protocol's cost
+// anatomy, which aggregate Metrics flatten away. With -jsonl it additionally
+// dumps every per-round event as newline-delimited JSON for offline analysis
+// or replay through the conformance trace lens.
+func traceCmd(args []string) int {
+	fs := flag.NewFlagSet("gossipq trace", flag.ExitOnError)
+	var (
+		n        = fs.Int("n", 100000, "number of nodes")
+		phi      = fs.Float64("phi", 0.5, "target quantile in [0,1]")
+		eps      = fs.Float64("eps", 0.05, "approximation width (ignored with -exact)")
+		exactF   = fs.Bool("exact", false, "trace the exact algorithm (Thm 1.1)")
+		workload = fs.String("workload", "uniform", "value distribution: "+strings.Join(dist.Names(), "|"))
+		seed     = fs.Uint64("seed", 1, "random seed (reruns with the same seed are identical)")
+		mu       = fs.Float64("mu", 0, "per-node per-round failure probability (Thm 1.4)")
+		extraT   = fs.Int("t", 0, "extra adoption rounds under failures (Thm 1.4's t)")
+		jsonl    = fs.String("jsonl", "", "also dump per-round records as JSON lines to this file (\"-\" for stdout)")
+	)
+	fs.Parse(args)
+
+	kind, err := dist.ByName(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	values := dist.Generate(kind, *n, *seed)
+	log := &trace.RoundLog{}
+	cfg := gossipq.Config{Seed: *seed, ExtraRounds: *extraT, RoundObserver: log}
+	if *mu > 0 {
+		cfg.Failures = gossipq.UniformFailures(*mu)
+	}
+
+	var value int64
+	var metrics gossipq.Metrics
+	var label string
+	if *exactF {
+		res, err := gossipq.ExactQuantile(values, *phi, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		value, metrics = res.Value, res.Metrics
+		label = fmt.Sprintf("exact %.4f-quantile", *phi)
+	} else {
+		res, err := gossipq.ApproxQuantile(values, *phi, *eps, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		value, metrics = res.Outputs[0], res.Metrics
+		label = fmt.Sprintf("%.4g-approximate %.4f-quantile", *eps, *phi)
+	}
+
+	t := log.PhaseTable(fmt.Sprintf("round trace: %s of %d %s values (seed %d)",
+		label, *n, *workload, *seed))
+	t.AddNote("answer (node 0): %d", value)
+	t.AddNote("%d round events; totals match run metrics: %v",
+		len(log.Records), log.Totals() == simMetrics(metrics))
+	t.Fprint(os.Stdout)
+
+	if *jsonl != "" {
+		out := os.Stdout
+		if *jsonl != "-" {
+			f, err := os.Create(*jsonl)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := log.WriteJSONL(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if *jsonl != "-" {
+			fmt.Printf("wrote %d records to %s\n", len(log.Records), *jsonl)
+		}
+	}
+	return 0
+}

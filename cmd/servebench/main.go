@@ -2,7 +2,10 @@
 // (internal/servebench) and writes the results as one machine-readable JSON
 // file, the serving-side counterpart of cmd/benchjson's BENCH_sim.json: CI
 // uploads BENCH_serve.json as an artifact so the query-throughput trajectory
-// is tracked across commits alongside the engine's ns/round.
+// is tracked across commits alongside the engine's ns/round. Each row also
+// carries the per-query latency distribution (latency_p50_ns, latency_p99_ns
+// from log-bucket interpolation; latency_max_ns exact), so tail-latency
+// regressions surface even when throughput holds steady.
 //
 // Usage:
 //
@@ -94,7 +97,9 @@ func main() {
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(f.Benchmarks))
 	for _, r := range f.Benchmarks {
-		fmt.Printf("  %-28s %10.1f queries/sec %10.1f allocs/query\n",
-			r.Name, r.QueriesPerSec, r.AllocsPerQuery)
+		fmt.Printf("  %-28s %10.1f queries/sec %10.1f allocs/query  p50=%s p99=%s max=%s\n",
+			r.Name, r.QueriesPerSec, r.AllocsPerQuery,
+			time.Duration(r.LatencyP50Ns), time.Duration(r.LatencyP99Ns),
+			time.Duration(r.LatencyMaxNs))
 	}
 }

@@ -101,7 +101,21 @@ type Config struct {
 	// conformance harness compares sim and livenet runs through; exact runs
 	// ignore it.
 	OnIteration func(phase, iter int, values []int64)
+	// RoundObserver, when non-nil, receives one RoundEvent per gossip round
+	// (and per idle-round charge) with the protocol phase, message count,
+	// and bit volume — the hook behind `gossipq trace` and the telemetry
+	// layer. Observation is passive: transcripts, results, and Metrics are
+	// bit-for-bit identical with and without an observer installed.
+	RoundObserver RoundObserver
 }
+
+// RoundEvent is one per-round accounting record streamed to a RoundObserver;
+// see sim.RoundEvent for field semantics.
+type RoundEvent = sim.RoundEvent
+
+// RoundObserver receives per-round protocol telemetry; see sim.RoundObserver
+// for the contract (telemetry-only, same-goroutine, must not re-enter).
+type RoundObserver = sim.RoundObserver
 
 func (c Config) engine(n int) *sim.Engine {
 	opts := []sim.Option{}
@@ -110,6 +124,9 @@ func (c Config) engine(n int) *sim.Engine {
 	}
 	if c.Workers > 0 {
 		opts = append(opts, sim.WithWorkers(c.Workers))
+	}
+	if c.RoundObserver != nil {
+		opts = append(opts, sim.WithObserver(c.RoundObserver))
 	}
 	return sim.New(n, c.Seed, opts...)
 }

@@ -19,7 +19,7 @@ func TestGridConformance(t *testing.T) {
 		t.Fatalf("grid has only %d scenarios, want >= 100", len(grid))
 	}
 	start := time.Now()
-	rep := Run(grid, RunConfig{RootSeed: 1, DeterminismEvery: 7})
+	rep := Run(grid, RunConfig{RootSeed: 1, DeterminismEvery: 7, TraceEvery: 5})
 	t.Logf("%d scenarios in %s (%d passed, %d failed)",
 		rep.Total, time.Since(start).Round(time.Millisecond), rep.Passed, rep.Failed)
 	for alg, env := range rep.Envelopes {
@@ -133,11 +133,11 @@ func TestWorkspaceReuseAcrossEngines(t *testing.T) {
 	shared := newShard(1)
 	for i, s := range scs {
 		values := s.Values(1)
-		got, err := shared.execute(s, values, 0)
+		got, err := shared.execute(s, values, 0, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		fresh, err := newShard(1).execute(s, values, 0)
+		fresh, err := newShard(1).execute(s, values, 0, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -11,6 +11,7 @@ import (
 	"gossipq"
 	"gossipq/internal/sim"
 	"gossipq/internal/stats"
+	"gossipq/internal/trace"
 )
 
 // Outcome is one scenario's result in the report.
@@ -69,6 +70,13 @@ type RunConfig struct {
 	// different simulator worker count and demands identical outputs and
 	// metrics (0 disables).
 	DeterminismEvery int
+	// TraceEvery re-runs every k-th eligible scenario under a round observer
+	// and cross-checks the event stream: observation must leave outputs and
+	// metrics bit-identical, and the trace's per-round totals must sum back
+	// to the run's reported Metrics exactly (0 disables). Snapshot and raw-
+	// engine cells are skipped — their reported metrics cover only part of
+	// what an observer on the facade path would see.
+	TraceEvery int
 }
 
 func (c RunConfig) rootSeed() uint64 {
@@ -192,7 +200,7 @@ func (sh *shard) runScenario(s Scenario, idx int, cfg RunConfig) Outcome {
 		Failure:  s.Failure.Name,
 		Seed:     s.Seed(sh.root),
 	}
-	rr, err := sh.execute(s, values, 0)
+	rr, err := sh.execute(s, values, 0, nil)
 	if err != nil {
 		o.Error = err.Error()
 		o.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
@@ -209,16 +217,64 @@ func (sh *shard) runScenario(s Scenario, idx int, cfg RunConfig) Outcome {
 	if cfg.DeterminismEvery > 0 && idx%cfg.DeterminismEvery == 0 {
 		o.Violations = append(o.Violations, sh.checkDeterminism(s, values, rr)...)
 	}
+	if cfg.TraceEvery > 0 && idx%cfg.TraceEvery == 0 {
+		o.Violations = append(o.Violations, sh.checkTrace(s, values, rr)...)
+	}
 	o.Pass = len(o.Violations) == 0
 	o.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 	return o
+}
+
+// checkTrace re-runs the scenario under a RoundLog observer — the lens
+// behind `gossipq trace` — and verifies two invariants at once: observation
+// is passive (outputs and metrics bit-identical to the unobserved base run),
+// and the event stream is complete (its totals reproduce the run's Metrics
+// field for field, with every communication round carrying a phase label).
+func (sh *shard) checkTrace(s Scenario, values []int64, base runResult) []Violation {
+	switch s.Alg {
+	case AlgApprox, AlgMedian, AlgExact, AlgOwn:
+	default:
+		// Snapshot cells report only the second build's metrics (the observer
+		// would see both) and engine cells bypass the facade config.
+		return nil
+	}
+	log := &trace.RoundLog{}
+	rr, err := sh.execute(s, values, 0, log)
+	if err != nil {
+		return []Violation{{"trace", fmt.Sprintf("observed re-run failed: %v", err)}}
+	}
+	if rr.metrics != base.metrics {
+		return []Violation{{"trace", fmt.Sprintf(
+			"metrics differ under observation: %+v vs %+v", base.metrics, rr.metrics)}}
+	}
+	for v := range base.outputs {
+		if base.outputs[v] != rr.outputs[v] {
+			return []Violation{{"trace", fmt.Sprintf(
+				"node %d output differs under observation: %d vs %d",
+				v, base.outputs[v], rr.outputs[v])}}
+		}
+	}
+	tot := log.Totals()
+	if tot.Rounds != rr.metrics.Rounds || tot.Messages != rr.metrics.Messages ||
+		tot.Bits != rr.metrics.Bits || tot.MaxMessageBits != rr.metrics.MaxMessageBits {
+		return []Violation{{"trace", fmt.Sprintf(
+			"trace totals %+v do not reproduce run metrics %+v", tot, rr.metrics)}}
+	}
+	for i, rec := range log.Records {
+		if rec.Phase == "" && rec.Messages > 0 {
+			return []Violation{{"trace", fmt.Sprintf(
+				"record %d (round %d): %d messages sent outside any labeled phase",
+				i, rec.Round, rec.Messages)}}
+		}
+	}
+	return nil
 }
 
 // checkDeterminism re-runs the scenario with a different simulator worker
 // count and demands a bit-identical result — the transcript-stability
 // invariant the round engine guarantees for any GOMAXPROCS.
 func (sh *shard) checkDeterminism(s Scenario, values []int64, base runResult) []Violation {
-	rr, err := sh.execute(s, values, 3)
+	rr, err := sh.execute(s, values, 3, nil)
 	if err != nil {
 		return []Violation{{"determinism", fmt.Sprintf("re-run failed: %v", err)}}
 	}
@@ -243,13 +299,16 @@ func (sh *shard) checkDeterminism(s Scenario, values []int64, base runResult) []
 }
 
 // execute runs one scenario through the public facade (or the raw engine
-// for AlgEngine) and normalizes the result for the checkers.
-func (sh *shard) execute(s Scenario, values []int64, workers int) (runResult, error) {
+// for AlgEngine) and normalizes the result for the checkers. A non-nil obs
+// is installed as the facade run's round observer (ignored by the snapshot
+// and raw-engine paths, which checkTrace never exercises).
+func (sh *shard) execute(s Scenario, values []int64, workers int, obs sim.RoundObserver) (runResult, error) {
 	cfg := gossipq.Config{
-		Seed:        s.Seed(sh.root),
-		Failures:    s.Failure.Model,
-		ExtraRounds: s.Failure.ExtraRounds,
-		Workers:     workers,
+		Seed:          s.Seed(sh.root),
+		Failures:      s.Failure.Model,
+		ExtraRounds:   s.Failure.ExtraRounds,
+		Workers:       workers,
+		RoundObserver: obs,
 	}
 	switch s.Alg {
 	case AlgApprox:

@@ -209,6 +209,7 @@ func (s *Scratch) Quantile(values []int64, phi float64, opt Options) (Result, er
 		// (b) is the paper's own endgame (it stops once M_i >= n >= k);
 		// without it the bracket stalls as soon as its ±εn rank resolution
 		// exceeds the value granularity M.
+		e.SetPhase("flood")
 		vmin, vmax := floodRange(s.fl, cur, valued, mins, maxs, floodRounds)
 		if vmin == infinity && vmax == negInfinity {
 			return res, errors.New("exact: no valued nodes remain")
@@ -240,6 +241,7 @@ func (s *Scratch) Quantile(values []int64, phi float64, opt Options) (Result, er
 
 		// Step 4: every node learns the global min of the lo-estimates and
 		// max of the hi-estimates, making the bracket consistent.
+		e.SetPhase("flood")
 		loAll := s.fl.Min(lo, floodRounds)[0]
 		hiAll := s.fl.Max(hi, floodRounds)[0]
 		if loAll > hiAll {
@@ -247,6 +249,7 @@ func (s *Scratch) Quantile(values []int64, phi float64, opt Options) (Result, er
 		}
 
 		// Step 5: exact count R of values strictly below the bracket.
+		e.SetPhase("count")
 		for v := 0; v < n; v++ {
 			below[v] = valued[v] && cur[v] < loAll
 		}
@@ -270,6 +273,7 @@ func (s *Scratch) Quantile(values []int64, phi float64, opt Options) (Result, er
 		}
 
 		// Step 7: re-replicate survivors over the freed nodes.
+		e.SetPhase("distribute")
 		m := tokens.ChooseCopies(survivors, refill, capacity)
 		if m > 1 {
 			tr, err := s.tk.Distribute(valued, cur, m, 0)

@@ -15,6 +15,7 @@ import (
 
 	"gossipq"
 	"gossipq/internal/dist"
+	"gossipq/internal/telemetry"
 )
 
 // Options describes one closed-loop serving measurement.
@@ -61,7 +62,10 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Result is one benchmark row of BENCH_serve.json.
+// Result is one benchmark row of BENCH_serve.json. The latency fields come
+// from a per-query telemetry histogram recorded inside the closed loop: the
+// percentiles are log-bucket interpolations (same buckets the serve command
+// exports on /metrics), the max is exact.
 type Result struct {
 	Name             string  `json:"name"`
 	Mode             string  `json:"mode"`
@@ -74,6 +78,19 @@ type Result struct {
 	BytesPerQuery    float64 `json:"bytes_per_query"`
 	RoundsPerQuery   float64 `json:"rounds_per_query"`
 	MessagesPerQuery float64 `json:"messages_per_query"`
+	LatencyP50Ns     float64 `json:"latency_p50_ns"`
+	LatencyP99Ns     float64 `json:"latency_p99_ns"`
+	LatencyMaxNs     int64   `json:"latency_max_ns"`
+}
+
+// latencyHistogram builds the per-query latency histogram: log-spaced buckets
+// from 100ns (a snapshot read) to ~13s (an exact run at benchmark sizes),
+// with a zero-alloc Observe so recording inside the measured loop does not
+// disturb the allocs/query accounting.
+func latencyHistogram() *telemetry.Histogram {
+	return telemetry.NewRegistry().Histogram(
+		"servebench_query_latency_seconds", "Per-query serving latency.",
+		telemetry.ExpBuckets(100, 2, 28), telemetry.Seconds)
 }
 
 // phiFor spreads client traffic over a fixed φ set, so the plan shapes vary
@@ -98,7 +115,7 @@ func NewSession(o Options) (*gossipq.Session, error) {
 func Warm(s *gossipq.Session, o Options) error {
 	o = o.withDefaults()
 	for c := 0; c < o.Clients; c++ {
-		if _, _, err := runClient(s, o, c, 1); err != nil {
+		if _, _, err := runClient(s, o, c, 1, nil); err != nil {
 			return err
 		}
 	}
@@ -107,10 +124,13 @@ func Warm(s *gossipq.Session, o Options) error {
 
 // runClient issues count closed-loop queries as client c, returning the
 // client's summed rounds and messages so Run can report true traffic
-// averages over the measured phi mix.
-func runClient(s *gossipq.Session, o Options, c, count int) (rounds, messages int64, err error) {
+// averages over the measured phi mix. A non-nil lat records each query's
+// wall-clock latency (Observe is atomic and allocation-free, so the shared
+// histogram neither serializes clients nor skews the allocation averages).
+func runClient(s *gossipq.Session, o Options, c, count int, lat *telemetry.Histogram) (rounds, messages int64, err error) {
 	for i := 0; i < count; i++ {
 		var a gossipq.Answer
+		qStart := time.Now()
 		switch {
 		case o.Exact:
 			a, err = s.ExactQuantile(phiFor(c, i))
@@ -127,6 +147,9 @@ func runClient(s *gossipq.Session, o Options, c, count int) (rounds, messages in
 		}
 		if err != nil {
 			return rounds, messages, err
+		}
+		if lat != nil {
+			lat.Observe(int64(time.Since(qStart)))
 		}
 		rounds += int64(a.Metrics.Rounds)
 		messages += a.Metrics.Messages
@@ -171,6 +194,7 @@ func Run(o Options) (Result, error) {
 		return Result{}, err
 	}
 	issuedBefore := s.QueriesIssued()
+	lat := latencyHistogram()
 
 	var before, after runtime.MemStats
 	runtime.GC()
@@ -185,7 +209,7 @@ func Run(o Options) (Result, error) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			rounds, messages, err := runClient(s, o, c, o.QueriesPerClient)
+			rounds, messages, err := runClient(s, o, c, o.QueriesPerClient, lat)
 			perClientRounds[c] = rounds
 			perClientMessages[c] = messages
 			if err != nil {
@@ -230,6 +254,9 @@ func Run(o Options) (Result, error) {
 		BytesPerQuery:    float64(after.TotalAlloc-before.TotalAlloc) / float64(queries),
 		RoundsPerQuery:   float64(totalRounds) / float64(queries),
 		MessagesPerQuery: float64(totalMessages) / float64(queries),
+		LatencyP50Ns:     lat.Quantile(0.5),
+		LatencyP99Ns:     lat.Quantile(0.99),
+		LatencyMaxNs:     lat.Max(),
 	}
 	return res, nil
 }

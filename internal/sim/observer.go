@@ -1,0 +1,71 @@
+package sim
+
+// RoundEvent describes one accounting step of the engine: either a
+// communication round (Rounds == 1, Messages > 0 unless every node failed)
+// or an idle-waiting charge from ChargeRounds (Messages == 0). Events are
+// emitted after the engine's counters have been updated, so Round is the
+// cumulative round count including this event.
+//
+// The engine models a reliable synchronous transport: every message sent in
+// a round is delivered in that round, so Deliveries always equals Messages.
+// The field exists so traces read naturally next to lossy-transport
+// experiments (livenet), where the two diverge.
+type RoundEvent struct {
+	// Round is the cumulative round count after this event.
+	Round int
+	// Rounds is the number of rounds this event charges (>= 1).
+	Rounds int
+	// Phase is the protocol phase label installed via SetPhase ("" if the
+	// running protocol does not label its phases).
+	Phase string
+	// Messages is the number of messages successfully sent in this event.
+	Messages int64
+	// Deliveries is the number of messages delivered (== Messages under the
+	// engine's reliable transport).
+	Deliveries int64
+	// Bits is the total payload volume of this event (Messages × MsgBits).
+	Bits int64
+	// MsgBits is the per-message payload size in bits.
+	MsgBits int
+}
+
+// RoundObserver receives one RoundEvent per accounting step. Observers are
+// for telemetry only: they run on the round loop's calling goroutine, after
+// counters update, and must not re-enter the engine. A nil observer (the
+// default) leaves the round loop untouched — no branch beyond one nil check,
+// no allocation, and bit-for-bit identical transcripts, since observation
+// never draws randomness.
+type RoundObserver interface {
+	ObserveRound(ev RoundEvent)
+}
+
+// WithObserver installs a round observer (default: none).
+func WithObserver(o RoundObserver) Option {
+	return func(e *Engine) {
+		e.obs = o
+	}
+}
+
+// SetPhase labels subsequent round events with the given protocol phase.
+// Algorithm packages call this at phase boundaries (e.g. "tournament2",
+// "sample", "exact"); the label is carried verbatim on every RoundEvent
+// until the next SetPhase. Setting a phase has no effect on transcripts or
+// metrics.
+func (e *Engine) SetPhase(phase string) { e.phase = phase }
+
+// Phase returns the current phase label.
+func (e *Engine) Phase() string { return e.phase }
+
+// emit delivers one event to the installed observer. Callers check
+// e.obs != nil first so the unobserved hot path stays branch-cheap.
+func (e *Engine) emit(rounds int, sent int64, msgBits int) {
+	e.obs.ObserveRound(RoundEvent{
+		Round:      e.round,
+		Rounds:     rounds,
+		Phase:      e.phase,
+		Messages:   sent,
+		Deliveries: sent,
+		Bits:       sent * int64(msgBits),
+		MsgBits:    msgBits,
+	})
+}

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"testing"
+)
+
+// recordingObserver accumulates every RoundEvent for inspection.
+type recordingObserver struct {
+	events []RoundEvent
+}
+
+func (o *recordingObserver) ObserveRound(ev RoundEvent) {
+	o.events = append(o.events, ev)
+}
+
+// TestObserverTotalsMatchMetrics drives pull rounds, a push round, and an
+// idle charge under an observer and checks that summing the event stream
+// reproduces the engine's own Metrics exactly — the invariant the
+// conformance trace lens later cross-checks on real protocol runs.
+func TestObserverTotalsMatchMetrics(t *testing.T) {
+	const n = 64
+	obs := &recordingObserver{}
+	e := New(n, 7, WithObserver(obs))
+	dst := make([]int32, n)
+
+	e.SetPhase("pull")
+	for r := 0; r < 5; r++ {
+		e.Pull(dst, 48)
+	}
+	e.SetPhase("push")
+	w := NewWorkspace[int32](e)
+	w.Push(32,
+		func(v int) (int32, bool) { return int32(v), v%2 == 0 },
+		func(v int, in []Delivery[int32]) {})
+	e.SetPhase("")
+	e.ChargeRounds(3)
+
+	var rounds int
+	var messages, deliveries, bits int64
+	for _, ev := range obs.events {
+		rounds += ev.Rounds
+		messages += ev.Messages
+		deliveries += ev.Deliveries
+		bits += ev.Bits
+		if ev.Bits != ev.Messages*int64(ev.MsgBits) {
+			t.Errorf("event bits %d != messages %d * msgBits %d", ev.Bits, ev.Messages, ev.MsgBits)
+		}
+		if ev.Deliveries != ev.Messages {
+			t.Errorf("reliable transport: deliveries %d != messages %d", ev.Deliveries, ev.Messages)
+		}
+	}
+	m := e.Metrics()
+	if rounds != m.Rounds {
+		t.Errorf("observer rounds = %d, Metrics.Rounds = %d", rounds, m.Rounds)
+	}
+	if messages != m.Messages {
+		t.Errorf("observer messages = %d, Metrics.Messages = %d", messages, m.Messages)
+	}
+	if bits != m.Bits {
+		t.Errorf("observer bits = %d, Metrics.Bits = %d", bits, m.Bits)
+	}
+
+	// Cumulative round numbering and phase labels.
+	if got := obs.events[0].Round; got != 1 {
+		t.Errorf("first event round = %d, want 1", got)
+	}
+	last := obs.events[len(obs.events)-1]
+	if last.Round != m.Rounds {
+		t.Errorf("last event round = %d, want %d", last.Round, m.Rounds)
+	}
+	if last.Rounds != 3 || last.Messages != 0 || last.Bits != 0 {
+		t.Errorf("ChargeRounds event = %+v, want Rounds=3 Messages=0 Bits=0", last)
+	}
+	if got := obs.events[0].Phase; got != "pull" {
+		t.Errorf("first event phase = %q, want \"pull\"", got)
+	}
+	if got := obs.events[5].Phase; got != "push" {
+		t.Errorf("push event phase = %q, want \"push\"", got)
+	}
+	if last.Phase != "" {
+		t.Errorf("idle event phase = %q, want \"\"", last.Phase)
+	}
+}
+
+// TestObserverTranscriptNeutral runs the identical seeded round schedule on
+// an observed and an unobserved engine and requires bit-for-bit identical
+// transcripts and metrics: observation must never touch randomness.
+func TestObserverTranscriptNeutral(t *testing.T) {
+	const n = 128
+	run := func(e *Engine) ([]int32, Metrics) {
+		var all []int32
+		dst := make([]int32, n)
+		for r := 0; r < 10; r++ {
+			e.SetPhase("p")
+			e.Pull(dst, 16+r)
+			all = append(all, dst...)
+		}
+		e.ChargeRounds(2)
+		return all, e.Metrics()
+	}
+	plainDst, plainM := run(New(n, 99))
+	obsDst, obsM := run(New(n, 99, WithObserver(&recordingObserver{})))
+	if plainM != obsM {
+		t.Errorf("metrics diverge: plain %+v observed %+v", plainM, obsM)
+	}
+	for i := range plainDst {
+		if plainDst[i] != obsDst[i] {
+			t.Fatalf("transcript diverges at pull %d: plain %d observed %d", i, plainDst[i], obsDst[i])
+		}
+	}
+}
+
+// TestObserverSurvivesReset pins the option semantics: Reset clears the
+// phase label but keeps the observer installed, exactly as it keeps the
+// failure model and worker count.
+func TestObserverSurvivesReset(t *testing.T) {
+	obs := &recordingObserver{}
+	e := New(16, 5, WithObserver(obs))
+	e.SetPhase("before")
+	dst := make([]int32, 16)
+	e.Pull(dst, 8)
+	e.Reset(6)
+	if got := e.Phase(); got != "" {
+		t.Errorf("phase after Reset = %q, want \"\"", got)
+	}
+	e.Pull(dst, 8)
+	if len(obs.events) != 2 {
+		t.Fatalf("got %d events, want 2 (observer must survive Reset)", len(obs.events))
+	}
+	if obs.events[1].Phase != "" || obs.events[1].Round != 1 {
+		t.Errorf("post-Reset event = %+v, want Phase=\"\" Round=1", obs.events[1])
+	}
+}
+
+// TestNilObserverAllocFree asserts the nil-observer round loop allocates
+// nothing — the guarantee that lets the serving layers keep their zero-alloc
+// steady state with the hook compiled in.
+func TestNilObserverAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector bookkeeping allocates; alloc counts are only meaningful unraced")
+	}
+	e := New(256, 11)
+	dst := make([]int32, 256)
+	if avg := testing.AllocsPerRun(200, func() {
+		e.Pull(dst, 32)
+		e.ChargeRounds(1)
+	}); avg != 0 {
+		t.Errorf("nil-observer round loop: %v allocs/op, want 0", avg)
+	}
+}

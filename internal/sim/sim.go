@@ -99,6 +99,11 @@ type Engine struct {
 	messages int64
 	bits     int64
 	maxBits  int
+
+	// obs, when non-nil, receives one RoundEvent per accounting step; phase
+	// is the protocol-phase label stamped on those events (see observer.go).
+	obs   RoundObserver
+	phase string
 }
 
 // Option configures an Engine.
@@ -204,6 +209,9 @@ func (e *Engine) Reset(seed uint64) {
 	e.messages = 0
 	e.bits = 0
 	e.maxBits = 0
+	// The observer (an engine option, like the failure model) survives Reset;
+	// the phase label is per-run state and clears with the counters.
+	e.phase = ""
 }
 
 // N returns the population size.
@@ -345,6 +353,9 @@ func (e *Engine) account(rounds int, sent int64, msgBits int) {
 	if msgBits > e.maxBits && sent > 0 {
 		e.maxBits = msgBits
 	}
+	if e.obs != nil {
+		e.emit(rounds, sent, msgBits)
+	}
 }
 
 // Delivery is one received message together with its sender.
@@ -358,6 +369,9 @@ type Delivery[M any] struct {
 func (e *Engine) ChargeRounds(k int) {
 	if k > 0 {
 		e.round += k
+		if e.obs != nil {
+			e.emit(k, 0, 0)
+		}
 	}
 }
 

@@ -1,0 +1,42 @@
+package telemetry_test
+
+import (
+	"os"
+
+	"gossipq/internal/telemetry"
+)
+
+// ExampleRegistry shows the lifecycle a serving layer follows: register
+// every metric once at startup, record with allocation-free atomic
+// operations on the hot path, and encode the whole registry in Prometheus
+// text exposition format at scrape time.
+func ExampleRegistry() {
+	reg := telemetry.NewRegistry()
+	queries := reg.Counter("queries_total", "Queries served.",
+		telemetry.L("mode", "snapshot"))
+	latency := reg.Histogram("latency_seconds", "Query latency.",
+		[]int64{1000, 1000000}, telemetry.Seconds)
+	reg.GaugeFunc("population", "Loaded population size.",
+		func() float64 { return 65536 })
+
+	// Hot path: no locks, no allocations.
+	queries.Add(2)
+	latency.Observe(250)
+
+	// Scrape path: /metrics handlers call WriteTo on the response.
+	reg.WriteTo(os.Stdout)
+	// Output:
+	// # HELP queries_total Queries served.
+	// # TYPE queries_total counter
+	// queries_total{mode="snapshot"} 2
+	// # HELP latency_seconds Query latency.
+	// # TYPE latency_seconds histogram
+	// latency_seconds_bucket{le="1e-06"} 1
+	// latency_seconds_bucket{le="0.001"} 1
+	// latency_seconds_bucket{le="+Inf"} 1
+	// latency_seconds_sum 2.5e-07
+	// latency_seconds_count 1
+	// # HELP population Loaded population size.
+	// # TYPE population gauge
+	// population 65536
+}

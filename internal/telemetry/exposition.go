@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the HTTP Content-Type of the text exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteTo encodes every registered family in the Prometheus text exposition
+// format (version 0.0.4), in registration order: a # HELP and # TYPE line
+// per family, then one sample line per series (histograms expand to their
+// _bucket/_sum/_count samples). Collector functions are evaluated here, at
+// scrape time. WriteTo is safe to call concurrently with record-path
+// operations; it observes each atomic independently (scrapes are not a
+// consistent cut, as usual for Prometheus).
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+
+	var buf bytes.Buffer
+	for _, f := range fams {
+		if f.help != "" {
+			buf.WriteString("# HELP ")
+			buf.WriteString(f.name)
+			buf.WriteByte(' ')
+			buf.WriteString(escapeHelp(f.help))
+			buf.WriteByte('\n')
+		}
+		buf.WriteString("# TYPE ")
+		buf.WriteString(f.name)
+		buf.WriteByte(' ')
+		buf.WriteString(f.typ)
+		buf.WriteByte('\n')
+		for _, s := range f.series {
+			writeSeries(&buf, f, s)
+		}
+	}
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+func writeSeries(buf *bytes.Buffer, f *family, s *series) {
+	switch {
+	case s.h != nil:
+		writeHistogram(buf, f.name, s)
+	case s.f != nil:
+		sample(buf, f.name, s.labels, formatFloat(s.f()))
+	case s.c != nil:
+		sample(buf, f.name, s.labels, strconv.FormatInt(s.c.Value(), 10))
+	case s.g != nil:
+		sample(buf, f.name, s.labels, formatFloat(s.g.Value()))
+	}
+}
+
+// writeHistogram emits the cumulative _bucket ladder, then _sum and _count.
+// Bucket and sum values are converted to exposition units via s.h.unit.
+func writeHistogram(buf *bytes.Buffer, name string, s *series) {
+	h := s.h
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		sample(buf, name+"_bucket", s.bucketLabels[i], strconv.FormatInt(cum, 10))
+	}
+	sample(buf, name+"_sum", s.labels, formatFloat(float64(h.Sum())/h.unit))
+	// cum (not a fresh Count()) keeps _count consistent with the +Inf bucket
+	// even when Observes race the scrape.
+	sample(buf, name+"_count", s.labels, strconv.FormatInt(cum, 10))
+}
+
+func sample(buf *bytes.Buffer, name, labels, value string) {
+	buf.WriteString(name)
+	buf.WriteString(labels)
+	buf.WriteByte(' ')
+	buf.WriteString(value)
+	buf.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(help string) string {
+	if !strings.ContainsAny(help, "\\\n") {
+		return help
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(help)
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package telemetry
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose shadow-memory bookkeeping allocates and would fail the
+// zero-allocation assertions.
+const raceEnabled = true

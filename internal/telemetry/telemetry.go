@@ -1,0 +1,366 @@
+// Package telemetry is the repository's dependency-free metrics layer: a
+// registry of named counters, gauges, and fixed-bucket log-spaced
+// histograms whose record paths perform no allocations and take no locks —
+// every Add/Set/Observe is a handful of atomic operations — plus a
+// Prometheus text-exposition encoder for the scrape path, where allocation
+// is fine.
+//
+// The zero-alloc discipline is what lets the serving layers (gossipq.Session
+// and cmd/gossipq serve) keep their asserted zero-allocation steady state
+// with telemetry enabled: metrics are registered once at setup, and the hot
+// path only ever touches pre-existing atomics. Registration is mutex-guarded
+// and intended for startup; duplicate registrations panic.
+//
+// Collector functions (CounterFunc, GaugeFunc) export values computed at
+// scrape time — snapshot version/age gauges, session query counters — so
+// subsystems that already maintain their own atomic counters need no
+// double bookkeeping on their hot paths.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use, but counters are normally created via Registry.Counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one to the counter. It never allocates and takes no locks.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (which must be >= 0 for the Prometheus contract to hold) to
+// the counter. It never allocates and takes no locks.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down, stored as float64 bits behind
+// one atomic word.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. It never allocates and takes no locks.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d to the gauge via a CAS loop (lock-free, allocation-free).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram over int64 observations (typically
+// durations in nanoseconds). Bucket upper bounds are set at construction —
+// ExpBuckets builds the log-spaced ladders latency distributions need — and
+// never change, so Observe is a short linear scan plus three atomic
+// operations: no allocations, no locks. An implicit +Inf bucket catches
+// observations above the last bound.
+type Histogram struct {
+	bounds []int64 // ascending upper bounds (le semantics)
+	unit   float64 // native units per exposition unit (Seconds = 1e9 ns/s)
+	counts []atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// Observe records one value. It never allocates and takes no locks.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var total int64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of all observed values, in native (unscaled) units.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest observed value (0 before any observation).
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Quantile returns an estimate of the q-th quantile (q in [0, 1]) in native
+// units: the observation's bucket is located by cumulative count and the
+// position inside it interpolated linearly. The +Inf bucket interpolates up
+// to the recorded maximum, so Quantile(1) is the true max. Returns 0 with
+// no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			var lo int64
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.max.Load()
+			if i < len(h.bounds) && h.bounds[i] < hi {
+				hi = h.bounds[i]
+			}
+			if hi < lo {
+				hi = lo
+			}
+			pos := (rank - float64(cum)) / float64(c)
+			return float64(lo) + float64(hi-lo)*pos
+		}
+		cum += c
+	}
+	return float64(h.max.Load())
+}
+
+// ExpBuckets returns count geometrically spaced bucket bounds starting at
+// start and multiplying by factor — the log-spaced ladder latency
+// histograms use (e.g. ExpBuckets(1000, 2, 24) spans 1µs..~8.4s in
+// nanoseconds). Bounds are strictly increasing.
+func ExpBuckets(start int64, factor float64, count int) []int64 {
+	if start < 1 || factor <= 1 || count < 1 {
+		panic("telemetry: ExpBuckets needs start >= 1, factor > 1, count >= 1")
+	}
+	bounds := make([]int64, count)
+	v := float64(start)
+	for i := range bounds {
+		b := int64(math.Round(v))
+		if i > 0 && b <= bounds[i-1] {
+			b = bounds[i-1] + 1
+		}
+		bounds[i] = b
+		v *= factor
+	}
+	return bounds
+}
+
+// Seconds is the unit divisor that renders nanosecond observations as
+// seconds, the Prometheus base unit for durations: 1e9 native units per
+// exposition unit. Dividing by this exactly-representable power of ten keeps
+// bucket bounds like 1000ns rendering as the crisp "1e-06" rather than
+// picking up float rounding noise (1000 * 1e-9 != 1e-6 in float64).
+const Seconds = 1e9
+
+// Label is one metric dimension. Series under one family are distinguished
+// by their label sets, rendered in sorted-key order.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for Label{k, v}.
+func L(k, v string) Label { return Label{Key: k, Value: v} }
+
+// metric family types, as spelled in the exposition format.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// series is one labeled sample stream inside a family.
+type series struct {
+	labels string // pre-rendered sorted label set, "" or `{k="v",...}`
+	key    string // dedup key (labels)
+
+	c *Counter
+	g *Gauge
+	h *Histogram
+	f func() float64 // CounterFunc/GaugeFunc collector
+
+	// Histogram exposition state, pre-rendered at registration so the
+	// encoder just walks it: one label string per bucket (including le).
+	bucketLabels []string
+}
+
+// family groups every series sharing one metric name.
+type family struct {
+	name, help, typ string
+	series          []*series
+}
+
+// Registry holds metric families in registration order and encodes them in
+// the Prometheus text exposition format. The zero value is not ready;
+// use NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+// familyFor fetches or creates the named family, enforcing type/help
+// consistency and label-set uniqueness.
+func (r *Registry) familyFor(name, help, typ string, labels []Label) (*family, string) {
+	if name == "" {
+		panic("telemetry: metric name must not be empty")
+	}
+	key := renderLabels(labels)
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: %s registered as %s and %s", name, f.typ, typ))
+	}
+	for _, s := range f.series {
+		if s.key == key {
+			panic(fmt.Sprintf("telemetry: duplicate series %s%s", name, key))
+		}
+	}
+	return f, key
+}
+
+// Counter registers and returns a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, key := r.familyFor(name, help, typeCounter, labels)
+	c := &Counter{}
+	f.series = append(f.series, &series{labels: key, key: key, c: c})
+	return c
+}
+
+// Gauge registers and returns a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, key := r.familyFor(name, help, typeGauge, labels)
+	g := &Gauge{}
+	f.series = append(f.series, &series{labels: key, key: key, g: g})
+	return g
+}
+
+// CounterFunc registers a counter series whose value is computed by f at
+// scrape time — for subsystems that already keep their own monotonic
+// atomic counters (e.g. Session.Stats). f must be safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, f func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, key := r.familyFor(name, help, typeCounter, labels)
+	fam.series = append(fam.series, &series{labels: key, key: key, f: f})
+}
+
+// GaugeFunc registers a gauge series computed by f at scrape time (snapshot
+// age, goroutine counts, ...). f must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, f func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, key := r.familyFor(name, help, typeGauge, labels)
+	fam.series = append(fam.series, &series{labels: key, key: key, f: f})
+}
+
+// Histogram registers and returns a histogram series with the given bucket
+// upper bounds (native units, e.g. nanoseconds) and unit divisor (Seconds
+// renders nanosecond observations as seconds; use 1 for unitless values).
+func (r *Registry) Histogram(name, help string, bounds []int64, unit float64, labels ...Label) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds must be strictly increasing")
+		}
+	}
+	if unit <= 0 {
+		panic("telemetry: histogram unit must be positive")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, key := r.familyFor(name, help, typeHistogram, labels)
+	h := &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		unit:   unit,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	s := &series{labels: key, key: key, h: h}
+	// Pre-render the per-bucket label sets (labels + le, sorted) so the
+	// encoder allocates nothing per bucket beyond the value text.
+	s.bucketLabels = make([]string, len(bounds)+1)
+	for i, b := range bounds {
+		s.bucketLabels[i] = renderLabels(append(append([]Label(nil), labels...),
+			Label{"le", formatFloat(float64(b) / unit)}))
+	}
+	s.bucketLabels[len(bounds)] = renderLabels(append(append([]Label(nil), labels...),
+		Label{"le", "+Inf"}))
+	f.series = append(f.series, s)
+	return h
+}
+
+// renderLabels renders a label set in sorted-key order, Prometheus-escaped:
+// "" for no labels, `{k="v",k2="v2"}` otherwise.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}

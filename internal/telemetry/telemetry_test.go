@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRecording hammers one counter, gauge, and histogram from
+// many goroutines — under `go test -race` this is the lock-free record
+// path's data-race certificate — and then checks exact totals, since atomic
+// increments must never drop updates.
+func TestConcurrentRecording(t *testing.T) {
+	const goroutines, perG = 16, 10000
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "")
+	g := r.Gauge("hammer_gauge", "")
+	h := r.Histogram("hammer_hist", "", ExpBuckets(1, 4, 10), 1)
+
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(i%1000 + 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := g.Value(); got != goroutines*perG {
+		t.Errorf("gauge = %v, want %d", got, goroutines*perG)
+	}
+	if got := h.Count(); got != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+	var wantSum int64
+	for i := 0; i < perG; i++ {
+		wantSum += int64(i%1000 + 1)
+	}
+	wantSum *= goroutines
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("histogram sum = %d, want %d", got, wantSum)
+	}
+	if got := h.Max(); got != 1000 {
+		t.Errorf("histogram max = %d, want 1000", got)
+	}
+}
+
+// TestRecordPathAllocs asserts the package's core contract: recording on a
+// registered counter, gauge, and histogram allocates nothing. This is what
+// keeps the serving layers' zero-alloc steady-state assertions true with
+// telemetry enabled.
+func TestRecordPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector shadow bookkeeping allocates; alloc counts are only meaningful unraced")
+	}
+	r := NewRegistry()
+	c := r.Counter("allocs_total", "", L("mode", "live"))
+	g := r.Gauge("allocs_gauge", "")
+	h := r.Histogram("allocs_hist", "", ExpBuckets(1000, 2, 24), Seconds)
+
+	if avg := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(4.5)
+		g.Add(-1)
+		h.Observe(123456)
+	}); avg != 0 {
+		t.Errorf("record path: %v allocs/op, want 0", avg)
+	}
+}
+
+// TestExpositionGolden pins the exposition format byte-for-byte for a small
+// registry covering every metric kind, label rendering (sorted keys,
+// escaping), collector functions, and the histogram bucket ladder.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	q := r.Counter("gossipq_queries_total", "Queries served, by mode.", L("mode", "live"))
+	q.Add(3)
+	r.Counter("gossipq_queries_total", "Queries served, by mode.", L("mode", "snapshot")).Add(41)
+	g := r.Gauge("gossipq_snapshot_eps", "Published summary width.")
+	g.Set(0.05)
+	r.GaugeFunc("gossipq_uptime_seconds", "Seconds since start.", func() float64 { return 12.5 })
+	r.CounterFunc("gossipq_fallbacks_total", "", func() float64 { return 2 })
+	h := r.Histogram("gossipq_latency_seconds", "Request latency.",
+		[]int64{1000, 1000000, 1000000000}, Seconds, L("path", "/quantile"))
+	h.Observe(500)        // first bucket
+	h.Observe(2000)       // second bucket
+	h.Observe(5000000000) // +Inf bucket
+
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP gossipq_queries_total Queries served, by mode.
+# TYPE gossipq_queries_total counter
+gossipq_queries_total{mode="live"} 3
+gossipq_queries_total{mode="snapshot"} 41
+# HELP gossipq_snapshot_eps Published summary width.
+# TYPE gossipq_snapshot_eps gauge
+gossipq_snapshot_eps 0.05
+# HELP gossipq_uptime_seconds Seconds since start.
+# TYPE gossipq_uptime_seconds gauge
+gossipq_uptime_seconds 12.5
+# TYPE gossipq_fallbacks_total counter
+gossipq_fallbacks_total 2
+# HELP gossipq_latency_seconds Request latency.
+# TYPE gossipq_latency_seconds histogram
+gossipq_latency_seconds_bucket{le="1e-06",path="/quantile"} 1
+gossipq_latency_seconds_bucket{le="0.001",path="/quantile"} 2
+gossipq_latency_seconds_bucket{le="1",path="/quantile"} 2
+gossipq_latency_seconds_bucket{le="+Inf",path="/quantile"} 3
+gossipq_latency_seconds_sum{path="/quantile"} 5.0000025
+gossipq_latency_seconds_count{path="/quantile"} 3
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestHistogramQuantile checks the bucket-interpolated quantile estimates
+// servebench reports: exact at the recorded max, within-bucket elsewhere.
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_hist", "", ExpBuckets(10, 10, 5), 1)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	// 100 observations uniform over (0, 1000]: ranks are easy to reason
+	// about per decade bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(int64(i * 10))
+	}
+	if got := h.Quantile(1); got != 1000 {
+		t.Errorf("q1 = %v, want the max 1000", got)
+	}
+	// p50: rank 50 of 100 falls in the (100, 1000] bucket, which holds
+	// ranks 11..100; interpolation must land within the bucket.
+	p50 := h.Quantile(0.5)
+	if p50 <= 100 || p50 > 1000 {
+		t.Errorf("p50 = %v, want within (100, 1000]", p50)
+	}
+	// p05: rank 5 of 100 falls in the (10, 100] bucket (ranks 2..10).
+	p05 := h.Quantile(0.05)
+	if p05 <= 10 || p05 > 100 {
+		t.Errorf("p05 = %v, want within (10, 100]", p05)
+	}
+	if h.Quantile(0.99) > h.Quantile(1) {
+		t.Error("quantiles must be monotone")
+	}
+}
+
+// TestRegistryConflicts pins the registration discipline: duplicate series
+// and cross-type reuse of a family name are programming errors.
+func TestRegistryConflicts(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "", L("a", "1"))
+	mustPanic(t, "duplicate series", func() { r.Counter("dup_total", "", L("a", "1")) })
+	mustPanic(t, "type conflict", func() { r.Gauge("dup_total", "") })
+	// Distinct label sets under one family are fine.
+	r.Counter("dup_total", "", L("a", "2"))
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	f()
+}

@@ -125,6 +125,7 @@ func (s *Scratch) ApproxQuantile(values []int64, phi, eps float64, opt Options) 
 
 	// Phase I: 2-TOURNAMENT (Algorithm 1). Skipped entirely when the target
 	// is already the median (φ = 1/2 gives zero iterations).
+	e.SetPhase("tournament2")
 	plan2 := s.plan2(phi, eps)
 	deltaSrc := e.AlgorithmSource(deltaTag)
 	var deltaRNG xrand.RNG
@@ -164,6 +165,7 @@ func (s *Scratch) ApproxQuantile(values []int64, phi, eps float64, opt Options) 
 	}
 
 	// Phase II: 3-TOURNAMENT (Algorithm 2) with ε' = ε/4 per Lemma 2.11.
+	e.SetPhase("tournament3")
 	plan3 := s.plan3(eps/4, n)
 	for i := 0; i < plan3.Iterations(); i++ {
 		s.ws.Pull(dst1, MessageBits)
@@ -179,6 +181,7 @@ func (s *Scratch) ApproxQuantile(values []int64, phi, eps float64, opt Options) 
 	}
 
 	// Final step: every node samples K values and outputs their median.
+	e.SetPhase("sample")
 	return s.sampleMedian(cur, opt.k())
 }
 
@@ -259,6 +262,7 @@ func (s *Scratch) RobustApproxQuantile(values []int64, phi, eps float64, opt Rob
 		}
 	}
 
+	e.SetPhase("tournament2")
 	plan2 := s.plan2(phi, eps)
 	k2 := PullsPerIteration(mu, 2)
 	s.pulls = ensureRows(s.pulls, n)
@@ -293,6 +297,7 @@ func (s *Scratch) RobustApproxQuantile(values []int64, phi, eps float64, opt Rob
 		}
 	}
 
+	e.SetPhase("tournament3")
 	plan3 := s.plan3(eps/4, n)
 	k3 := PullsPerIteration(mu, 3)
 	for i := 0; i < plan3.Iterations(); i++ {
@@ -315,6 +320,7 @@ func (s *Scratch) RobustApproxQuantile(values []int64, phi, eps float64, opt Rob
 
 	// Final step: pull FinalPulls times; nodes with K good pulls output the
 	// median of the first K, others become bad and output nothing.
+	e.SetPhase("final")
 	kf := opt.k()
 	s.finalPulls = ensureRows(s.finalPulls, n)
 	finalPulls := s.finalPulls
@@ -334,6 +340,7 @@ func (s *Scratch) RobustApproxQuantile(values []int64, phi, eps float64, opt Rob
 
 	// Adoption rounds (Theorem 1.4's +t): uncovered nodes pull and adopt
 	// the first output they reach; covered nodes keep theirs.
+	e.SetPhase("adopt")
 	for r := 0; r < opt.ExtraRounds; r++ {
 		s.ws.Pull(dst, MessageBits)
 		adoptVal := s.adoptVal[:0]

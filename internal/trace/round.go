@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+
+	"gossipq/internal/sim"
+)
+
+// RoundRecord is one engine accounting step in wire form: the JSONL schema
+// `gossipq trace -jsonl` dumps and the conformance trace lens replays. It
+// mirrors sim.RoundEvent field for field.
+type RoundRecord struct {
+	Round      int    `json:"round"`
+	Rounds     int    `json:"rounds"`
+	Phase      string `json:"phase,omitempty"`
+	Messages   int64  `json:"messages"`
+	Deliveries int64  `json:"deliveries"`
+	Bits       int64  `json:"bits"`
+	MsgBits    int    `json:"msg_bits"`
+}
+
+// RoundLog is a sim.RoundObserver that records every event for later
+// aggregation and rendering. It is not safe for concurrent use; the engine
+// delivers events from the round loop's calling goroutine, which is the
+// only writer a log ever needs.
+type RoundLog struct {
+	Records []RoundRecord
+}
+
+// ObserveRound implements sim.RoundObserver.
+func (l *RoundLog) ObserveRound(ev sim.RoundEvent) {
+	l.Records = append(l.Records, RoundRecord{
+		Round:      ev.Round,
+		Rounds:     ev.Rounds,
+		Phase:      ev.Phase,
+		Messages:   ev.Messages,
+		Deliveries: ev.Deliveries,
+		Bits:       ev.Bits,
+		MsgBits:    ev.MsgBits,
+	})
+}
+
+// Reset clears the log, keeping the record backing for reuse across runs.
+func (l *RoundLog) Reset() { l.Records = l.Records[:0] }
+
+// Totals sums the log back into engine metrics. On a log covering a whole
+// run this reproduces the engine's own Metrics exactly — the invariant the
+// conformance trace lens checks.
+func (l *RoundLog) Totals() sim.Metrics {
+	var m sim.Metrics
+	for _, r := range l.Records {
+		m.Rounds += r.Rounds
+		m.Messages += r.Messages
+		m.Bits += r.Bits
+		if r.Messages > 0 && r.MsgBits > m.MaxMessageBits {
+			m.MaxMessageBits = r.MsgBits
+		}
+	}
+	return m
+}
+
+// PhaseTotal aggregates the records sharing one phase label.
+type PhaseTotal struct {
+	Phase    string
+	Rounds   int
+	Messages int64
+	Bits     int64
+	// MaxMsgBits is the largest per-message payload the phase sent (0 if it
+	// sent nothing, e.g. idle-round charges).
+	MaxMsgBits int
+}
+
+// PhaseTotals aggregates the log per phase label, in order of first
+// appearance — the protocol's phase schedule read off the event stream.
+func (l *RoundLog) PhaseTotals() []PhaseTotal {
+	var out []PhaseTotal
+	idx := map[string]int{}
+	for _, r := range l.Records {
+		i, ok := idx[r.Phase]
+		if !ok {
+			i = len(out)
+			idx[r.Phase] = i
+			out = append(out, PhaseTotal{Phase: r.Phase})
+		}
+		out[i].Rounds += r.Rounds
+		out[i].Messages += r.Messages
+		out[i].Bits += r.Bits
+		if r.Messages > 0 && r.MsgBits > out[i].MaxMsgBits {
+			out[i].MaxMsgBits = r.MsgBits
+		}
+	}
+	return out
+}
+
+// PhaseTable renders the per-phase aggregation as a printable table with a
+// totals row, in the house experiment-table style.
+func (l *RoundLog) PhaseTable(title string) *Table {
+	t := NewTable(title, "phase", "rounds", "messages", "bits", "max msg bits")
+	for _, p := range l.PhaseTotals() {
+		phase := p.Phase
+		if phase == "" {
+			phase = "(none)"
+		}
+		t.AddRow(phase, D(p.Rounds), D64(p.Messages), D64(p.Bits), D(p.MaxMsgBits))
+	}
+	m := l.Totals()
+	t.AddRow("total", D(m.Rounds), D64(m.Messages), D64(m.Bits), D(m.MaxMessageBits))
+	return t
+}
+
+// WriteJSONL writes one JSON object per record, newline-delimited.
+func (l *RoundLog) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, r := range l.Records {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"gossipq/internal/sim"
+)
+
+// driveLog runs a small deterministic round schedule under a RoundLog.
+func driveLog(t *testing.T) (*RoundLog, sim.Metrics) {
+	t.Helper()
+	log := &RoundLog{}
+	e := sim.New(32, 9, sim.WithObserver(log))
+	dst := make([]int32, 32)
+	e.SetPhase("alpha")
+	e.Pull(dst, 64)
+	e.Pull(dst, 96)
+	e.SetPhase("beta")
+	e.Pull(dst, 32)
+	e.SetPhase("")
+	e.ChargeRounds(2)
+	return log, e.Metrics()
+}
+
+func TestRoundLogTotalsMatchEngine(t *testing.T) {
+	log, m := driveLog(t)
+	if got := log.Totals(); got != m {
+		t.Errorf("Totals() = %+v, engine metrics %+v", got, m)
+	}
+	if len(log.Records) != 4 {
+		t.Fatalf("got %d records, want 4", len(log.Records))
+	}
+	log.Reset()
+	if len(log.Records) != 0 {
+		t.Errorf("Reset left %d records", len(log.Records))
+	}
+	if got := log.Totals(); got != (sim.Metrics{}) {
+		t.Errorf("Totals after Reset = %+v, want zero", got)
+	}
+}
+
+func TestRoundLogPhaseTotals(t *testing.T) {
+	log, m := driveLog(t)
+	phases := log.PhaseTotals()
+	if len(phases) != 3 {
+		t.Fatalf("got %d phase groups, want 3 (alpha, beta, idle)", len(phases))
+	}
+	if phases[0].Phase != "alpha" || phases[1].Phase != "beta" || phases[2].Phase != "" {
+		t.Errorf("phase order = %q %q %q, want alpha, beta, \"\" (first appearance)",
+			phases[0].Phase, phases[1].Phase, phases[2].Phase)
+	}
+	if phases[0].Rounds != 2 || phases[0].MaxMsgBits != 96 {
+		t.Errorf("alpha = %+v, want Rounds=2 MaxMsgBits=96", phases[0])
+	}
+	if phases[1].Rounds != 1 || phases[1].Messages != 32 {
+		t.Errorf("beta = %+v, want Rounds=1 Messages=32", phases[1])
+	}
+	// The idle charge carries no messages and no payload size.
+	if phases[2].Rounds != 2 || phases[2].Messages != 0 || phases[2].MaxMsgBits != 0 {
+		t.Errorf("idle = %+v, want Rounds=2 Messages=0 MaxMsgBits=0", phases[2])
+	}
+	var rounds int
+	var messages, bits int64
+	for _, p := range phases {
+		rounds += p.Rounds
+		messages += p.Messages
+		bits += p.Bits
+	}
+	if rounds != m.Rounds || messages != m.Messages || bits != m.Bits {
+		t.Errorf("phase sums (%d, %d, %d) != metrics (%d, %d, %d)",
+			rounds, messages, bits, m.Rounds, m.Messages, m.Bits)
+	}
+}
+
+func TestRoundLogPhaseTable(t *testing.T) {
+	log, m := driveLog(t)
+	var sb strings.Builder
+	log.PhaseTable("trace").Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"alpha", "beta", "total", D(m.Rounds), D64(m.Messages)} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRoundLogWriteJSONL(t *testing.T) {
+	log, m := driveLog(t)
+	var buf bytes.Buffer
+	if err := log.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Replay: decode every line back into records and re-check the totals —
+	// exactly what the conformance lens does with a dumped trace.
+	replay := &RoundLog{}
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var r RoundRecord
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		replay.Records = append(replay.Records, r)
+	}
+	if len(replay.Records) != len(log.Records) {
+		t.Fatalf("replayed %d records, want %d", len(replay.Records), len(log.Records))
+	}
+	if got := replay.Totals(); got != m {
+		t.Errorf("replayed totals = %+v, want %+v", got, m)
+	}
+	for i, r := range replay.Records {
+		if r != log.Records[i] {
+			t.Errorf("record %d roundtrip mismatch: %+v != %+v", i, r, log.Records[i])
+		}
+	}
+	if r := replay.Records[0]; r.Deliveries != r.Messages {
+		t.Errorf("deliveries %d != messages %d under reliable transport", r.Deliveries, r.Messages)
+	}
+}

@@ -1,0 +1,93 @@
+package gossipq
+
+import (
+	"testing"
+)
+
+// countingObserver tallies RoundEvents per phase label.
+type countingObserver struct {
+	rounds   int
+	messages int64
+	bits     int64
+	phases   map[string]int
+}
+
+func (o *countingObserver) ObserveRound(ev RoundEvent) {
+	o.rounds += ev.Rounds
+	o.messages += ev.Messages
+	o.bits += ev.Bits
+	if o.phases == nil {
+		o.phases = map[string]int{}
+	}
+	o.phases[ev.Phase] += ev.Rounds
+}
+
+// TestRoundObserverNeutralAndComplete runs the same approximate query with
+// and without a RoundObserver: results and Metrics must be identical, and
+// the observed event stream must sum back to the reported Metrics with the
+// tournament phase labels present.
+func TestRoundObserverNeutralAndComplete(t *testing.T) {
+	const n = 600
+	values := make([]int64, n)
+	for i := range values {
+		values[i] = int64((i*7919)%n) * 3
+	}
+
+	plain, err := ApproxQuantile(values, 0.25, 0.05, Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := &countingObserver{}
+	observed, err := ApproxQuantile(values, 0.25, 0.05, Config{Seed: 42, RoundObserver: obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if plain.Metrics != observed.Metrics {
+		t.Errorf("metrics diverge under observation: plain %+v observed %+v", plain.Metrics, observed.Metrics)
+	}
+	for v := range plain.Outputs {
+		if plain.Outputs[v] != observed.Outputs[v] {
+			t.Fatalf("outputs diverge at node %d: plain %d observed %d", v, plain.Outputs[v], observed.Outputs[v])
+		}
+	}
+	if obs.rounds != observed.Metrics.Rounds {
+		t.Errorf("observer rounds = %d, Metrics.Rounds = %d", obs.rounds, observed.Metrics.Rounds)
+	}
+	if obs.messages != observed.Metrics.Messages {
+		t.Errorf("observer messages = %d, Metrics.Messages = %d", obs.messages, observed.Metrics.Messages)
+	}
+	if obs.bits != observed.Metrics.Bits {
+		t.Errorf("observer bits = %d, Metrics.Bits = %d", obs.bits, observed.Metrics.Bits)
+	}
+	// φ = 0.25 at ε = 0.05 runs both tournament phases plus the sample step.
+	for _, phase := range []string{"tournament2", "tournament3", "sample"} {
+		if obs.phases[phase] == 0 {
+			t.Errorf("no rounds labeled %q; phases seen: %v", phase, obs.phases)
+		}
+	}
+}
+
+// TestRoundObserverExactPhases checks that exact runs label their flood and
+// count steps and that the event stream covers every charged round.
+func TestRoundObserverExactPhases(t *testing.T) {
+	const n = 400
+	values := make([]int64, n)
+	for i := range values {
+		values[i] = int64((i * 104729) % 100003)
+	}
+	obs := &countingObserver{}
+	res, err := ExactQuantile(values, 0.5, Config{Seed: 7, RoundObserver: obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.rounds != res.Metrics.Rounds {
+		t.Errorf("observer rounds = %d, Metrics.Rounds = %d", obs.rounds, res.Metrics.Rounds)
+	}
+	if obs.phases["flood"] == 0 {
+		t.Errorf("no rounds labeled \"flood\"; phases seen: %v", obs.phases)
+	}
+	if obs.phases["count"] == 0 {
+		t.Errorf("no rounds labeled \"count\"; phases seen: %v", obs.phases)
+	}
+}

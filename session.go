@@ -6,6 +6,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gossipq/internal/dist"
 	"gossipq/internal/exact"
@@ -76,6 +77,75 @@ type Session struct {
 	refresherDone chan struct{}
 	freeMu        sync.Mutex
 	free          []summaryBacking
+
+	// qstats is the session's own telemetry: plain atomic counters bumped on
+	// the query and refresh paths, exported as a consistent-enough snapshot
+	// by Stats. Keeping them session-owned (rather than telemetry.Registry
+	// series) means the serving layer exports them via scrape-time collector
+	// functions and the record path stays a single atomic add.
+	qstats sessionStats
+}
+
+// sessionStats holds the session's atomic instrumentation counters. Every
+// increment is one atomic add: no locks, no allocations, so the pooled-rig
+// zero-alloc steady state is unaffected.
+type sessionStats struct {
+	liveQueries       atomic.Int64
+	exactQueries      atomic.Int64
+	snapshotQueries   atomic.Int64
+	snapshotFallbacks atomic.Int64
+	refreshBuildNanos atomic.Int64
+	lastRefreshNanos  atomic.Int64
+	recycledBackings  atomic.Int64
+	freshBackings     atomic.Int64
+}
+
+// SessionStats is a point-in-time reading of a session's query and snapshot
+// instrumentation (Session.Stats).
+type SessionStats struct {
+	// LiveQueries counts approximate queries answered by a live tournament
+	// run (including snapshot fallbacks that landed here).
+	LiveQueries int64
+	// ExactQueries counts queries answered by the exact algorithm — requested
+	// exact, or small-ε substitutions.
+	ExactQueries int64
+	// SnapshotQueries counts queries answered from the published ε-summary.
+	SnapshotQueries int64
+	// SnapshotFallbacks counts ServeSnapshot requests that fell back to a
+	// live run (no snapshot published, or summary wider than requested).
+	// Each such query is also counted in LiveQueries or ExactQueries.
+	SnapshotFallbacks int64
+	// Refreshes counts completed snapshot builds.
+	Refreshes uint64
+	// RefreshBuildTotal and LastRefreshBuild meter the wall-clock cost of
+	// summary builds — the "pay once per monitoring interval" side of the
+	// snapshot trade.
+	RefreshBuildTotal time.Duration
+	LastRefreshBuild  time.Duration
+	// RecycledBackings and FreshBackings split refresh builds by whether the
+	// grid arrays came off the retired-snapshot freelist or were allocated.
+	RecycledBackings int64
+	FreshBackings    int64
+}
+
+// Stats returns the session's instrumentation counters. Counters are read
+// individually (not as one consistent cut), which is fine for the telemetry
+// scrapes and health endpoints this feeds.
+func (s *Session) Stats() SessionStats {
+	s.snapMu.Lock()
+	refreshes := s.refreshes
+	s.snapMu.Unlock()
+	return SessionStats{
+		LiveQueries:       s.qstats.liveQueries.Load(),
+		ExactQueries:      s.qstats.exactQueries.Load(),
+		SnapshotQueries:   s.qstats.snapshotQueries.Load(),
+		SnapshotFallbacks: s.qstats.snapshotFallbacks.Load(),
+		Refreshes:         refreshes,
+		RefreshBuildTotal: time.Duration(s.qstats.refreshBuildNanos.Load()),
+		LastRefreshBuild:  time.Duration(s.qstats.lastRefreshNanos.Load()),
+		RecycledBackings:  s.qstats.recycledBackings.Load(),
+		FreshBackings:     s.qstats.freshBackings.Load(),
+	}
 }
 
 // queryRig is one engine plus every protocol scratch bound to it — the unit
@@ -328,6 +398,7 @@ func (s *Session) runOn(rig *queryRig, id uint64, q Query) Answer {
 	if q.Exact || q.Eps < tournament.MinEps(s.n) {
 		// Exact algorithm — requested, or substituted in the small-ε regime
 		// exactly as the one-shot ApproxQuantile composes the two.
+		s.qstats.exactQueries.Add(1)
 		value, err := s.exactOn(rig, q.Phi)
 		ans.Metrics = fromSim(rig.e.Metrics())
 		if err != nil {
@@ -338,6 +409,7 @@ func (s *Session) runOn(rig *queryRig, id uint64, q Query) Answer {
 		ans.Covered = s.n
 		return ans
 	}
+	s.qstats.liveQueries.Add(1)
 	if s.cfg.failing(s.n) {
 		res := rig.tour.RobustApproxQuantile(s.values, q.Phi, q.Eps, tournament.RobustOptions{
 			K:           s.cfg.K,
@@ -394,6 +466,7 @@ func (s *Session) approxFull(phi, eps float64) (ApproxResult, error) {
 	rig := s.checkout()
 	defer s.release(rig)
 	rig.e.Reset(s.seedFor(s.nextID.Add(1) - 1))
+	s.qstats.liveQueries.Add(1)
 	if s.cfg.failing(s.n) {
 		res := rig.tour.RobustApproxQuantile(s.values, phi, eps, tournament.RobustOptions{
 			K:           s.cfg.K,
@@ -411,6 +484,7 @@ func (s *Session) exactFull(phi float64) (ExactResult, error) {
 	rig := s.checkout()
 	defer s.release(rig)
 	rig.e.Reset(s.seedFor(s.nextID.Add(1) - 1))
+	s.qstats.exactQueries.Add(1)
 	value, err := s.exactOn(rig, phi)
 	if err != nil {
 		return ExactResult{}, err

@@ -137,8 +137,10 @@ func (s *Session) popBacking() summaryBacking {
 		b := s.free[k-1]
 		s.free[k-1] = summaryBacking{}
 		s.free = s.free[:k-1]
+		s.qstats.recycledBackings.Add(1)
 		return b
 	}
+	s.qstats.freshBackings.Add(1)
 	return summaryBacking{}
 }
 
@@ -197,7 +199,11 @@ func (s *Session) Refresh(eps float64) (SnapshotInfo, error) {
 	watermark := s.nextID.Load()
 	rig := s.checkout()
 	rig.e.Reset(s.refreshSeed(r))
+	start := time.Now()
 	sum := buildSummaryInto(rig.tour, s.values, eps, s.cfg.K, s.popBacking())
+	buildNanos := time.Since(start).Nanoseconds()
+	s.qstats.refreshBuildNanos.Add(buildNanos)
+	s.qstats.lastRefreshNanos.Store(buildNanos)
 	s.release(rig)
 	sn := &snapshot{sum: sum, version: r + 1, watermark: watermark, builtAt: time.Now()}
 	sn.refs.Store(1) // the publish reference
@@ -282,10 +288,12 @@ func (s *Session) snapshotAnswer(q Query) (Answer, bool) {
 	}
 	p := s.acquireSnapshot()
 	if p == nil {
+		s.qstats.snapshotFallbacks.Add(1)
 		return Answer{}, false
 	}
 	if p.sum.eps > q.Eps {
 		p.release(s)
+		s.qstats.snapshotFallbacks.Add(1)
 		return Answer{}, false
 	}
 	ans := Answer{
@@ -295,5 +303,6 @@ func (s *Session) snapshotAnswer(q Query) (Answer, bool) {
 		SnapshotVersion: p.version,
 	}
 	p.release(s)
+	s.qstats.snapshotQueries.Add(1)
 	return ans, true
 }
