@@ -1,13 +1,25 @@
 // Command benchjson runs the round-engine benchmark loops from
 // internal/sim/bench_test.go under testing.Benchmark and writes the results
 // as one machine-readable JSON file, so the engine's performance trajectory
-// can be tracked across commits (CI uploads it as an artifact).
+// can be tracked across commits (CI uploads it as an artifact). Each loop is
+// run once per GOMAXPROCS setting in the sweep — 1, 4, and the machine's
+// core count — so the file records a scaling curve, not a single point: the
+// engine shards its rounds across a worker gang when cores are available,
+// and the curve is how that claim is audited.
+//
+// With -baseline, benchjson additionally acts as CI's perf-regression gate:
+// fresh ns_per_round is compared against the committed baseline file at
+// matching (name, n, gomaxprocs) and the process exits non-zero when any
+// row regresses by more than -max-regress (fraction, default 0.25). Rows
+// present on only one side are reported and skipped, so adding or removing
+// benchmarks does not trip the gate.
 //
 // Usage:
 //
 //	benchjson                      # full sizes (n = 2^16, 2^20), write BENCH_sim.json
 //	benchjson -quick               # CI smoke: n = 2^16 only
 //	benchjson -out path.json       # choose the output path
+//	benchjson -baseline BENCH_sim.json -out /tmp/fresh.json   # regression gate
 package main
 
 import (
@@ -24,17 +36,22 @@ import (
 
 // Result is one benchmark row of BENCH_sim.json. NsPerRound is the headline
 // number; AllocsPerRound and BytesPerRound must stay amortized O(1) (the
-// workspace design guarantees no per-round inbox/targets allocations).
+// workspace design guarantees no per-round inbox/targets allocations, and
+// the worker gang dispatches shards without allocating). GOMAXPROCS is the
+// setting the row was measured under — rows are only comparable across
+// files at equal (name, n, gomaxprocs).
 type Result struct {
 	Name           string  `json:"name"`
 	N              int     `json:"n"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
 	Rounds         int     `json:"rounds"`
 	NsPerRound     float64 `json:"ns_per_round"`
 	AllocsPerRound float64 `json:"allocs_per_round"`
 	BytesPerRound  float64 `json:"bytes_per_round"`
 }
 
-// File is the top-level schema of BENCH_sim.json.
+// File is the top-level schema of BENCH_sim.json. The top-level GOMAXPROCS
+// is the process default (the machine); per-row settings live on the rows.
 type File struct {
 	Suite      string   `json:"suite"`
 	Timestamp  string   `json:"timestamp"`
@@ -45,10 +62,35 @@ type File struct {
 	Benchmarks []Result `json:"benchmarks"`
 }
 
+// gomaxprocsSweep returns the deduplicated ascending sweep {1, 4, NumCPU}.
+// On a 1-core machine the >1 settings still measure the sharded code path
+// (goroutines interleave on one core), so the curve is honest about showing
+// no speedup there rather than absent.
+func gomaxprocsSweep() []int {
+	sweep := []int{1}
+	for _, p := range []int{runtime.NumCPU(), 4} {
+		seen := false
+		for _, q := range sweep {
+			if q == p {
+				seen = true
+			}
+		}
+		if !seen {
+			sweep = append(sweep, p)
+		}
+	}
+	if len(sweep) == 3 && sweep[1] > sweep[2] {
+		sweep[1], sweep[2] = sweep[2], sweep[1]
+	}
+	return sweep
+}
+
 func main() {
 	var (
-		out   = flag.String("out", "BENCH_sim.json", "output path for the JSON report")
-		quick = flag.Bool("quick", false, "CI smoke mode: benchmark only the small population")
+		out        = flag.String("out", "BENCH_sim.json", "output path for the JSON report")
+		quick      = flag.Bool("quick", false, "CI smoke mode: benchmark only the small population")
+		baseline   = flag.String("baseline", "", "baseline BENCH_sim.json to gate against (empty: no gate)")
+		maxRegress = flag.Float64("max-regress", 0.25, "maximum tolerated ns_per_round regression vs -baseline, as a fraction")
 	)
 	flag.Parse()
 
@@ -57,21 +99,27 @@ func main() {
 		sizes = []int{1 << 16}
 	}
 
+	defaultProcs := runtime.GOMAXPROCS(0)
 	f := File{
 		Suite:      "sim",
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOMAXPROCS: defaultProcs,
 	}
-	for _, n := range sizes {
-		f.Benchmarks = append(f.Benchmarks,
-			run("EngineRound/Pull", n, enginebench.Pull(n)),
-			run("EngineRound/Push", n, enginebench.Push(n)),
-			run("EngineRound/PushBatch", n, enginebench.PushBatch(n)),
-		)
+	for _, procs := range gomaxprocsSweep() {
+		runtime.GOMAXPROCS(procs)
+		for _, n := range sizes {
+			f.Benchmarks = append(f.Benchmarks,
+				run("EngineRound/Pull", n, procs, enginebench.Pull(n)),
+				run("EngineRound/Push", n, procs, enginebench.Push(n)),
+				run("EngineRound/PushBatch", n, procs, enginebench.PushBatch(n)),
+				run("EngineRound/Reset", n, procs, enginebench.Reset(n)),
+			)
+		}
 	}
+	runtime.GOMAXPROCS(defaultProcs)
 
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
@@ -85,8 +133,14 @@ func main() {
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(f.Benchmarks))
 	for _, r := range f.Benchmarks {
-		fmt.Printf("  %-24s n=%-8d %12.0f ns/round %8.1f allocs/round\n",
-			r.Name, r.N, r.NsPerRound, r.AllocsPerRound)
+		fmt.Printf("  %-24s n=%-8d gmp=%-3d %12.0f ns/round %8.1f allocs/round\n",
+			r.Name, r.N, r.GOMAXPROCS, r.NsPerRound, r.AllocsPerRound)
+	}
+
+	if *baseline != "" {
+		if !gate(*baseline, f, *maxRegress) {
+			os.Exit(2)
+		}
 	}
 }
 
@@ -94,14 +148,73 @@ func main() {
 // result. Iteration count is left to the testing package (~1s per
 // benchmark); overriding b.N from inside the loop would break its
 // convergence estimator.
-func run(name string, n int, loop func(b *testing.B)) Result {
+func run(name string, n, procs int, loop func(b *testing.B)) Result {
 	res := testing.Benchmark(loop)
 	return Result{
 		Name:           name,
 		N:              n,
+		GOMAXPROCS:     procs,
 		Rounds:         res.N,
 		NsPerRound:     float64(res.T.Nanoseconds()) / float64(res.N),
 		AllocsPerRound: float64(res.MemAllocs) / float64(res.N),
 		BytesPerRound:  float64(res.MemBytes) / float64(res.N),
 	}
+}
+
+// benchKey identifies comparable rows across BENCH_sim.json files.
+type benchKey struct {
+	name       string
+	n          int
+	gomaxprocs int
+}
+
+// gate compares fresh against the baseline file and reports every row whose
+// ns_per_round regressed by more than maxRegress; returns false when any
+// did. Pre-sweep baselines (rows recorded before the gomaxprocs field
+// existed) unmarshal with gomaxprocs=0 and are matched at the baseline
+// file's top-level setting, so the gate works across the schema change.
+func gate(baselinePath string, fresh File, maxRegress float64) bool {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading baseline: %v\n", err)
+		return false
+	}
+	var base File
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parsing baseline: %v\n", err)
+		return false
+	}
+	baseRows := make(map[benchKey]Result, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		if r.GOMAXPROCS == 0 {
+			r.GOMAXPROCS = base.GOMAXPROCS
+		}
+		baseRows[benchKey{r.Name, r.N, r.GOMAXPROCS}] = r
+	}
+
+	ok := true
+	compared := 0
+	for _, r := range fresh.Benchmarks {
+		b, found := baseRows[benchKey{r.Name, r.N, r.GOMAXPROCS}]
+		if !found {
+			fmt.Printf("gate: %s n=%d gmp=%d: no baseline row, skipped\n", r.Name, r.N, r.GOMAXPROCS)
+			continue
+		}
+		compared++
+		if r.NsPerRound > b.NsPerRound*(1+maxRegress) {
+			ok = false
+			fmt.Fprintf(os.Stderr,
+				"gate: REGRESSION %s n=%d gmp=%d: %.0f ns/round vs baseline %.0f (%+.0f%%, limit +%.0f%%)\n",
+				r.Name, r.N, r.GOMAXPROCS, r.NsPerRound, b.NsPerRound,
+				100*(r.NsPerRound/b.NsPerRound-1), 100*maxRegress)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "gate: no comparable rows between fresh run and baseline")
+		return false
+	}
+	if ok {
+		fmt.Printf("gate: %d rows within +%.0f%% of baseline\n", compared, 100*maxRegress)
+	}
+	return ok
 }

@@ -52,6 +52,7 @@ func serveCmd(args []string) int {
 		seed      = fs.Uint64("seed", 1, "session seed (each query derives its engine from (seed, query id))")
 		eps       = fs.Float64("eps", 0.05, "default approximation width for queries that omit eps")
 		workers   = fs.Int("workers", 1, "per-query simulation workers; 1 leaves the cores to concurrent queries")
+		prewarm   = fs.Int("prewarm", 0, "build this many query rigs at startup (0: one per core); concurrency beyond the warm pool pays rig construction on first overlap")
 		check     = fs.Bool("check", false, "verify every answer against the centralized oracle (adds \"ok\" to responses)")
 		sumEps    = fs.Float64("summary-eps", 0, "serve approximate queries from a versioned ε-summary snapshot at this width (0 disables the snapshot tier)")
 		refresh   = fs.Duration("refresh", 0, "rebuild the snapshot every interval (0 keeps the initial build; requires -summary-eps)")
@@ -80,6 +81,15 @@ func serveCmd(args []string) int {
 		// Pay the oracle sort now, not on the first checked request.
 		session.OracleQuantile(0.5)
 	}
+	// Warm the rig pool to the expected live-query concurrency so overlapping
+	// requests never pay multi-MB rig construction mid-flight (the default
+	// assumes roughly one in-flight live query per core).
+	rigs := *prewarm
+	if rigs <= 0 {
+		rigs = runtime.GOMAXPROCS(0)
+	}
+	session.Prewarm(rigs)
+	slog.Info("rig pool prewarmed", "rigs", rigs)
 	snapshots := *sumEps > 0
 	if snapshots {
 		info, err := session.StartRefresher(*sumEps, *refresh)

@@ -51,6 +51,11 @@ func main() {
 	// the before/after pair the snapshot tier exists for — and need five
 	// orders of magnitude more queries per client to fill a measurable
 	// wall-clock interval.
+	// The trailing multicore rows pin the scaling story: the same live
+	// approx workload with GOMAXPROCS pinned to 1 and 4 (cross-query
+	// parallelism — the pool serves clients on separate cores), and a
+	// single-client row with Workers=4 (intra-query parallelism — one
+	// query's rounds shard across the engine's worker gang).
 	opts := []servebench.Options{
 		{N: 1 << 16, Clients: 1, QueriesPerClient: 16},
 		{N: 1 << 16, Clients: 4, QueriesPerClient: 16},
@@ -58,6 +63,9 @@ func main() {
 		{N: 1 << 13, Clients: 4, QueriesPerClient: 2, Exact: true},
 		{N: 1 << 16, Clients: 1, QueriesPerClient: 1 << 20, SummaryEps: 0.05},
 		{N: 1 << 16, Clients: 8, QueriesPerClient: 1 << 18, SummaryEps: 0.05},
+		{N: 1 << 16, Clients: 4, QueriesPerClient: 16, GOMAXPROCS: 1},
+		{N: 1 << 16, Clients: 4, QueriesPerClient: 16, GOMAXPROCS: 4},
+		{N: 1 << 16, Clients: 1, QueriesPerClient: 16, Workers: 4, GOMAXPROCS: 4},
 	}
 	if *quick {
 		opts = []servebench.Options{
@@ -65,6 +73,8 @@ func main() {
 			{N: 1 << 14, Clients: 4, QueriesPerClient: 8},
 			{N: 1 << 12, Clients: 2, QueriesPerClient: 2, Exact: true},
 			{N: 1 << 14, Clients: 2, QueriesPerClient: 1 << 16, SummaryEps: 0.05},
+			{N: 1 << 14, Clients: 4, QueriesPerClient: 8, GOMAXPROCS: 4},
+			{N: 1 << 14, Clients: 1, QueriesPerClient: 8, Workers: 4, GOMAXPROCS: 4},
 		}
 	}
 

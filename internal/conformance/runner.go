@@ -270,29 +270,34 @@ func (sh *shard) checkTrace(s Scenario, values []int64, base runResult) []Violat
 	return nil
 }
 
-// checkDeterminism re-runs the scenario with a different simulator worker
-// count and demands a bit-identical result — the transcript-stability
-// invariant the round engine guarantees for any GOMAXPROCS.
+// checkDeterminism re-runs the scenario at different simulator worker
+// counts and demands bit-identical results — the transcript-stability
+// invariant the round engine guarantees for any GOMAXPROCS. Two counts are
+// exercised: 3 (odd shard split, gang of two) and 8 (the counting sort's
+// shard cap; worker shards also clipped by the engine's minimum span at
+// grid populations).
 func (sh *shard) checkDeterminism(s Scenario, values []int64, base runResult) []Violation {
-	rr, err := sh.execute(s, values, 3, nil)
-	if err != nil {
-		return []Violation{{"determinism", fmt.Sprintf("re-run failed: %v", err)}}
-	}
-	if rr.metrics != base.metrics {
-		return []Violation{{"determinism", fmt.Sprintf(
-			"metrics differ across worker counts: %+v vs %+v", base.metrics, rr.metrics)}}
-	}
-	for v := range base.outputs {
-		if base.outputs[v] != rr.outputs[v] {
-			return []Violation{{"determinism", fmt.Sprintf(
-				"node %d output differs across worker counts: %d vs %d",
-				v, base.outputs[v], rr.outputs[v])}}
+	for _, workers := range []int{3, 8} {
+		rr, err := sh.execute(s, values, workers, nil)
+		if err != nil {
+			return []Violation{{"determinism", fmt.Sprintf("workers=%d re-run failed: %v", workers, err)}}
 		}
-	}
-	for v := range base.ownQ {
-		if base.ownQ[v] != rr.ownQ[v] {
+		if rr.metrics != base.metrics {
 			return []Violation{{"determinism", fmt.Sprintf(
-				"node %d own-quantile differs across worker counts", v)}}
+				"metrics differ at workers=%d: %+v vs %+v", workers, base.metrics, rr.metrics)}}
+		}
+		for v := range base.outputs {
+			if base.outputs[v] != rr.outputs[v] {
+				return []Violation{{"determinism", fmt.Sprintf(
+					"node %d output differs at workers=%d: %d vs %d",
+					v, workers, base.outputs[v], rr.outputs[v])}}
+			}
+		}
+		for v := range base.ownQ {
+			if base.ownQ[v] != rr.ownQ[v] {
+				return []Violation{{"determinism", fmt.Sprintf(
+					"node %d own-quantile differs at workers=%d", v, workers)}}
+			}
 		}
 	}
 	return nil

@@ -13,6 +13,11 @@ import (
 	"gossipq/internal/sim"
 )
 
+// Engines are built with the package default worker count (GOMAXPROCS at
+// construction), so the same loop body measures the serial engine under
+// GOMAXPROCS=1 and the gang-sharded engine under GOMAXPROCS>1 — cmd/benchjson
+// sweeps that knob to record the scaling curve.
+
 // Pull returns the benchmark body for one pull round at population n.
 func Pull(n int) func(b *testing.B) {
 	return func(b *testing.B) {
@@ -64,6 +69,20 @@ func PushBatch(n int) func(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			ws.PushBatch(64, send, recv, nil)
+		}
+	}
+}
+
+// Reset returns the benchmark body for the in-place engine reseed at
+// population n — the per-query setup cost of the serving session, and a
+// sharded parallel pass in its own right.
+func Reset(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		e := sim.New(n, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Reset(uint64(i))
 		}
 	}
 }

@@ -41,6 +41,16 @@ type Options struct {
 	// lock-free local reads instead of per-query protocol runs. Exact and
 	// SummaryEps are mutually exclusive (exact queries always run live).
 	SummaryEps float64
+	// Workers is the per-query engine worker count threaded to the session
+	// (default 1): the serving sweet spot gives cores to cross-query
+	// concurrency, but with spare cores per client a query itself can shard
+	// its rounds — the multicore live-mode rows.
+	Workers int
+	// GOMAXPROCS, when positive, pins runtime.GOMAXPROCS for the duration
+	// of the run (warm-up included) and restores it after, so one servebench
+	// invocation can record a scaling curve. Zero inherits the process
+	// setting.
+	GOMAXPROCS int
 }
 
 func (o Options) withDefaults() Options {
@@ -59,6 +69,9 @@ func (o Options) withDefaults() Options {
 	if o.Eps == 0 {
 		o.Eps = 0.05
 	}
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
 	return o
 }
 
@@ -71,6 +84,8 @@ type Result struct {
 	Mode             string  `json:"mode"`
 	N                int     `json:"n"`
 	Clients          int     `json:"clients"`
+	Workers          int     `json:"workers"`
+	GOMAXPROCS       int     `json:"gomaxprocs"`
 	Queries          int     `json:"queries"`
 	QueriesPerSec    float64 `json:"queries_per_sec"`
 	NsPerQuery       float64 `json:"ns_per_query"`
@@ -101,23 +116,40 @@ func phiFor(client, i int) float64 {
 }
 
 // NewSession builds the benchmark session: the dist workload at o.N and one
-// session with per-query Workers=1, the serving configuration in which
-// cross-query concurrency owns the cores and the steady state is
-// allocation-free.
+// session with o.Workers per-query engine workers (default 1, the serving
+// configuration in which cross-query concurrency owns the cores and the
+// steady state is allocation-free).
 func NewSession(o Options) (*gossipq.Session, error) {
 	o = o.withDefaults()
 	values := dist.Generate(dist.Uniform, o.N, o.Seed)
-	return gossipq.NewSession(values, gossipq.Config{Seed: o.Seed, Workers: 1})
+	return gossipq.NewSession(values, gossipq.Config{Seed: o.Seed, Workers: o.Workers})
 }
 
-// Warm runs one query per client-phi shape so every pooled rig, plan
-// backing, and (for exact) the distinctified copy exist before measurement.
+// Warm prewarms the rig pool to the client count, then runs one query per
+// client concurrently — the same shape as the measured loop — so every
+// pooled rig, plan backing, and (for exact) the distinctified copy exist
+// before measurement. Sequential warming is not enough: it touches one rig,
+// and the measured concurrent loop then pays the other clients' rig growth,
+// which is exactly the allocation artifact the committed BENCH_serve.json
+// used to show at clients=4/8.
 func Warm(s *gossipq.Session, o Options) error {
 	o = o.withDefaults()
+	s.Prewarm(o.Clients)
+	var wg sync.WaitGroup
+	errs := make(chan error, o.Clients)
 	for c := 0; c < o.Clients; c++ {
-		if _, _, err := runClient(s, o, c, 1, nil); err != nil {
-			return err
-		}
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			if _, _, err := runClient(s, o, c, 1, nil); err != nil {
+				errs <- err
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
 	}
 	return nil
 }
@@ -164,6 +196,9 @@ func runClient(s *gossipq.Session, o Options, c, count int, lat *telemetry.Histo
 // and GC effects are included rather than hidden).
 func Run(o Options) (Result, error) {
 	o = o.withDefaults()
+	if o.GOMAXPROCS > 0 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(o.GOMAXPROCS))
+	}
 	if !o.Exact && o.Eps < gossipq.MinApproxEps(o.N) {
 		return Result{}, fmt.Errorf(
 			"servebench: eps %g below the tournament validity region at n=%d (%g); use Exact to benchmark the exact algorithm",
@@ -242,11 +277,20 @@ func Run(o Options) (Result, error) {
 		totalRounds += perClientRounds[c]
 		totalMessages += perClientMessages[c]
 	}
+	name := fmt.Sprintf("serve/%s/n=%d/clients=%d", mode, o.N, o.Clients)
+	if o.Workers > 1 {
+		name += fmt.Sprintf("/workers=%d", o.Workers)
+	}
+	if o.GOMAXPROCS > 0 {
+		name += fmt.Sprintf("/gmp=%d", o.GOMAXPROCS)
+	}
 	res := Result{
-		Name:             fmt.Sprintf("serve/%s/n=%d/clients=%d", mode, o.N, o.Clients),
+		Name:             name,
 		Mode:             mode,
 		N:                o.N,
 		Clients:          o.Clients,
+		Workers:          o.Workers,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
 		Queries:          queries,
 		QueriesPerSec:    float64(queries) / elapsed.Seconds(),
 		NsPerQuery:       float64(elapsed.Nanoseconds()) / float64(queries),

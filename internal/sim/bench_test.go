@@ -17,6 +17,7 @@ func BenchmarkEngineRound(b *testing.B) {
 		b.Run(fmt.Sprintf("Pull/n=%d", n), enginebench.Pull(n))
 		b.Run(fmt.Sprintf("Push/n=%d", n), enginebench.Push(n))
 		b.Run(fmt.Sprintf("PushBatch/n=%d", n), enginebench.PushBatch(n))
+		b.Run(fmt.Sprintf("Reset/n=%d", n), enginebench.Reset(n))
 	}
 }
 

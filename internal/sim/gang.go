@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// gangTask is one shard assignment for a gang worker: run f(s, lo, hi), then
+// mark done. Tasks travel by value through a buffered channel, so dispatching
+// a round allocates nothing.
+type gangTask struct {
+	f         func(s, lo, hi int)
+	s, lo, hi int
+	done      *sync.WaitGroup
+}
+
+// gang is an engine's set of persistent shard workers. Spawning goroutines
+// per round would heap-allocate the spawn closures and pay scheduler startup
+// on every round; the gang instead parks len(bounds)-2 goroutines on one
+// channel when the engine first runs a parallel round (shard 0 always runs on
+// the dispatching goroutine), so steady-state dispatch is k-1 channel sends
+// plus one WaitGroup wait.
+//
+// Workers reference only the channel, never the engine, so a gang does not
+// keep its engine alive: a runtime cleanup closes the channel when the engine
+// becomes unreachable and the workers drain out. By then no dispatch can be
+// in flight (a dispatch implies a live caller holding the engine), so the
+// channel is empty and closing it is safe.
+type gang struct {
+	work chan gangTask
+}
+
+func (g *gang) worker() {
+	for t := range g.work {
+		t.f(t.s, t.lo, t.hi)
+		t.done.Done()
+	}
+}
+
+// ensureGang lazily starts the engine's worker gang on the first parallel
+// dispatch. Engines that only ever run serial rounds (the session layer's
+// per-query rigs with Workers=1, every sub-threshold population) never start
+// one.
+func (e *Engine) ensureGang() *gang {
+	if e.gang == nil {
+		k := len(e.bounds) - 2
+		g := &gang{work: make(chan gangTask, k)}
+		for i := 0; i < k; i++ {
+			go g.worker()
+		}
+		runtime.AddCleanup(e, func(work chan gangTask) { close(work) }, g.work)
+		e.gang = g
+	}
+	return e.gang
+}
+
+// runShards runs f once per shard of the given partition — inline when the
+// partition has a single shard, on the gang otherwise, with shard 0 on the
+// calling goroutine. f must only touch per-node state indexed by its shard
+// (plus any per-shard slot identified by s). The channel send/receive orders
+// all caller writes (parameter slots like pullDst) before worker reads, and
+// the WaitGroup orders worker writes before the caller continues.
+//
+// f should be a value built once per engine or workspace (a bound method
+// value), never a fresh closure: the round loop must stay allocation-free.
+func (e *Engine) runShards(bounds []int, f func(s, lo, hi int)) {
+	k := len(bounds) - 1
+	if k == 1 {
+		f(0, bounds[0], bounds[1])
+		return
+	}
+	g := e.ensureGang()
+	e.dispatch.Add(k - 1)
+	for s := 1; s < k; s++ {
+		g.work <- gangTask{f: f, s: s, lo: bounds[s], hi: bounds[s+1], done: &e.dispatch}
+	}
+	f(0, bounds[0], bounds[1])
+	e.dispatch.Wait()
+}

@@ -135,7 +135,8 @@ func goldenPushBatch(n int, seed uint64, workers int, fail FailureModel) uint64 
 
 func goldenCases(kind string) []goldenCase {
 	// n = 300 exercises the serial path, n = 20000 the sharded parallel path
-	// (parallelThreshold = 8192). Recorded hashes are per (kind, n, fail).
+	// (populations of at least 2*minShardSpan = 4096 nodes shard when the
+	// engine has multiple workers). Recorded hashes are per (kind, n, fail).
 	small, large := 300, 20000
 	switch kind {
 	case "pull":
@@ -176,7 +177,10 @@ func TestGoldenTranscripts(t *testing.T) {
 	}
 	for _, k := range kinds {
 		for _, c := range goldenCases(k.name) {
-			for _, workers := range []int{1, 2, 8} {
+			// 1 = serial span, 2 = minimal gang, 3 = odd shard split, 8 =
+			// the counting sort's shard cap, 16 = worker shards capped by
+			// minShardSpan and coarser sortBounds than bounds.
+			for _, workers := range []int{1, 2, 3, 8, 16} {
 				got := k.run(c.n, c.seed, workers, c.fail)
 				if got != c.want {
 					t.Errorf("%s/%s workers=%d: transcript hash %#x, want %#x",

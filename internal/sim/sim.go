@@ -18,6 +18,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 
@@ -27,9 +28,12 @@ import (
 // NoPeer marks a failed pull in the destination slice of Pull.
 const NoPeer int32 = -1
 
-// parallelThreshold is the population size below which rounds execute on the
-// calling goroutine; sharding overhead dominates below this.
-const parallelThreshold = 8192
+// minShardSpan is the smallest node span worth handing to a parallel worker:
+// below ~2k nodes per shard, gang dispatch and cache handoff cost more than
+// the sharded work saves. Worker shards are capped at n/minShardSpan, which
+// also sets the parallel threshold — populations under 2*minShardSpan always
+// run serial. Shard count never affects transcripts.
+const minShardSpan = 2048
 
 // maxSortShards caps the shard count of the parallel counting sort. The
 // sort's histogram costs shards×n int32s of workspace memory and its merge
@@ -85,6 +89,14 @@ type Engine struct {
 	noFail  bool // true iff fail is the NoFailures model (hot-path shortcut)
 	workers int
 
+	// peerBound/peerThresh are the Lemire bounded-draw parameters for peer
+	// sampling (bound = n-1, thresh = 2^64 mod bound). They are fixed per
+	// population, so hot loops inline the common-case draw (multiply + one
+	// compare) and only call the out-of-line peerRedraw on rejection; the
+	// draw sequence is identical to xrand's Uint64n.
+	peerBound  uint64
+	peerThresh uint64
+
 	// bounds holds the contiguous node shards that parallel passes iterate
 	// ([0, n] when serial); sortBounds is the possibly-coarser partition the
 	// counting sort uses. Both are fixed at construction; neither affects
@@ -94,6 +106,18 @@ type Engine struct {
 	// shardAcc is the per-shard accumulator scratch (cache-line spaced) that
 	// replaces mutex-guarded metric reduction in the round hot path.
 	shardAcc []int64
+
+	// Parallel dispatch state: the lazily started persistent worker gang
+	// (gang.go), its reusable completion group, and the pre-built shard
+	// functions with their parameter slots. Bound method values are built
+	// once here so a round dispatches without allocating — fresh closures
+	// passed toward a `go` statement heap-allocate even on serial branches,
+	// the PR-4 lesson this layout exists to enforce.
+	gang      *gang
+	dispatch  sync.WaitGroup
+	pullDst   []int32
+	pullShard func(s, lo, hi int)
+	seedShard func(s, lo, hi int)
 
 	round    int
 	messages int64
@@ -143,11 +167,19 @@ func New(n int, seed uint64, opts ...Option) *Engine {
 		o(e)
 	}
 	_, e.noFail = e.fail.(noFailures)
+	e.peerBound = uint64(n - 1)
+	e.peerThresh = -e.peerBound % e.peerBound
+	// Shard-sizing heuristic: one shard per worker, but never shards thinner
+	// than minShardSpan — oversharding a small population costs more in
+	// dispatch than it buys in parallelism.
 	shards := 1
-	if e.workers > 1 && n >= parallelThreshold {
+	if e.workers > 1 {
 		shards = e.workers
-		if shards > n {
-			shards = n
+		if max := n / minShardSpan; shards > max {
+			shards = max
+		}
+		if shards < 1 {
+			shards = 1
 		}
 	}
 	e.bounds = shardBounds(n, shards)
@@ -157,13 +189,11 @@ func New(n int, seed uint64, opts ...Option) *Engine {
 	}
 	e.sortBounds = shardBounds(n, sortShards)
 	e.shardAcc = make([]int64, (len(e.bounds)-1)*cacheLineWords)
+	e.pullShard = e.pullSpan
+	e.seedShard = e.seedSpan
 
 	e.rngs = make([]xrand.RNG, n)
-	e.forEachShard(func(_, lo, hi int) {
-		for v := lo; v < hi; v++ {
-			e.src.SeedInto(&e.rngs[v], uint64(v))
-		}
-	})
+	e.runShards(e.bounds, e.seedShard)
 	return e
 }
 
@@ -191,20 +221,11 @@ func shardBounds(n, k int) []int {
 // mid-round, and workspaces bound to it remain valid.
 func (e *Engine) Reset(seed uint64) {
 	e.src = xrand.NewSource(seed)
-	// The serial path avoids the per-shard closure: reseeding is the only
-	// per-query O(n) setup left, and on a single-shard engine it must not
-	// allocate (the session layer's zero-alloc steady state counts on it).
-	if len(e.bounds) == 2 {
-		for v := 0; v < e.n; v++ {
-			e.src.SeedInto(&e.rngs[v], uint64(v))
-		}
-	} else {
-		e.forEachShard(func(_, lo, hi int) {
-			for v := lo; v < hi; v++ {
-				e.src.SeedInto(&e.rngs[v], uint64(v))
-			}
-		})
-	}
+	// Reseeding is the only per-query O(n) setup left; it runs on the
+	// pre-built shard function so it never allocates (the session layer's
+	// zero-alloc steady state counts on it) and parallelizes on multi-shard
+	// engines.
+	e.runShards(e.bounds, e.seedShard)
 	e.round = 0
 	e.messages = 0
 	e.bits = 0
@@ -257,30 +278,6 @@ func AlgorithmSourceAt(seed, tag uint64) xrand.Source {
 	return xrand.NewSource(seed).Sub(algoNamespace).Sub(tag)
 }
 
-// runShards runs f once per shard of the given partition, in parallel when
-// it has more than one shard. f must only touch per-node state indexed by
-// its shard (plus any per-shard slot identified by s).
-func runShards(bounds []int, f func(s, lo, hi int)) {
-	if len(bounds) == 2 {
-		f(0, bounds[0], bounds[1])
-		return
-	}
-	var wg sync.WaitGroup
-	for s := 0; s+1 < len(bounds); s++ {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			f(s, bounds[s], bounds[s+1])
-		}(s)
-	}
-	wg.Wait()
-}
-
-// forEachShard runs f over the engine's worker shards.
-func (e *Engine) forEachShard(f func(s, lo, hi int)) {
-	runShards(e.bounds, f)
-}
-
 // failed draws node v's failure coin for the current round from v's stream.
 func (e *Engine) failed(v int) bool {
 	p := e.fail.Prob(v, e.round)
@@ -292,13 +289,71 @@ func (e *Engine) failed(v int) bool {
 	return e.rngs[v].Bool(p)
 }
 
-// peer samples a uniformly random node other than v from v's stream.
-func (e *Engine) peer(v int) int32 {
-	j := e.rngs[v].Intn(e.n - 1)
-	if j >= v {
-		j++
+// peerRedraw is the out-of-line rejection tail of the hot loops' inlined
+// Lemire peer draw, reached with probability (2^64 mod bound)/2^64 per draw
+// — effectively never for realistic n. Keeping the loop out of line keeps
+// the common-case draw within the inliner's budget.
+//
+//go:noinline
+func peerRedraw(r *xrand.RNG, bound, thresh uint64) uint64 {
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), bound)
+		if lo >= thresh {
+			return hi
+		}
 	}
-	return int32(j)
+}
+
+// seedSpan reseeds the nodes in [lo, hi) from the engine's current source.
+func (e *Engine) seedSpan(_, lo, hi int) {
+	for v := lo; v < hi; v++ {
+		e.src.SeedInto(&e.rngs[v], uint64(v))
+	}
+}
+
+// pullSpan runs one pull round over the senders in [lo, hi), writing peers
+// into the e.pullDst parameter slot and the shard's success count into
+// shardAcc. The peer draw is xrand's Lemire bounded draw inlined against the
+// precomputed (peerBound, peerThresh) — the xoshiro step then inlines into
+// the loop, which is worth ~2.5x on this RNG-bound pass; the consumed stream
+// is bit-for-bit the one Uint64n would consume.
+func (e *Engine) pullSpan(s, lo, hi int) {
+	dst := e.pullDst
+	rngs := e.rngs
+	bound, thresh := e.peerBound, e.peerThresh
+	var ok int64
+	if e.noFail {
+		for v := lo; v < hi; v++ {
+			hi64, lo64 := bits.Mul64(rngs[v].Uint64(), bound)
+			if lo64 < thresh {
+				hi64 = peerRedraw(&rngs[v], bound, thresh)
+			}
+			p := int32(hi64)
+			if p >= int32(v) {
+				p++
+			}
+			dst[v] = p
+		}
+		ok = int64(hi - lo)
+	} else {
+		for v := lo; v < hi; v++ {
+			if e.failed(v) {
+				dst[v] = NoPeer
+				continue
+			}
+			hi64, lo64 := bits.Mul64(rngs[v].Uint64(), bound)
+			if lo64 < thresh {
+				hi64 = peerRedraw(&rngs[v], bound, thresh)
+			}
+			p := int32(hi64)
+			if p >= int32(v) {
+				p++
+			}
+			dst[v] = p
+			ok++
+		}
+	}
+	e.shardAcc[s*cacheLineWords] = ok
 }
 
 // Pull executes one synchronous round in which every node pulls from one
@@ -310,34 +365,9 @@ func (e *Engine) Pull(dst []int32, msgBits int) {
 	if len(dst) != e.n {
 		panic(fmt.Sprintf("sim: Pull dst length %d, want %d", len(dst), e.n))
 	}
-	// Serial fast path: no per-shard closure, so a single-shard round is
-	// allocation-free (closures passed near a `go` statement are heap-
-	// allocated even on branches that never spawn).
-	if len(e.bounds) == 2 {
-		var ok int64
-		for v := 0; v < e.n; v++ {
-			if !e.noFail && e.failed(v) {
-				dst[v] = NoPeer
-				continue
-			}
-			dst[v] = e.peer(v)
-			ok++
-		}
-		e.account(1, ok, msgBits)
-		return
-	}
-	e.forEachShard(func(s, lo, hi int) {
-		var local int64
-		for v := lo; v < hi; v++ {
-			if !e.noFail && e.failed(v) {
-				dst[v] = NoPeer
-				continue
-			}
-			dst[v] = e.peer(v)
-			local++
-		}
-		e.shardAcc[s*cacheLineWords] = local
-	})
+	e.pullDst = dst
+	e.runShards(e.bounds, e.pullShard)
+	e.pullDst = nil
 	var ok int64
 	for s := 0; s+1 < len(e.bounds); s++ {
 		ok += e.shardAcc[s*cacheLineWords]

@@ -87,8 +87,12 @@ func TestPullWrongLengthPanics(t *testing.T) {
 
 func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 	const n = 20000 // above the parallel threshold
-	run := func(workers int) []int32 {
-		e := New(n, 42, WithWorkers(workers))
+	run := func(workers int, fail FailureModel) []int32 {
+		opts := []Option{WithWorkers(workers)}
+		if fail != nil {
+			opts = append(opts, WithFailures(fail))
+		}
+		e := New(n, 42, opts...)
 		dst := make([]int32, n)
 		out := make([]int32, 0, 3*n)
 		for r := 0; r < 3; r++ {
@@ -97,11 +101,55 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 		}
 		return out
 	}
-	a := run(1)
-	b := run(8)
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatalf("transcripts diverge at %d: %d vs %d", i, a[i], b[i])
+	models := []struct {
+		name string
+		fail FailureModel
+	}{
+		{"nofail", nil},
+		{"uniform", UniformFailures(0.3)},
+	}
+	for _, m := range models {
+		t.Run(m.name, func(t *testing.T) {
+			a := run(1, m.fail)
+			for _, workers := range []int{2, 3, 8, 16} {
+				b := run(workers, m.fail)
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("workers=%d: transcripts diverge at %d: %d vs %d",
+							workers, i, a[i], b[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestResetMatchesFreshAcrossWorkerCounts pins that the parallel reseed path
+// (Reset runs on the engine's shard partition) reproduces New bit-for-bit
+// for every worker count, including after the engine has consumed stream
+// state.
+func TestResetMatchesFreshAcrossWorkerCounts(t *testing.T) {
+	const n = 20000
+	for _, workers := range []int{1, 2, 8} {
+		fresh := New(n, 5, WithWorkers(workers))
+		reused := New(n, 99, WithWorkers(workers))
+		dst := make([]int32, n)
+		reused.Pull(dst, 64) // consume state so Reset has real work to undo
+		reused.Reset(5)
+		want := make([]int32, n)
+		for r := 0; r < 3; r++ {
+			fresh.Pull(want, 64)
+			reused.Pull(dst, 64)
+			for i := range want {
+				if want[i] != dst[i] {
+					t.Fatalf("workers=%d round %d: Reset transcript diverges at %d: %d vs %d",
+						workers, r, i, want[i], dst[i])
+				}
+			}
+		}
+		if fresh.Metrics() != reused.Metrics() {
+			t.Fatalf("workers=%d: metrics diverge: %+v vs %+v",
+				workers, fresh.Metrics(), reused.Metrics())
 		}
 	}
 }

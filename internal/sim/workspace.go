@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Workspace owns every per-round buffer of the engine's delivery machinery:
 // staged targets and messages, the sharded counting-sort histogram, inbox
@@ -15,6 +18,11 @@ import "fmt"
 // senders in increasing order. Because sender shards are contiguous and
 // ascending, every inbox is sender-ordered for any shard count — the
 // transcript is bit-for-bit identical to a serial sort.
+//
+// Every sharded pass runs through Engine.runShards on a shard function built
+// once at construction (a bound method value), with the per-round callbacks
+// parked in parameter slots (curSend etc.) for the span's duration — so one
+// code path serves the serial and parallel regimes and neither allocates.
 //
 // A workspace is bound to one engine and must not be used concurrently with
 // itself or with other operations on the same engine. Multiple workspaces
@@ -31,6 +39,26 @@ type Workspace[M any] struct {
 	batch    []batchSend[M] // per-sender staging (PushBatch)
 	batchPer int            // pre-carved target capacity per sender
 	dsts     [][]int32      // reusable Pull destination buffers
+
+	// Parameter slots: the per-round callbacks, parked here for the span
+	// functions to read (the gang's channel send publishes them to workers)
+	// and cleared when the operation returns.
+	curSend  func(v int) (M, bool)
+	curBatch func(v int) []M
+	curRecv  func(v int, in []Delivery[M])
+	curDrop  func(v int, msg M)
+
+	// Pre-built shard functions (bound method values, one allocation each at
+	// construction) so runShards dispatch never allocates.
+	sendShard         func(s, lo, hi int)
+	histShard         func(s, lo, hi int)
+	scatterShard      func(s, lo, hi int)
+	deliverShard      func(s, lo, hi int)
+	batchSendShard    func(s, lo, hi int)
+	batchHistShard    func(s, lo, hi int)
+	batchScatterShard func(s, lo, hi int)
+	mergeBlockShard   func(s, lo, hi int)
+	mergeCursorShard  func(s, lo, hi int)
 }
 
 // batchSend stages one sender's PushBatch output: the caller's message slice
@@ -51,7 +79,17 @@ func NewPullWorkspace(e *Engine) *PullWorkspace { return NewWorkspace[struct{}](
 // lazily on first use, so a pull-only workspace never pays for the push
 // machinery.
 func NewWorkspace[M any](e *Engine) *Workspace[M] {
-	return &Workspace[M]{e: e}
+	w := &Workspace[M]{e: e}
+	w.sendShard = w.sendSpan
+	w.histShard = w.histSpan
+	w.scatterShard = w.scatterSpan
+	w.deliverShard = w.deliverSpan
+	w.batchSendShard = w.batchSendSpan
+	w.batchHistShard = w.batchHistSpan
+	w.batchScatterShard = w.batchScatterSpan
+	w.mergeBlockShard = w.mergeBlockSpan
+	w.mergeCursorShard = w.mergeCursorSpan
+	return w
 }
 
 // Engine returns the engine the workspace is bound to.
@@ -122,6 +160,40 @@ func (w *Workspace[M]) ensureInbox(sent int32) {
 	}
 }
 
+// mergeBlockSpan sums every shard's histogram over the target block [lo, hi)
+// into blockSum[b] — the first level of the merge's two-level prefix scan.
+func (w *Workspace[M]) mergeBlockSpan(b, lo, hi int) {
+	n := w.e.n
+	shards := len(w.e.sortBounds) - 1
+	counts := w.counts
+	var sum int32
+	for s := 0; s < shards; s++ {
+		c := counts[s*n : (s+1)*n]
+		for t := lo; t < hi; t++ {
+			sum += c[t]
+		}
+	}
+	w.blockSum[b] = sum
+}
+
+// mergeCursorSpan turns the histograms over the target block [lo, hi) into
+// absolute scatter cursors starting at blockSum[b], filling offsets as it
+// goes — the second level of the merge.
+func (w *Workspace[M]) mergeCursorSpan(b, lo, hi int) {
+	n := w.e.n
+	shards := len(w.e.sortBounds) - 1
+	counts, offsets := w.counts, w.offsets
+	run := w.blockSum[b]
+	for t := lo; t < hi; t++ {
+		offsets[t] = run
+		for s := 0; s < shards; s++ {
+			c := counts[s*n+t]
+			counts[s*n+t] = run
+			run += c
+		}
+	}
+}
+
 // mergeCounts turns the per-shard histograms in w.counts into absolute
 // scatter cursors and fills w.offsets with each receiver's inbox region
 // start, returning the total message count. The merge is a two-level
@@ -132,10 +204,9 @@ func (w *Workspace[M]) ensureInbox(sent int32) {
 func (w *Workspace[M]) mergeCounts() int32 {
 	n := w.e.n
 	sb := w.e.sortBounds
-	shards := len(sb) - 1
 	counts, offsets := w.counts, w.offsets
 
-	if shards == 1 {
+	if len(sb) == 2 {
 		// Serial fast path: one fused sweep assigns offsets and cursors.
 		var run int32
 		for t := 0; t < n; t++ {
@@ -148,47 +219,91 @@ func (w *Workspace[M]) mergeCounts() int32 {
 		return run
 	}
 
-	runShards(sb, func(b, lo, hi int) {
-		var sum int32
-		for s := 0; s < shards; s++ {
-			c := counts[s*n : (s+1)*n]
-			for t := lo; t < hi; t++ {
-				sum += c[t]
-			}
-		}
-		w.blockSum[b] = sum
-	})
+	w.e.runShards(sb, w.mergeBlockShard)
 	var total int32
 	for b := range w.blockSum {
 		start := total
 		total += w.blockSum[b]
 		w.blockSum[b] = start
 	}
-	runShards(sb, func(b, lo, hi int) {
-		run := w.blockSum[b]
-		for t := lo; t < hi; t++ {
-			offsets[t] = run
-			for s := 0; s < shards; s++ {
-				c := counts[s*n+t]
-				counts[s*n+t] = run
-				run += c
-			}
-		}
-	})
+	w.e.runShards(sb, w.mergeCursorShard)
 	offsets[n] = total
 	return total
 }
 
-// deliver invokes recv for every node that received at least one message.
-func (w *Workspace[M]) deliver(recv func(v int, in []Delivery[M])) {
-	offsets, inbox := w.offsets, w.inbox
-	w.e.forEachShard(func(_, lo, hi int) {
-		for v := lo; v < hi; v++ {
-			if in := inbox[offsets[v]:offsets[v+1]]; len(in) > 0 {
-				recv(v, in)
-			}
+// deliverSpan invokes curRecv for every node in [lo, hi) that received at
+// least one message.
+func (w *Workspace[M]) deliverSpan(_, lo, hi int) {
+	offsets, inbox, recv := w.offsets, w.inbox, w.curRecv
+	for v := lo; v < hi; v++ {
+		if in := inbox[offsets[v]:offsets[v+1]]; len(in) > 0 {
+			recv(v, in)
 		}
-	})
+	}
+}
+
+// sendSpan runs Push's send sweep over the senders in [lo, hi): failure
+// coin, peer draw (inlined Lemire against the engine's precomputed bound;
+// same stream as xrand's Uint64n), then the curSend callback — in exactly
+// that order, so transcripts match the historical serial engine.
+func (w *Workspace[M]) sendSpan(_, lo, hi int) {
+	e := w.e
+	targets, msgs, send := w.targets, w.msgs, w.curSend
+	rngs := e.rngs
+	bound, thresh := e.peerBound, e.peerThresh
+	noFail := e.noFail
+	for v := lo; v < hi; v++ {
+		if !noFail && e.failed(v) {
+			targets[v] = NoPeer
+			continue
+		}
+		hi64, lo64 := bits.Mul64(rngs[v].Uint64(), bound)
+		if lo64 < thresh {
+			hi64 = peerRedraw(&rngs[v], bound, thresh)
+		}
+		t := int32(hi64)
+		if t >= int32(v) {
+			t++
+		}
+		m, sendIt := send(v)
+		if !sendIt {
+			targets[v] = NoPeer
+			continue
+		}
+		targets[v] = t
+		msgs[v] = m
+	}
+}
+
+// histSpan clears sort shard s's histogram and counts its senders' targets.
+// The histogram is a separate sweep rather than fused into the send pass:
+// its random-access increments would otherwise interleave with (and stall)
+// the sequential send loop — measured ~1.45x slower fused.
+func (w *Workspace[M]) histSpan(s, lo, hi int) {
+	n := w.e.n
+	targets := w.targets
+	c := w.counts[s*n : (s+1)*n]
+	clear(c)
+	for v := lo; v < hi; v++ {
+		if t := targets[v]; t != NoPeer {
+			c[t]++
+		}
+	}
+}
+
+// scatterSpan writes sort shard s's staged messages to their inbox slots.
+func (w *Workspace[M]) scatterSpan(s, lo, hi int) {
+	n := w.e.n
+	targets, msgs, inbox := w.targets, w.msgs, w.inbox
+	c := w.counts[s*n : (s+1)*n]
+	for v := lo; v < hi; v++ {
+		t := targets[v]
+		if t == NoPeer {
+			continue
+		}
+		inbox[c[t]] = Delivery[M]{From: int32(v), Msg: msgs[v]}
+		c[t]++
+	}
 }
 
 // Push executes one synchronous round in which every live node may push one
@@ -208,102 +323,96 @@ func (w *Workspace[M]) Push(msgBits int, send func(v int) (M, bool), recv func(v
 	if w.msgs == nil {
 		w.msgs = make([]M, n)
 	}
-	targets, msgs := w.targets, w.msgs
-
-	// Serial fast path: same sweeps, no per-shard closures. Closures passed
-	// toward a `go` statement are heap-allocated even on branches that never
-	// spawn, so the single-shard round loop — the per-query configuration of
-	// the serving session — must not create any.
-	if len(e.bounds) == 2 {
-		for v := 0; v < n; v++ {
-			if !e.noFail && e.failed(v) {
-				targets[v] = NoPeer
-				continue
-			}
-			t := e.peer(v)
-			m, sendIt := send(v)
-			if !sendIt {
-				targets[v] = NoPeer
-				continue
-			}
-			targets[v] = t
-			msgs[v] = m
-		}
-		c := w.counts
-		clear(c)
-		for v := 0; v < n; v++ {
-			if t := targets[v]; t != NoPeer {
-				c[t]++
-			}
-		}
-		sent := w.mergeCounts()
-		w.ensureInbox(sent)
-		inbox := w.inbox
-		for v := 0; v < n; v++ {
-			t := targets[v]
-			if t == NoPeer {
-				continue
-			}
-			inbox[c[t]] = Delivery[M]{From: int32(v), Msg: msgs[v]}
-			c[t]++
-		}
-		offsets := w.offsets
-		for v := 0; v < n; v++ {
-			if in := inbox[offsets[v]:offsets[v+1]]; len(in) > 0 {
-				recv(v, in)
-			}
-		}
-		e.account(1, int64(sent), msgBits)
-		return
-	}
-
-	e.forEachShard(func(_, lo, hi int) {
-		for v := lo; v < hi; v++ {
-			if !e.noFail && e.failed(v) {
-				targets[v] = NoPeer
-				continue
-			}
-			t := e.peer(v)
-			m, sendIt := send(v)
-			if !sendIt {
-				targets[v] = NoPeer
-				continue
-			}
-			targets[v] = t
-			msgs[v] = m
-		}
-	})
-	// The histogram is a separate sweep rather than fused into the send
-	// pass: its random-access increments would otherwise interleave with
-	// (and stall) the sequential send loop — measured ~1.45x slower fused.
-	sb := e.sortBounds
-	counts := w.counts
-	runShards(sb, func(s, lo, hi int) {
-		c := counts[s*n : (s+1)*n]
-		clear(c)
-		for v := lo; v < hi; v++ {
-			if t := targets[v]; t != NoPeer {
-				c[t]++
-			}
-		}
-	})
+	w.curSend, w.curRecv = send, recv
+	e.runShards(e.bounds, w.sendShard)
+	e.runShards(e.sortBounds, w.histShard)
 	sent := w.mergeCounts()
 	w.ensureInbox(sent)
-	inbox := w.inbox
-	runShards(sb, func(s, lo, hi int) {
-		c := counts[s*n : (s+1)*n]
-		for v := lo; v < hi; v++ {
-			t := targets[v]
+	e.runShards(e.sortBounds, w.scatterShard)
+	e.runShards(e.bounds, w.deliverShard)
+	w.curSend, w.curRecv = nil, nil
+	e.account(1, int64(sent), msgBits)
+}
+
+// batchSendSpan runs PushBatch's send sweep over the senders in [lo, hi),
+// staging each sender's messages and drawing per-message failure coins and
+// peers in the historical order; the shard's max batch length (the phase's
+// round cost contribution) lands in shardAcc.
+func (w *Workspace[M]) batchSendSpan(s, lo, hi int) {
+	e := w.e
+	batch, send, onDrop := w.batch, w.curBatch, w.curDrop
+	rngs := e.rngs
+	bound, thresh := e.peerBound, e.peerThresh
+	localMax := 0
+	for v := lo; v < hi; v++ {
+		ms := send(v)
+		b := &batch[v]
+		b.msgs = ms
+		b.targets = b.targets[:0]
+		if len(ms) == 0 {
+			continue
+		}
+		if len(ms) > localMax {
+			localMax = len(ms)
+		}
+		for j := range ms {
+			// Per-message failure coin at the j-th round of the phase.
+			if !e.noFail {
+				p := e.fail.Prob(v, e.round+j)
+				if p > 0 && rngs[v].Bool(p) {
+					b.targets = append(b.targets, NoPeer)
+					if onDrop != nil {
+						onDrop(v, ms[j])
+					}
+					continue
+				}
+			}
+			hi64, lo64 := bits.Mul64(rngs[v].Uint64(), bound)
+			if lo64 < thresh {
+				hi64 = peerRedraw(&rngs[v], bound, thresh)
+			}
+			t := int32(hi64)
+			if t >= int32(v) {
+				t++
+			}
+			b.targets = append(b.targets, t)
+		}
+	}
+	e.shardAcc[s*cacheLineWords] = int64(localMax)
+}
+
+// batchHistSpan is histSpan over the staged batch target lists.
+func (w *Workspace[M]) batchHistSpan(s, lo, hi int) {
+	n := w.e.n
+	batch := w.batch
+	c := w.counts[s*n : (s+1)*n]
+	clear(c)
+	for v := lo; v < hi; v++ {
+		for _, t := range batch[v].targets {
+			if t != NoPeer {
+				c[t]++
+			}
+		}
+	}
+}
+
+// batchScatterSpan scatters the staged batch messages and releases the
+// callers' message slices.
+func (w *Workspace[M]) batchScatterSpan(s, lo, hi int) {
+	n := w.e.n
+	batch, inbox := w.batch, w.inbox
+	c := w.counts[s*n : (s+1)*n]
+	for v := lo; v < hi; v++ {
+		b := &batch[v]
+		for j, t := range b.targets {
 			if t == NoPeer {
 				continue
 			}
-			inbox[c[t]] = Delivery[M]{From: int32(v), Msg: msgs[v]}
+			inbox[c[t]] = Delivery[M]{From: int32(v), Msg: b.msgs[j]}
 			c[t]++
 		}
-	})
-
-	w.deliver(recv)
-	e.account(1, int64(sent), msgBits)
+		b.msgs = nil // release the caller's slice once scattered
+	}
 }
 
 // PushBatch executes one protocol *phase* in which each live node may push
@@ -318,85 +427,22 @@ func (w *Workspace[M]) Push(msgBits int, send func(v int) (M, bool), recv func(v
 // rounds charged.
 func (w *Workspace[M]) PushBatch(msgBits int, send func(v int) []M, recv func(v int, in []Delivery[M]), onDrop func(v int, msg M)) int {
 	e := w.e
-	n := e.n
 	w.ReserveBatch(4)
 	w.ensureSort()
-	batch := w.batch
-
-	// Serial fast path; see Push for why the closure-free duplicate exists.
-	if len(e.bounds) == 2 {
-		return w.pushBatchSerial(msgBits, send, recv, onDrop)
-	}
-
-	e.forEachShard(func(s, lo, hi int) {
-		localMax := 0
-		for v := lo; v < hi; v++ {
-			ms := send(v)
-			b := &batch[v]
-			b.msgs = ms
-			b.targets = b.targets[:0]
-			if len(ms) == 0 {
-				continue
-			}
-			if len(ms) > localMax {
-				localMax = len(ms)
-			}
-			for j := range ms {
-				// Per-message failure coin at the j-th round of the phase.
-				if !e.noFail {
-					p := e.fail.Prob(v, e.round+j)
-					if p > 0 && e.rngs[v].Bool(p) {
-						b.targets = append(b.targets, NoPeer)
-						if onDrop != nil {
-							onDrop(v, ms[j])
-						}
-						continue
-					}
-				}
-				b.targets = append(b.targets, e.peer(v))
-			}
-		}
-		e.shardAcc[s*cacheLineWords] = int64(localMax)
-	})
+	w.curBatch, w.curRecv, w.curDrop = send, recv, onDrop
+	e.runShards(e.bounds, w.batchSendShard)
 	phaseRounds := 1
 	for s := 0; s+1 < len(e.bounds); s++ {
 		if m := int(e.shardAcc[s*cacheLineWords]); m > phaseRounds {
 			phaseRounds = m
 		}
 	}
-
-	sb := e.sortBounds
-	counts := w.counts
-	runShards(sb, func(s, lo, hi int) {
-		c := counts[s*n : (s+1)*n]
-		clear(c)
-		for v := lo; v < hi; v++ {
-			for _, t := range batch[v].targets {
-				if t != NoPeer {
-					c[t]++
-				}
-			}
-		}
-	})
+	e.runShards(e.sortBounds, w.batchHistShard)
 	sent := w.mergeCounts()
 	w.ensureInbox(sent)
-	inbox := w.inbox
-	runShards(sb, func(s, lo, hi int) {
-		c := counts[s*n : (s+1)*n]
-		for v := lo; v < hi; v++ {
-			b := &batch[v]
-			for j, t := range b.targets {
-				if t == NoPeer {
-					continue
-				}
-				inbox[c[t]] = Delivery[M]{From: int32(v), Msg: b.msgs[j]}
-				c[t]++
-			}
-			b.msgs = nil // release the caller's slice once scattered
-		}
-	})
-
-	w.deliver(recv)
+	e.runShards(e.sortBounds, w.batchScatterShard)
+	e.runShards(e.bounds, w.deliverShard)
+	w.curBatch, w.curRecv, w.curDrop = nil, nil, nil
 	e.account(phaseRounds, int64(sent), msgBits)
 	return phaseRounds
 }
@@ -434,73 +480,6 @@ func (w *Workspace[M]) ReserveInbox(capacity int) {
 	if cap(w.inbox) < capacity {
 		w.inbox = make([]Delivery[M], 0, capacity)
 	}
-}
-
-// pushBatchSerial is PushBatch's closure-free single-shard path; sweeps and
-// transcript are identical to the sharded version.
-func (w *Workspace[M]) pushBatchSerial(msgBits int, send func(v int) []M, recv func(v int, in []Delivery[M]), onDrop func(v int, msg M)) int {
-	e := w.e
-	n := e.n
-	batch := w.batch
-	phaseRounds := 1
-	for v := 0; v < n; v++ {
-		ms := send(v)
-		b := &batch[v]
-		b.msgs = ms
-		b.targets = b.targets[:0]
-		if len(ms) == 0 {
-			continue
-		}
-		if len(ms) > phaseRounds {
-			phaseRounds = len(ms)
-		}
-		for j := range ms {
-			// Per-message failure coin at the j-th round of the phase.
-			if !e.noFail {
-				p := e.fail.Prob(v, e.round+j)
-				if p > 0 && e.rngs[v].Bool(p) {
-					b.targets = append(b.targets, NoPeer)
-					if onDrop != nil {
-						onDrop(v, ms[j])
-					}
-					continue
-				}
-			}
-			b.targets = append(b.targets, e.peer(v))
-		}
-	}
-
-	c := w.counts
-	clear(c)
-	for v := 0; v < n; v++ {
-		for _, t := range batch[v].targets {
-			if t != NoPeer {
-				c[t]++
-			}
-		}
-	}
-	sent := w.mergeCounts()
-	w.ensureInbox(sent)
-	inbox := w.inbox
-	for v := 0; v < n; v++ {
-		b := &batch[v]
-		for j, t := range b.targets {
-			if t == NoPeer {
-				continue
-			}
-			inbox[c[t]] = Delivery[M]{From: int32(v), Msg: b.msgs[j]}
-			c[t]++
-		}
-		b.msgs = nil // release the caller's slice once scattered
-	}
-	offsets := w.offsets
-	for v := 0; v < n; v++ {
-		if in := inbox[offsets[v]:offsets[v+1]]; len(in) > 0 {
-			recv(v, in)
-		}
-	}
-	e.account(phaseRounds, int64(sent), msgBits)
-	return phaseRounds
 }
 
 // String identifies the workspace in debug output.

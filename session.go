@@ -270,6 +270,49 @@ func (s *Session) checkout() *queryRig {
 
 func (s *Session) release(r *queryRig) { s.pool.Put(r) }
 
+// prewarmSeedTag namespaces Prewarm's throwaway warm-run seeds ("Warm"),
+// disjoint from the query-id stream and the snapshot refresh stream, so
+// prewarming perturbs no live transcript.
+const prewarmSeedTag = 0x5761726d
+
+// Prewarm builds k query rigs, runs one discarded approximate query on each
+// to grow their lazy round buffers and plan caches, and parks them in the
+// pool — so a server expecting k concurrent clients pays the O(n) setup at
+// startup instead of on the first k overlapping queries. Without it the pool
+// warms to the peak *observed* concurrency one multi-MB miss at a time (rig
+// construction plus the first query's buffer growth), which shows up as
+// hundreds of KB of amortized allocation per query in concurrent benchmarks
+// long after the serial steady state has reached zero. Prewarming consumes
+// no query ids: warm runs are seeded from a private namespace and their
+// answers discarded. Extra rigs beyond the actual concurrency are reclaimed
+// by the GC like any other pooled value. The exact algorithm's larger
+// scratch stays lazy.
+func (s *Session) Prewarm(k int) {
+	warmSeeds := xrand.NewSource(s.cfg.Seed).Sub(prewarmSeedTag)
+	rigs := make([]*queryRig, 0, k)
+	for i := 0; i < k; i++ {
+		rig := s.checkout()
+		rigs = append(rigs, rig)
+		rig.e.Reset(warmSeeds.StreamSeed(uint64(i)))
+		// Exercise the path live queries take on this configuration; the
+		// widest valid eps keeps the warm run as short as possible while
+		// touching every per-node buffer.
+		// OnIteration stays nil: warm runs are invisible to per-query
+		// callbacks (a RoundObserver, being engine-level, does see them).
+		if s.cfg.failing(s.n) {
+			rig.tour.RobustApproxQuantile(s.values, 0.5, 0.25, tournament.RobustOptions{
+				K:           s.cfg.K,
+				ExtraRounds: s.cfg.ExtraRounds,
+			})
+		} else {
+			rig.tour.ApproxQuantile(s.values, 0.5, 0.25, tournament.Options{K: s.cfg.K})
+		}
+	}
+	for _, r := range rigs {
+		s.release(r)
+	}
+}
+
 func (r *queryRig) exactScratch() *exact.Scratch {
 	if r.ex == nil {
 		r.ex = exact.NewScratch(r.e)

@@ -1,8 +1,10 @@
 package gossipq_test
 
 import (
+	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"gossipq"
@@ -249,6 +251,72 @@ func TestSessionSteadyStateAllocs(t *testing.T) {
 		}
 	}); avg != 0 {
 		t.Errorf("recycled batch: %v allocs/op in steady state, want 0", avg)
+	}
+}
+
+// TestSessionConcurrentQueryAllocs asserts a hard allocation bound on a
+// *prewarmed* session under concurrent load. The serial steady state is zero
+// allocations (TestSessionSteadyStateAllocs); concurrently, the historical
+// failure mode is rig-pool growth — k overlapping queries on a pool warmed
+// by one client build k-1 fresh multi-megabyte rigs, which BENCH_serve.json
+// recorded as ~600-900 KB of amortized allocation per query. After
+// Session.Prewarm(clients), the measured window may allocate only the test
+// harness's own goroutine scaffolding: a handful of objects, nowhere near
+// even one rig (an engine's RNG block alone is 32 bytes per node).
+func TestSessionConcurrentQueryAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector shadow bookkeeping allocates; alloc counts are only meaningful unraced")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	const clients = 4
+	const perClient = 8
+	values := dist.Generate(dist.Uniform, 4096, 43)
+	s, err := gossipq.NewSession(values, gossipq.Config{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Prewarm(clients)
+
+	var errs atomic.Uint64
+	run := func() {
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perClient; i++ {
+					if _, err := s.ApproxQuantile(0.3, 0.1); err != nil {
+						errs.Add(1)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	run() // warm: every rig answers at least once, gangs and stacks settle
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	run()
+	runtime.ReadMemStats(&after)
+	if n := errs.Load(); n != 0 {
+		t.Fatalf("%d queries failed", n)
+	}
+
+	mallocs := after.Mallocs - before.Mallocs
+	bytes := after.TotalAlloc - before.TotalAlloc
+	// Budget: the spawned goroutines' closures, WaitGroup bookkeeping, and
+	// the scheduler's occasional sudog/g recycling — around two dozen small
+	// objects. A single rig rebuild is tens of allocations and >100 KB at
+	// this population, far past either bound.
+	if mallocs > 12*clients {
+		t.Errorf("concurrent window: %d mallocs for %d queries, want <= %d (pool must not grow)",
+			mallocs, clients*perClient, 12*clients)
+	}
+	if bytes > 64<<10 {
+		t.Errorf("concurrent window: %d bytes allocated for %d queries, want <= %d",
+			bytes, clients*perClient, 64<<10)
 	}
 }
 
