@@ -32,8 +32,17 @@ import (
 //
 //	GET  /quantile?phi=0.99&eps=0.01[&exact=true][&mode=live]   one query
 //	POST /batch    {"queries":[{"phi":0.5,"eps":0.05},{"phi":0.9,"exact":true}]}
-//	GET  /healthz  liveness + population, traffic, and snapshot status
+//	POST /mutate   {"ops":[{"op":"insert","value":7},{"op":"update","index":0,"value":9}]}
+//	GET  /healthz  liveness + population, traffic, generation, and snapshot drift status
 //	GET  /metrics  Prometheus text exposition of the server's telemetry
+//
+// /mutate applies the batch atomically as one population generation; later
+// queries answer for the mutated population. With the snapshot tier on, each
+// mutation ends with a drift-gated repair attempt: while the published
+// summary's accumulated drift stays under its ⌊(1−θ)·εn⌋ budget the repair
+// is skipped (the stale summary still answers within ±εn), and once the
+// budget is reached the summary is rebuilt synchronously, bumping the
+// snapshot version. The response reports which of the two happened.
 //
 // With -debug-addr a second listener serves net/http/pprof on its own mux,
 // kept off the public address so profiling endpoints are never exposed by
@@ -164,6 +173,59 @@ func serveCmd(args []string) int {
 		}
 		writeJSON(w, resp)
 	}))
+	mux.Handle("/mutate", m.instrument("/mutate", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+			return
+		}
+		var req struct {
+			Ops []mutationJSON `json:"ops"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		ops := make([]gossipq.Mutation, len(req.Ops))
+		for i, mj := range req.Ops {
+			op, err := mj.mutation()
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("op %d: %w", i, err))
+				return
+			}
+			ops[i] = op
+		}
+		gen, err := session.Mutate(ops)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		resp := map[string]any{
+			"generation": gen,
+			"ops":        len(ops),
+			"n":          session.N(),
+			"repair":     "off",
+		}
+		if snapshots {
+			// Drift-gated repair: a no-op while the published summary is
+			// still within its budget, a synchronous rebuild once the
+			// mutation pushed it over.
+			before, _ := session.Snapshot()
+			info, err := session.Refresh(*sumEps)
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, err)
+				return
+			}
+			if info.Version > before.Version {
+				resp["repair"] = "rebuilt"
+			} else {
+				resp["repair"] = "skipped"
+			}
+			resp["snapshot_version"] = info.Version
+			resp["snapshot_drift"] = info.Drift
+			resp["drift_budget"] = info.DriftBudget
+		}
+		writeJSON(w, resp)
+	}))
 	mux.Handle("/healthz", m.instrument("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		st := session.Stats()
 		var ms runtime.MemStats
@@ -174,11 +236,17 @@ func serveCmd(args []string) int {
 			"workload":       *workload,
 			"queries_issued": session.QueriesIssued(),
 			"uptime_seconds": time.Since(m.start).Seconds(),
+			"generation":     st.Generation,
 			"queries": map[string]int64{
 				"live":               st.LiveQueries,
 				"exact":              st.ExactQueries,
 				"snapshot":           st.SnapshotQueries,
 				"snapshot_fallbacks": st.SnapshotFallbacks,
+			},
+			"mutations": map[string]int64{
+				"inserts": st.Inserts,
+				"deletes": st.Deletes,
+				"updates": st.Updates,
 			},
 			"runtime": map[string]any{
 				"goroutines":       runtime.NumGoroutine(),
@@ -189,6 +257,8 @@ func serveCmd(args []string) int {
 			h["snapshot_version"] = info.Version
 			h["snapshot_eps"] = info.Eps
 			h["snapshot_age_ms"] = info.Age().Milliseconds()
+			h["snapshot_drift"] = info.Drift
+			h["drift_budget"] = info.DriftBudget
 		}
 		writeJSON(w, h)
 	}))
@@ -282,7 +352,7 @@ type serverMetrics struct {
 
 // metricEndpoints enumerates the instrumented paths; per-path series are
 // pre-registered so the request path never touches the registry lock.
-var metricEndpoints = []string{"/quantile", "/batch", "/healthz", "/metrics"}
+var metricEndpoints = []string{"/quantile", "/batch", "/mutate", "/healthz", "/metrics"}
 
 func newServerMetrics(session *gossipq.Session, n int) *serverMetrics {
 	m := &serverMetrics{
@@ -321,9 +391,27 @@ func newServerMetrics(session *gossipq.Session, n int) *serverMetrics {
 	m.reg.CounterFunc("gossipq_snapshot_fallbacks_total",
 		"ServeSnapshot queries that fell back to a live run.",
 		stats(func(s gossipq.SessionStats) float64 { return float64(s.SnapshotFallbacks) }))
+	m.reg.CounterFunc("gossipq_mutations_total",
+		"Population mutations applied, by operation kind.",
+		stats(func(s gossipq.SessionStats) float64 { return float64(s.Inserts) }),
+		telemetry.L("op", "insert"))
+	m.reg.CounterFunc("gossipq_mutations_total",
+		"Population mutations applied, by operation kind.",
+		stats(func(s gossipq.SessionStats) float64 { return float64(s.Deletes) }),
+		telemetry.L("op", "delete"))
+	m.reg.CounterFunc("gossipq_mutations_total",
+		"Population mutations applied, by operation kind.",
+		stats(func(s gossipq.SessionStats) float64 { return float64(s.Updates) }),
+		telemetry.L("op", "update"))
+	m.reg.GaugeFunc("gossipq_generation",
+		"Current population generation (one step per successful mutation call).",
+		stats(func(s gossipq.SessionStats) float64 { return float64(s.Generation) }))
 	m.reg.CounterFunc("gossipq_snapshot_refreshes_total",
 		"Completed snapshot builds.",
 		stats(func(s gossipq.SessionStats) float64 { return float64(s.Refreshes) }))
+	m.reg.CounterFunc("gossipq_snapshot_repairs_skipped_total",
+		"Gated refreshes skipped because the published summary's drift stayed within budget.",
+		stats(func(s gossipq.SessionStats) float64 { return float64(s.RefreshesSkipped) }))
 	m.reg.CounterFunc("gossipq_snapshot_refresh_build_seconds_total",
 		"Cumulative wall-clock time spent building snapshots.",
 		stats(func(s gossipq.SessionStats) float64 { return s.RefreshBuildTotal.Seconds() }))
@@ -368,6 +456,22 @@ func newServerMetrics(session *gossipq.Session, n int) *serverMetrics {
 		func() float64 {
 			if info, ok := session.Snapshot(); ok {
 				return float64(info.GridSize)
+			}
+			return 0
+		})
+	m.reg.GaugeFunc("gossipq_snapshot_drift",
+		"Mutation ops applied since the published snapshot was built (0 when none).",
+		func() float64 {
+			if info, ok := session.Snapshot(); ok {
+				return float64(info.Drift)
+			}
+			return 0
+		})
+	m.reg.GaugeFunc("gossipq_snapshot_drift_budget",
+		"Drift the published snapshot tolerates before repair is forced (0 when none).",
+		func() float64 {
+			if info, ok := session.Snapshot(); ok {
+				return float64(info.DriftBudget)
 			}
 			return 0
 		})
@@ -443,6 +547,37 @@ func (q queryJSON) query(defaultEps float64, defaultMode gossipq.ServeMode) (gos
 		return gossipq.Query{}, err
 	}
 	return gossipq.Query{Phi: *q.Phi, Eps: eps, Exact: q.Exact, Mode: mode}, nil
+}
+
+// mutationJSON is the wire shape of one population mutation. Op uses
+// gossipq.MutOp's wire spelling; Index is a pointer so delete/update reject
+// an omitted index instead of silently targeting position 0.
+type mutationJSON struct {
+	Op    string `json:"op"`
+	Index *int   `json:"index"`
+	Value int64  `json:"value"`
+}
+
+func (m mutationJSON) mutation() (gossipq.Mutation, error) {
+	var op gossipq.MutOp
+	switch m.Op {
+	case gossipq.OpInsert.String():
+		op = gossipq.OpInsert
+	case gossipq.OpDelete.String():
+		op = gossipq.OpDelete
+	case gossipq.OpUpdate.String():
+		op = gossipq.OpUpdate
+	default:
+		return gossipq.Mutation{}, fmt.Errorf("bad op %q (want insert, delete, or update)", m.Op)
+	}
+	mut := gossipq.Mutation{Op: op, Value: m.Value}
+	if op != gossipq.OpInsert {
+		if m.Index == nil {
+			return gossipq.Mutation{}, fmt.Errorf("op %q requires an index", m.Op)
+		}
+		mut.Index = *m.Index
+	}
+	return mut, nil
 }
 
 // parseMode maps the wire spelling to a ServeMode; "" keeps the server

@@ -104,6 +104,55 @@ func ExampleSession_batch() {
 	// query 2 ok: true
 }
 
+// ExampleSession_mutate evolves a session's population in place: each
+// mutation call is one generation step, later queries answer for the
+// post-mutation population, and with a published snapshot the drift-gated
+// Refresh skips rebuilds while the accumulated mutations stay within the
+// summary's ±εn headroom.
+func ExampleSession_mutate() {
+	values := make([]int64, 1000)
+	for i := range values {
+		values[i] = int64((i*7919)%1000 + 1)
+	}
+	s, err := gossipq.NewSession(values, gossipq.Config{Seed: 2})
+	if err != nil {
+		panic(err)
+	}
+	defer s.Close()
+
+	info, err := s.Refresh(0.1) // publish an ε-summary (drift budget ⌊εn/2⌋ = 50 ops)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("snapshot version:", info.Version, "budget:", info.DriftBudget)
+
+	gen, err := s.Mutate([]gossipq.Mutation{
+		{Op: gossipq.OpInsert, Value: 2000},
+		{Op: gossipq.OpUpdate, Index: 0, Value: 2001},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("generation:", gen, "n:", s.N())
+
+	max, err := s.ExactQuantile(1) // live queries see the mutated population
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("exact max:", max.Value)
+
+	info, err = s.Refresh(0.1) // 2 ops of drift < 50: repair skipped
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("after refresh: version:", info.Version, "drift:", info.Drift)
+	// Output:
+	// snapshot version: 1 budget: 50
+	// generation: 1 n: 1001
+	// exact max: 2001
+	// after refresh: version: 1 drift: 2
+}
+
 // ExampleApproxQuantile_failures runs the same computation while every node
 // fails 40% of its rounds (Theorem 1.4).
 func ExampleApproxQuantile_failures() {

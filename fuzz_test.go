@@ -49,6 +49,91 @@ func FuzzDistinctifyRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzSessionMutate feeds raw mutation scripts — (op, index, value) triples
+// decoded from arbitrary bytes — into a live session: no script may panic,
+// the generation counter must advance by exactly one per successful call
+// (and not at all on a rejected one), and queries issued after the script
+// must verify against the session's own post-mutation oracle.
+func FuzzSessionMutate(f *testing.F) {
+	f.Add([]byte{}, uint64(1))
+	f.Add([]byte{0, 0, 7, 1, 3, 0, 2, 5, 9}, uint64(3))
+	f.Add([]byte{1, 200, 0, 1, 0, 0, 1, 0, 0, 1, 0, 0}, uint64(7))
+	f.Add([]byte{3, 2, 44, 3, 9, 0, 0, 0, 0, 2, 255, 8}, uint64(11))
+	f.Fuzz(func(t *testing.T, script []byte, seed uint64) {
+		const n0 = 128
+		values := dist.Generate(dist.Uniform, n0, 17)
+		s, err := NewSession(values, Config{Seed: 5 + seed%4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		var gen uint64
+		// Decode op/index/value triples; cap the script so a huge input
+		// cannot stall the fuzzer.
+		for i := 0; i+2 < len(script) && i < 3*200; i += 3 {
+			op := script[i] % 4
+			idx := int(script[i+1])
+			val := int64(int8(script[i+2]))
+			var (
+				g      uint64
+				mutErr error
+			)
+			switch op {
+			case 0:
+				g = s.Insert(val)
+			case 1:
+				g, mutErr = s.Delete(idx)
+			case 2:
+				g, mutErr = s.Update(idx, val)
+			case 3:
+				// A batch exercising intra-batch index validation: the
+				// second op's index is checked against the post-insert
+				// population.
+				g, mutErr = s.Mutate([]Mutation{
+					{Op: OpInsert, Value: val},
+					{Op: MutOp(script[i+1] % 3), Index: idx, Value: val},
+				})
+			}
+			if mutErr != nil {
+				if g != gen {
+					t.Fatalf("op %d (%d) failed (%v) but moved generation %d -> %d", i/3, op, mutErr, gen, g)
+				}
+				continue
+			}
+			if g != gen+1 {
+				t.Fatalf("op %d (%d) moved generation %d -> %d, want +1", i/3, op, gen, g)
+			}
+			gen = g
+		}
+		if got := s.Generation(); got != gen {
+			t.Fatalf("session reports generation %d after %d successful calls", got, gen)
+		}
+		if s.N() < 2 {
+			t.Fatalf("population shrank to %d", s.N())
+		}
+		// Post-script queries must answer for the mutated population. The
+		// protocols hold w.h.p. and report their own failures as errors at
+		// small n — an error return is acceptable, a returned answer must
+		// verify against the post-mutation oracle.
+		if a, err := s.ApproxQuantile(0.5, 0.25); err == nil {
+			if a.Generation != gen {
+				t.Fatalf("approx answer stamped generation %d, want %d", a.Generation, gen)
+			}
+			if !s.Verify(a.Value, 0.5, 0.25) {
+				t.Fatalf("approx answer %d fails Verify at phi=0.5 eps=0.25 (n=%d)", a.Value, s.N())
+			}
+		}
+		if x, err := s.ExactQuantile(0.25); err == nil {
+			if x.Generation != gen {
+				t.Fatalf("exact answer stamped generation %d, want %d", x.Generation, gen)
+			}
+			if want := s.OracleQuantile(0.25); x.Value != want {
+				t.Fatalf("exact answer %d, oracle says %d (n=%d)", x.Value, want, s.N())
+			}
+		}
+	})
+}
+
 // FuzzApproxQuantileNeverPanics drives the public API with arbitrary small
 // inputs: it must either answer or return an error, never panic, and any
 // answer must be one of the input values.

@@ -1,0 +1,285 @@
+package conformance
+
+import (
+	"fmt"
+
+	"gossipq"
+	"gossipq/internal/stats"
+)
+
+// This file is the grid's churn axis: scenarios with a non-empty Churn name
+// run a scripted mutation schedule through Session's churn API and check the
+// paper invariants against the *post-mutation* population at every step —
+// ±εn rank error for approximate queries (Theorem 1.2), exact ⌈φn⌉ rank for
+// exact queries (Theorem 1.1), the deterministic round schedule re-predicted
+// at the current population size, the 128-bit message cap, generation-stamp
+// monotonicity, and — for snapshot cells — the drift gate's skip-below /
+// force-above behavior with monotone snapshot versions. All checks run
+// inline (the static checkers assume a fixed population), so churn cells
+// report through runResult.violations; the runner's determinism re-run still
+// applies, demanding the whole script reproduce bit-for-bit across engine
+// worker counts.
+
+// churnSchedules names the churn axis. Every schedule is a deterministic
+// function of (name, n, scenario seed); batch sizes are fractions of the
+// starting population so the same schedule exercises the drift gate's skip
+// and force paths at every grid n (see churnScript).
+func churnSchedules(short bool) []string {
+	if short {
+		return []string{"waves"}
+	}
+	return []string{"waves", "growshrink"}
+}
+
+// churnScript returns the schedule's mutation steps. Each step is one
+// Session.Mutate batch (one generation), valid for sequential application
+// from a population of size n0; the runner issues one probe query after
+// every step.
+//
+//   - "waves": four update waves sized n0/16, n0/8, n0/32, n0/4, each with
+//     four net-zero insert/delete pairs mixed in. Population size returns to
+//     n0 after every step, and against the snapshot tier's drift budget of
+//     ⌊ε·n/2⌋ = n0/8 (grid snapshot cells run ε = 0.25) the wave sizes
+//     alternate below/above the gate: skip, rebuild, skip, rebuild.
+//   - "growshrink": grow by n0/4, shrink by n0/4 + n0/16, an update wave,
+//     then grow back — every step's op count exceeds the budget, so every
+//     repair is forced.
+func churnScript(sched string, n0 int, seed uint64) ([][]gossipq.Mutation, error) {
+	x := seed | 1
+	val := func() int64 {
+		x = x*6364136223846793005 + 1442695040888963407
+		return int64(x>>33) - (1 << 30)
+	}
+	var steps [][]gossipq.Mutation
+	n := n0
+	updates := func(b []gossipq.Mutation, count, salt int) []gossipq.Mutation {
+		for i := 0; i < count; i++ {
+			b = append(b, gossipq.Mutation{Op: gossipq.OpUpdate, Index: (salt*131 + i*97) % n, Value: val()})
+		}
+		return b
+	}
+	inserts := func(b []gossipq.Mutation, count int) []gossipq.Mutation {
+		for i := 0; i < count; i++ {
+			b = append(b, gossipq.Mutation{Op: gossipq.OpInsert, Value: val()})
+			n++
+		}
+		return b
+	}
+	deletes := func(b []gossipq.Mutation, count, salt int) []gossipq.Mutation {
+		for i := 0; i < count; i++ {
+			b = append(b, gossipq.Mutation{Op: gossipq.OpDelete, Index: (salt*37 + i*53) % n})
+			n--
+		}
+		return b
+	}
+	switch sched {
+	case "waves":
+		for si, frac := range []int{16, 8, 32, 4} {
+			var b []gossipq.Mutation
+			b = updates(b, n0/frac, si)
+			b = inserts(b, 4)
+			b = deletes(b, 4, si+1)
+			steps = append(steps, b)
+		}
+	case "growshrink":
+		steps = append(steps, inserts(nil, n0/4))
+		steps = append(steps, deletes(nil, n0/4+n0/16, 1))
+		steps = append(steps, updates(inserts(nil, n0/16), n0/8, 2))
+		steps = append(steps, inserts(updates(nil, n0/8, 3), n0/4))
+	default:
+		return nil, fmt.Errorf("conformance: unknown churn schedule %q", sched)
+	}
+	return steps, nil
+}
+
+// applyShadow mirrors one mutation batch onto the reference population,
+// reproducing Session's semantics: insert appends, delete swap-removes,
+// update overwrites.
+func applyShadow(shadow []int64, batch []gossipq.Mutation) []int64 {
+	for _, m := range batch {
+		switch m.Op {
+		case gossipq.OpInsert:
+			shadow = append(shadow, m.Value)
+		case gossipq.OpDelete:
+			shadow[m.Index] = shadow[len(shadow)-1]
+			shadow = shadow[:len(shadow)-1]
+		case gossipq.OpUpdate:
+			shadow[m.Index] = m.Value
+		}
+	}
+	return shadow
+}
+
+// runChurn executes a churn cell: the scenario's schedule interleaved with
+// per-step probe queries, every invariant checked against an independently
+// maintained shadow population. outputs collects the probe answers and
+// metrics aggregates the probes' costs (rounds/messages/bits summed, peak
+// message size maxed), so the runner's worker-count determinism re-run
+// covers the entire script.
+func runChurn(s Scenario, values []int64, cfg gossipq.Config) (runResult, error) {
+	steps, err := churnScript(s.Churn, s.N, cfg.Seed)
+	if err != nil {
+		return runResult{}, err
+	}
+	sess, err := gossipq.NewSession(values, cfg)
+	if err != nil {
+		return runResult{}, err
+	}
+	defer sess.Close()
+
+	rr := runResult{}
+	shadow := append([]int64(nil), values...)
+	var gen, lastVersion uint64
+	skips, rebuilds := 0, 0
+	addMetrics := func(m gossipq.Metrics) {
+		rr.metrics.Rounds += m.Rounds
+		rr.metrics.Messages += m.Messages
+		rr.metrics.Bits += m.Bits
+		rr.metrics.MaxMessageBits = max(rr.metrics.MaxMessageBits, m.MaxMessageBits)
+	}
+
+	if s.Alg == AlgSnapshot {
+		info, err := sess.ForceRefresh(s.Eps)
+		if err != nil {
+			return runResult{}, err
+		}
+		lastVersion = info.Version
+		addMetrics(info.BuildMetrics)
+	}
+
+	for si, batch := range steps {
+		g, err := sess.Mutate(batch)
+		if err != nil {
+			return runResult{}, fmt.Errorf("step %d: %w", si, err)
+		}
+		if g != gen+1 {
+			rr.violations = append(rr.violations, Violation{"churn-generation", fmt.Sprintf(
+				"step %d moved the generation %d -> %d, want one step per batch", si, gen, g)})
+		}
+		gen = g
+		shadow = applyShadow(shadow, batch)
+		oracle := stats.NewOracle(shadow)
+		n := len(shadow)
+
+		switch s.Alg {
+		case AlgApprox:
+			a, err := sess.ApproxQuantile(s.Phi, s.Eps)
+			if err != nil {
+				return rr, fmt.Errorf("step %d: %w", si, err)
+			}
+			if a.Generation != gen {
+				rr.violations = append(rr.violations, Violation{"churn-generation", fmt.Sprintf(
+					"step %d: live answer stamped generation %d, session at %d", si, a.Generation, gen)})
+			}
+			if !oracle.WithinEpsilon(a.Value, s.Phi, s.effectiveEps()) {
+				rr.violations = append(rr.violations, Violation{"eps-rank", fmt.Sprintf(
+					"step %d: answer %d has rank %d in the post-mutation population, target %d±%d (n=%d)",
+					si, a.Value, oracle.Rank(a.Value), targetRank(s.Phi, n),
+					int(s.effectiveEps()*float64(n)), n)})
+			}
+			// The deterministic schedule re-predicted at the *current*
+			// population size, as long as the width is still on the
+			// tournament path there.
+			if s.Failure.Model == nil && s.Eps >= gossipq.MinApproxEps(n) {
+				if want := gossipq.PredictApproxRounds(n, s.Phi, s.Eps, gossipq.Config{}); a.Metrics.Rounds != want {
+					rr.violations = append(rr.violations, Violation{"round-schedule", fmt.Sprintf(
+						"step %d: %d rounds at n=%d, deterministic schedule predicts %d",
+						si, a.Metrics.Rounds, n, want)})
+				}
+			}
+			addMetrics(a.Metrics)
+			rr.outputs = append(rr.outputs, a.Value)
+		case AlgExact:
+			a, err := sess.ExactQuantile(s.Phi)
+			if err != nil {
+				return rr, fmt.Errorf("step %d: %w", si, err)
+			}
+			if a.Generation != gen {
+				rr.violations = append(rr.violations, Violation{"churn-generation", fmt.Sprintf(
+					"step %d: exact answer stamped generation %d, session at %d", si, a.Generation, gen)})
+			}
+			if want := oracle.Quantile(s.Phi); a.Value != want {
+				rr.violations = append(rr.violations, Violation{"exact-rank", fmt.Sprintf(
+					"step %d: value %d, exact ⌈φn⌉=%d-smallest of the post-mutation population is %d (n=%d)",
+					si, a.Value, targetRank(s.Phi, n), want, n)})
+			}
+			addMetrics(a.Metrics)
+			rr.outputs = append(rr.outputs, a.Value)
+		case AlgSnapshot:
+			// The drift gate's contract, asserted from the published
+			// snapshot's own drift accounting: Refresh skips strictly below
+			// the budget and rebuilds at or above it, versions only advance.
+			pre, ok := sess.Snapshot()
+			if !ok {
+				return rr, fmt.Errorf("step %d: snapshot vanished", si)
+			}
+			expectSkip := pre.Drift < pre.DriftBudget
+			info, err := sess.Refresh(s.Eps)
+			if err != nil {
+				return rr, fmt.Errorf("step %d: %w", si, err)
+			}
+			switch {
+			case expectSkip && info.Version != lastVersion:
+				rr.violations = append(rr.violations, Violation{"drift-gate", fmt.Sprintf(
+					"step %d: drift %d below budget %d, but Refresh rebuilt version %d -> %d",
+					si, pre.Drift, pre.DriftBudget, lastVersion, info.Version)})
+			case !expectSkip && info.Version != lastVersion+1:
+				rr.violations = append(rr.violations, Violation{"drift-gate", fmt.Sprintf(
+					"step %d: drift %d reached budget %d, but Refresh left version at %d (want %d)",
+					si, pre.Drift, pre.DriftBudget, info.Version, lastVersion+1)})
+			}
+			if info.Version < lastVersion {
+				rr.violations = append(rr.violations, Violation{"drift-gate", fmt.Sprintf(
+					"step %d: snapshot version regressed %d -> %d", si, lastVersion, info.Version)})
+			}
+			if expectSkip {
+				skips++
+			} else {
+				rebuilds++
+				addMetrics(info.BuildMetrics)
+			}
+			lastVersion = info.Version
+
+			phi := snapshotProbePhis[si%len(snapshotProbePhis)]
+			a, err := sess.Ask(gossipq.Query{Phi: phi, Eps: s.Eps, Mode: gossipq.ServeSnapshot})
+			if err != nil {
+				return rr, fmt.Errorf("step %d: %w", si, err)
+			}
+			if a.Mode != gossipq.ServeSnapshot {
+				rr.violations = append(rr.violations, Violation{"snapshot-mode", fmt.Sprintf(
+					"step %d: served %v at drift %d within budget, want snapshot", si, a.Mode, a.SnapshotDrift)})
+			}
+			if a.Generation > gen {
+				rr.violations = append(rr.violations, Violation{"churn-generation", fmt.Sprintf(
+					"step %d: snapshot answer from future generation %d > %d", si, a.Generation, gen)})
+			}
+			// Stale-but-within-ε serving: the gate guarantees ±εn against the
+			// *current* population even when the summary predates the step.
+			if !oracle.WithinEpsilon(a.Value, phi, s.Eps) {
+				rr.violations = append(rr.violations, Violation{"eps-rank", fmt.Sprintf(
+					"step %d: snapshot answer %d for phi=%v has rank %d in the post-mutation population, target %d±%d",
+					si, a.Value, phi, oracle.Rank(a.Value), targetRank(phi, n), int(s.Eps*float64(n)))})
+			}
+			rr.outputs = append(rr.outputs, a.Value)
+		default:
+			return runResult{}, fmt.Errorf("conformance: churn schedule on unsupported algorithm %q", s.Alg)
+		}
+	}
+
+	// The waves schedule is sized to exercise both gate outcomes at every
+	// grid n; a schedule that only ever skipped (or only ever rebuilt) would
+	// silently stop testing half the gate.
+	if s.Alg == AlgSnapshot && s.Churn == "waves" && (skips == 0 || rebuilds == 0) {
+		rr.violations = append(rr.violations, Violation{"drift-gate", fmt.Sprintf(
+			"waves schedule produced %d skips and %d rebuilds, want both paths exercised", skips, rebuilds)})
+	}
+	if mb := rr.metrics.MaxMessageBits; mb <= 0 || mb > gossipq.MaxTheoremMessageBits {
+		rr.violations = append(rr.violations, Violation{"bits-cap", fmt.Sprintf(
+			"MaxMessageBits %d outside (0, %d]", mb, gossipq.MaxTheoremMessageBits)})
+	}
+	if final := sess.Generation(); final != gen {
+		rr.violations = append(rr.violations, Violation{"churn-generation", fmt.Sprintf(
+			"session reports generation %d after %d batches", final, gen)})
+	}
+	return rr, nil
+}

@@ -103,13 +103,22 @@ type Scenario struct {
 	Phi      float64 // target quantile (approx/exact)
 	Eps      float64 // approximation width (approx/median/own)
 	Failure  FailureSpec
+	// Churn names a scripted mutation schedule (see churn.go); empty cells
+	// run on a fixed population. Churn cells check every invariant inline
+	// against the post-mutation population at each step.
+	Churn string
 }
 
 // Name returns the scenario's canonical, stable identifier. Seeds derive
-// from it, so renaming a cell re-seeds it and nothing else.
+// from it, so renaming a cell re-seeds it and nothing else; churn-free cells
+// keep their pre-churn-axis names (and therefore their seeds).
 func (s Scenario) Name() string {
-	return fmt.Sprintf("%s/%s/n%d/phi%.3f/eps%.3f/%s",
+	name := fmt.Sprintf("%s/%s/n%d/phi%.3f/eps%.3f/%s",
 		s.Alg, s.Workload, s.N, s.Phi, s.Eps, s.Failure.Name)
+	if s.Churn != "" {
+		name += "/churn-" + s.Churn
+	}
+	return name
 }
 
 // Seed returns the scenario's protocol seed: a per-cell stream of the root
@@ -204,6 +213,25 @@ func Grid(short bool) []Scenario {
 				add(Scenario{Alg: AlgApprox, Workload: kind, N: n, Phi: 0.3, Eps: 0.1, Failure: f})
 				add(Scenario{Alg: AlgMedian, Workload: kind, N: n, Phi: 0.5, Eps: 0.1, Failure: f})
 				add(Scenario{Alg: AlgExact, Workload: kind, N: n, Phi: 0.7, Failure: f})
+			}
+		}
+	}
+
+	// Churn plane: scripted mutation schedules through Session's churn API,
+	// checked step-by-step against the post-mutation population — the
+	// dynamic-population counterpart of the failure-free plane. Snapshot
+	// churn cells additionally exercise the drift gate's skip and force
+	// paths (the waves schedule is sized around the ε = 0.25 budget).
+	churnNs := []int{256, 1024}
+	if !short {
+		churnNs = append(churnNs, 4096)
+	}
+	for _, n := range churnNs {
+		for _, kind := range []dist.Kind{dist.Uniform, dist.Zipf} {
+			for _, sched := range churnSchedules(short) {
+				add(Scenario{Alg: AlgApprox, Workload: kind, N: n, Phi: 0.3, Eps: 0.1, Failure: fails[0], Churn: sched})
+				add(Scenario{Alg: AlgExact, Workload: kind, N: n, Phi: 0.7, Failure: fails[0], Churn: sched})
+				add(Scenario{Alg: AlgSnapshot, Workload: kind, N: n, Eps: 0.25, Failure: fails[0], Churn: sched})
 			}
 		}
 	}

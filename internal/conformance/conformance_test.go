@@ -45,11 +45,20 @@ func TestGridCoversAxes(t *testing.T) {
 	loads := map[dist.Kind]bool{}
 	fails := map[string]bool{}
 	ns := map[int]bool{}
+	churn := map[Algorithm]bool{}
 	for _, s := range grid {
 		algs[s.Alg] = true
 		loads[s.Workload] = true
 		fails[s.Failure.Name] = true
 		ns[s.N] = true
+		if s.Churn != "" {
+			churn[s.Alg] = true
+		}
+	}
+	for _, a := range []Algorithm{AlgApprox, AlgExact, AlgSnapshot} {
+		if !churn[a] {
+			t.Errorf("short grid misses the churn axis for algorithm %s", a)
+		}
 	}
 	for _, a := range []Algorithm{AlgApprox, AlgMedian, AlgExact, AlgOwn, AlgSnapshot, AlgEngine} {
 		if !algs[a] {
@@ -97,6 +106,22 @@ func TestScenarioSeedDerivation(t *testing.T) {
 	}
 	if !strings.Contains(a.Name(), "approx/uniform/n256") {
 		t.Errorf("unexpected scenario name %q", a.Name())
+	}
+	// The churn axis extends names (and therefore seeds) only for churn
+	// cells: churn-free cells keep their pre-axis identity.
+	if strings.Contains(a.Name(), "churn") {
+		t.Errorf("churn-free scenario name %q mentions churn", a.Name())
+	}
+	d := a
+	d.Churn = "waves"
+	if !strings.Contains(d.Name(), "/churn-waves") {
+		t.Errorf("churn scenario name %q misses the schedule", d.Name())
+	}
+	if d.Seed(1) == a.Seed(1) {
+		t.Error("churn cell shares the churn-free cell's protocol seed")
+	}
+	if d.WorkloadSeed(1) != a.WorkloadSeed(1) {
+		t.Error("churn cell does not share the workload (and oracle cache) of its population")
 	}
 }
 

@@ -28,6 +28,10 @@ type gangTask struct {
 // channel is empty and closing it is safe.
 type gang struct {
 	work chan gangTask
+	// k is the number of parked workers, recorded so a population resize that
+	// raises the shard count can grow the gang (growGang) instead of
+	// oversubscribing the existing workers.
+	k int
 }
 
 func (g *gang) worker() {
@@ -44,7 +48,7 @@ func (g *gang) worker() {
 func (e *Engine) ensureGang() *gang {
 	if e.gang == nil {
 		k := len(e.bounds) - 2
-		g := &gang{work: make(chan gangTask, k)}
+		g := &gang{work: make(chan gangTask, k), k: k}
 		for i := 0; i < k; i++ {
 			go g.worker()
 		}
@@ -52,6 +56,25 @@ func (e *Engine) ensureGang() *gang {
 		e.gang = g
 	}
 	return e.gang
+}
+
+// growGang adds workers to an already started gang when a resize raised the
+// shard count past the parked worker set. Workers park on the original
+// channel (its buffer stays at the original size — dispatch sends beyond it
+// merely block until a worker receives) and drain out through the same
+// runtime cleanup when the engine dies; the channel is never closed manually.
+// Shrinking never happens: surplus workers just stay parked, and
+// oversubscription of a smaller shard count is harmless.
+func (e *Engine) growGang() {
+	if e.gang == nil {
+		return
+	}
+	if k := len(e.bounds) - 2; k > e.gang.k {
+		for i := e.gang.k; i < k; i++ {
+			go e.gang.worker()
+		}
+		e.gang.k = k
+	}
 }
 
 // runShards runs f once per shard of the given partition — inline when the

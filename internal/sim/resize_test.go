@@ -1,0 +1,131 @@
+package sim
+
+import "testing"
+
+// resizeTranscript runs a short mixed workload (three pull rounds, two push
+// rounds) and returns a per-node digest of everything delivered, plus the
+// engine metrics. Digests are order-insensitive per node but sensitive to
+// every (sender, message) pair, so any divergence in peer sampling or
+// delivery grouping shows up.
+func resizeTranscript(e *Engine, ws *Workspace[int64]) ([]int64, Metrics) {
+	n := e.N()
+	digest := make([]int64, n)
+	dst := ws.Dst(0)
+	for r := 0; r < 3; r++ {
+		ws.Pull(dst, 64)
+		for v := 0; v < n; v++ {
+			digest[v] = digest[v]*1099511628211 + int64(dst[v])
+		}
+	}
+	send := func(v int) (int64, bool) { return int64(v) * 3, true }
+	recv := func(v int, in []Delivery[int64]) {
+		for _, d := range in {
+			digest[v] = digest[v]*1099511628211 + int64(d.From)*7 + d.Msg
+		}
+	}
+	for r := 0; r < 2; r++ {
+		ws.Push(64, send, recv)
+	}
+	return digest, e.Metrics()
+}
+
+// TestResizeMatchesFresh pins Resize's contract: an engine resized in place
+// through an arbitrary population walk, with its workspace re-bound, must
+// produce bit-for-bit the transcript of a freshly constructed engine at each
+// (n, seed) — at every worker count, including walks that cross the parallel
+// threshold in both directions.
+func TestResizeMatchesFresh(t *testing.T) {
+	walk := []struct {
+		n    int
+		seed uint64
+	}{
+		{4096, 7},   // serial at low worker counts
+		{20000, 11}, // grows past the parallel threshold
+		{6000, 13},  // shrinks within capacity
+		{20000, 11}, // returns to a previously seen shape
+		{2500, 17},  // shrinks below most shard thresholds
+	}
+	for _, workers := range []int{1, 4, 8} {
+		e := New(walk[0].n, walk[0].seed, WithWorkers(workers))
+		ws := NewWorkspace[int64](e)
+		for i, step := range walk {
+			if i > 0 {
+				e.Resize(step.n, step.seed)
+				ws.Rebind(e)
+			}
+			got, gotM := resizeTranscript(e, ws)
+
+			fresh := New(step.n, step.seed, WithWorkers(workers))
+			fws := NewWorkspace[int64](fresh)
+			want, wantM := resizeTranscript(fresh, fws)
+
+			if gotM != wantM {
+				t.Fatalf("workers=%d step=%d (n=%d): metrics %+v, fresh engine %+v",
+					workers, i, step.n, gotM, wantM)
+			}
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("workers=%d step=%d (n=%d): transcript diverges at node %d",
+						workers, i, step.n, v)
+				}
+			}
+		}
+	}
+}
+
+// TestResizeWithFailuresMatchesFresh repeats the walk under a failure model,
+// whose per-node coins draw from the same reseeded streams.
+func TestResizeWithFailuresMatchesFresh(t *testing.T) {
+	e := New(4096, 3, WithWorkers(4), WithFailures(UniformFailures(0.2)))
+	ws := NewWorkspace[int64](e)
+	for _, step := range []struct {
+		n    int
+		seed uint64
+	}{{12000, 5}, {4096, 3}} {
+		e.Resize(step.n, step.seed)
+		ws.Rebind(e)
+		got, gotM := resizeTranscript(e, ws)
+		fresh := New(step.n, step.seed, WithWorkers(4), WithFailures(UniformFailures(0.2)))
+		want, wantM := resizeTranscript(fresh, NewWorkspace[int64](fresh))
+		if gotM != wantM {
+			t.Fatalf("n=%d: metrics %+v, fresh %+v", step.n, gotM, wantM)
+		}
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("n=%d: transcript diverges at node %d", step.n, v)
+			}
+		}
+	}
+}
+
+// TestResizeSteadyStateAllocs pins that Resize itself allocates nothing once
+// the engine has reached a population's capacity: oscillating between two
+// previously seen sizes reuses the RNG, shard-bound, and accumulator
+// backings in place.
+func TestResizeSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	e := New(20000, 11, WithWorkers(8))
+	ws := NewWorkspace[int64](e)
+	// Run one parallel round so the worker gang exists at the largest shard
+	// count before measuring.
+	ws.Pull(ws.Dst(0), 64)
+	e.Resize(12000, 7) // reach the smaller shape once
+	if got := testing.AllocsPerRun(20, func() {
+		e.Resize(12000, 7)
+		e.Resize(20000, 11)
+	}); got != 0 {
+		t.Errorf("Resize oscillation: %.1f allocs, want 0", got)
+	}
+}
+
+func TestResizePanicsOnTinyPopulation(t *testing.T) {
+	e := New(16, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Resize(1) did not panic")
+		}
+	}()
+	e.Resize(1, 0)
+}

@@ -167,6 +167,18 @@ func New(n int, seed uint64, opts ...Option) *Engine {
 		o(e)
 	}
 	_, e.noFail = e.fail.(noFailures)
+	e.reshape(n)
+	e.pullShard = e.pullSpan
+	e.seedShard = e.seedSpan
+	e.runShards(e.bounds, e.seedShard)
+	return e
+}
+
+// reshape sizes every population-shaped field of the engine for n nodes,
+// reusing existing backing arrays when their capacity suffices. It is the
+// shared core of New and Resize; the caller reseeds afterwards.
+func (e *Engine) reshape(n int) {
+	e.n = n
 	e.peerBound = uint64(n - 1)
 	e.peerThresh = -e.peerBound % e.peerBound
 	// Shard-sizing heuristic: one shard per worker, but never shards thinner
@@ -182,33 +194,43 @@ func New(n int, seed uint64, opts ...Option) *Engine {
 			shards = 1
 		}
 	}
-	e.bounds = shardBounds(n, shards)
+	e.bounds = shardBoundsInto(e.bounds, n, shards)
 	sortShards := len(e.bounds) - 1
 	if sortShards > maxSortShards {
 		sortShards = maxSortShards
 	}
-	e.sortBounds = shardBounds(n, sortShards)
-	e.shardAcc = make([]int64, (len(e.bounds)-1)*cacheLineWords)
-	e.pullShard = e.pullSpan
-	e.seedShard = e.seedSpan
-
-	e.rngs = make([]xrand.RNG, n)
-	e.runShards(e.bounds, e.seedShard)
-	return e
+	e.sortBounds = shardBoundsInto(e.sortBounds, n, sortShards)
+	if need := (len(e.bounds) - 1) * cacheLineWords; cap(e.shardAcc) >= need {
+		e.shardAcc = e.shardAcc[:need]
+	} else {
+		e.shardAcc = make([]int64, need)
+	}
+	if cap(e.rngs) >= n {
+		e.rngs = e.rngs[:n]
+	} else {
+		e.rngs = make([]xrand.RNG, n)
+	}
+	e.growGang()
 }
 
 // shardBounds partitions [0, n) into at most k balanced contiguous shards.
 func shardBounds(n, k int) []int {
+	return shardBoundsInto(nil, n, k)
+}
+
+// shardBoundsInto is shardBounds writing into dst's backing array, so Resize
+// can recompute partitions without allocating once capacity exists.
+func shardBoundsInto(dst []int, n, k int) []int {
 	chunk := (n + k - 1) / k
-	bounds := []int{0}
+	dst = append(dst[:0], 0)
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		bounds = append(bounds, hi)
+		dst = append(dst, hi)
 	}
-	return bounds
+	return dst
 }
 
 // Reset reseeds the engine in place and zeroes its complexity counters,
@@ -233,6 +255,26 @@ func (e *Engine) Reset(seed uint64) {
 	// The observer (an engine option, like the failure model) survives Reset;
 	// the phase label is per-run state and clears with the counters.
 	e.phase = ""
+}
+
+// Resize repopulates the engine in place to n >= 2 nodes and reseeds it with
+// seed, yielding bit-for-bit the state New(n, seed, opts...) would have
+// produced with the same failure model and worker count: shard bounds depend
+// only on (n, workers), and every per-node RNG stream is reseeded from
+// scratch. Existing backing arrays (RNG streams, shard partitions, shard
+// accumulators) are reused whenever their capacity suffices, so a session
+// oscillating within a previously reached population size resizes without
+// allocating. Workspaces bound to the engine must be re-bound
+// (Workspace.Rebind) before their next use when n changed — their per-node
+// buffers are population-shaped. The engine must not be mid-round.
+func (e *Engine) Resize(n int, seed uint64) {
+	if n < 2 {
+		panic(fmt.Sprintf("sim: population must have at least 2 nodes, got %d", n))
+	}
+	if n != e.n {
+		e.reshape(n)
+	}
+	e.Reset(seed)
 }
 
 // N returns the population size.

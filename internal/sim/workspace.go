@@ -29,7 +29,15 @@ import (
 // (e.g. with different message types) may coexist on one engine as long as
 // their rounds do not interleave mid-operation.
 type Workspace[M any] struct {
-	e        *Engine
+	e *Engine
+	// shapeN/shapeBounds/shapeSort record the engine shape (population and
+	// shard partition lengths) the buffers were last sized for. Rebind
+	// compares the target engine against this record rather than against
+	// w.e's current fields, so rebinding after an in-place Engine.Resize —
+	// where w.e is the *same pointer* with a new shape — still detects the
+	// change and drops the stale buffers.
+	shapeN, shapeBounds, shapeSort int
+
 	targets  []int32        // per-sender target this round; NoPeer = no message
 	msgs     []M            // per-sender staged message (Push)
 	counts   []int32        // sortShards×n histogram, then scatter cursors
@@ -79,7 +87,7 @@ func NewPullWorkspace(e *Engine) *PullWorkspace { return NewWorkspace[struct{}](
 // lazily on first use, so a pull-only workspace never pays for the push
 // machinery.
 func NewWorkspace[M any](e *Engine) *Workspace[M] {
-	w := &Workspace[M]{e: e}
+	w := &Workspace[M]{e: e, shapeN: e.n, shapeBounds: len(e.bounds), shapeSort: len(e.sortBounds)}
 	w.sendShard = w.sendSpan
 	w.histShard = w.histSpan
 	w.scatterShard = w.scatterSpan
@@ -95,19 +103,22 @@ func NewWorkspace[M any](e *Engine) *Workspace[M] {
 // Engine returns the engine the workspace is bound to.
 func (w *Workspace[M]) Engine() *Engine { return w.e }
 
-// Rebind attaches the workspace to a fresh engine, keeping every buffer
-// whose shape still fits (same population and counting-sort shard count) and
-// dropping the rest for lazy reallocation. Harnesses that run many
-// simulations of one population size — the conformance runner's shards —
-// rebind one workspace instead of allocating per run. The workspace must
-// not be mid-operation, and the usual single-engine aliasing rules apply to
-// the new binding.
+// Rebind attaches the workspace to an engine — a different one, or its own
+// engine after an in-place Engine.Resize — keeping every buffer whose shape
+// still fits (same population and shard partition) and dropping the rest for
+// lazy reallocation. The shape comparison runs against the shape the buffers
+// were actually sized for (recorded at the previous bind), never against
+// w.e's live fields, which after an in-place resize already describe the new
+// shape. Harnesses that run many simulations of one population size — the
+// conformance runner's shards — rebind one workspace instead of allocating
+// per run. The workspace must not be mid-operation, and the usual
+// single-engine aliasing rules apply to the new binding.
 func (w *Workspace[M]) Rebind(e *Engine) {
 	if e == nil {
 		panic("sim: Rebind to nil engine")
 	}
-	sameShape := w.e != nil && e.n == w.e.n &&
-		len(e.sortBounds) == len(w.e.sortBounds) && len(e.bounds) == len(w.e.bounds)
+	sameShape := e.n == w.shapeN &&
+		len(e.sortBounds) == w.shapeSort && len(e.bounds) == w.shapeBounds
 	if !sameShape {
 		w.targets = nil
 		w.msgs = nil
@@ -118,6 +129,7 @@ func (w *Workspace[M]) Rebind(e *Engine) {
 		w.batch = nil
 		w.batchPer = 0
 		w.dsts = nil
+		w.shapeN, w.shapeBounds, w.shapeSort = e.n, len(e.bounds), len(e.sortBounds)
 	}
 	w.e = e
 }

@@ -1,0 +1,171 @@
+package gossipq
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file is the session's churn API: in-place population mutation with a
+// generation counter and deterministic re-seeding. The paper's guarantees
+// are stated for a fixed population, so a session treats every mutation call
+// as a step to a new population version ("generation"): live queries issued
+// after the step run the full protocol on the post-mutation population
+// (their transcript stays a pure function of (session seed, query id,
+// population)), the §2 distinctification and the verification oracle are
+// invalidated and rebuilt lazily, and the snapshot tier tracks accumulated
+// drift — each applied operation shifts any value's rank by at most one, so
+// an op count upper-bounds how far a published ε-summary's answers can have
+// drifted, which is what makes repair deferrable (see snapshot.go).
+//
+// Mutations are in-place and allocation-free in steady state: Insert appends
+// into the values slice's spare capacity, Delete swap-removes (O(1); the
+// last value moves into the vacated index, so indices are NOT stable across
+// deletes), Update overwrites. The population may never shrink below two
+// values — the engine's minimum.
+
+// MutOp identifies one population mutation kind.
+type MutOp uint8
+
+const (
+	// OpInsert appends Value to the population (n grows by one).
+	OpInsert MutOp = iota
+	// OpDelete swap-removes the value at Index: the last value moves into
+	// Index and n shrinks by one. Indices are not stable across deletes.
+	OpDelete
+	// OpUpdate overwrites the value at Index with Value (n unchanged).
+	OpUpdate
+)
+
+// String returns the wire spelling of the op ("insert", "delete", "update"),
+// as accepted by the query server's POST /mutate.
+func (op MutOp) String() string {
+	switch op {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpUpdate:
+		return "update"
+	}
+	return fmt.Sprintf("MutOp(%d)", uint8(op))
+}
+
+// Mutation is one population edit for Session.Mutate.
+type Mutation struct {
+	// Op selects the edit kind.
+	Op MutOp
+	// Index is the target position for OpDelete/OpUpdate, interpreted
+	// against the population as already edited by the preceding operations
+	// of the same batch. Ignored by OpInsert.
+	Index int
+	// Value is the payload for OpInsert/OpUpdate. Ignored by OpDelete.
+	Value int64
+}
+
+var (
+	errMutOp     = errors.New("gossipq: unknown mutation op")
+	errMutIndex  = errors.New("gossipq: mutation index out of range")
+	errMutShrink = errors.New("gossipq: population must keep at least 2 values")
+)
+
+// Insert appends v to the population and returns the new generation. Insert
+// cannot fail and allocates nothing while the values slice has spare
+// capacity.
+func (s *Session) Insert(v int64) uint64 {
+	s.popMu.Lock()
+	defer s.popMu.Unlock()
+	s.applyLocked(Mutation{Op: OpInsert, Value: v})
+	s.mutOps.Add(1)
+	return s.generation.Add(1)
+}
+
+// Delete swap-removes the value at index i — the current last value moves
+// into i and the population shrinks by one — and returns the new generation.
+// It fails (without changing anything) when i is out of range or the
+// population would shrink below two values.
+func (s *Session) Delete(i int) (uint64, error) {
+	s.popMu.Lock()
+	defer s.popMu.Unlock()
+	if i < 0 || i >= s.n {
+		return s.generation.Load(), fmt.Errorf("%w: delete index %d, population %d", errMutIndex, i, s.n)
+	}
+	if s.n <= 2 {
+		return s.generation.Load(), fmt.Errorf("%w: delete at n=%d", errMutShrink, s.n)
+	}
+	s.applyLocked(Mutation{Op: OpDelete, Index: i})
+	s.mutOps.Add(1)
+	return s.generation.Add(1), nil
+}
+
+// Update overwrites the value at index i with v and returns the new
+// generation. It fails (without changing anything) when i is out of range.
+func (s *Session) Update(i int, v int64) (uint64, error) {
+	s.popMu.Lock()
+	defer s.popMu.Unlock()
+	if i < 0 || i >= s.n {
+		return s.generation.Load(), fmt.Errorf("%w: update index %d, population %d", errMutIndex, i, s.n)
+	}
+	s.applyLocked(Mutation{Op: OpUpdate, Index: i, Value: v})
+	s.mutOps.Add(1)
+	return s.generation.Add(1), nil
+}
+
+// Mutate applies a batch of mutations atomically — queries either see the
+// whole batch or none of it — as one generation step, and returns the new
+// generation. The batch is validated in full before anything is applied
+// (indices are checked against the population as edited by the preceding
+// operations of the same batch); a validation failure applies nothing and
+// returns the unchanged generation with the first offending operation's
+// error. An empty batch is a no-op that bumps nothing.
+func (s *Session) Mutate(ops []Mutation) (uint64, error) {
+	s.popMu.Lock()
+	defer s.popMu.Unlock()
+	n := s.n
+	for i, m := range ops {
+		switch m.Op {
+		case OpInsert:
+			n++
+		case OpDelete:
+			if m.Index < 0 || m.Index >= n {
+				return s.generation.Load(), fmt.Errorf("%w: op %d deletes index %d, population %d", errMutIndex, i, m.Index, n)
+			}
+			if n <= 2 {
+				return s.generation.Load(), fmt.Errorf("%w: op %d deletes at n=%d", errMutShrink, i, n)
+			}
+			n--
+		case OpUpdate:
+			if m.Index < 0 || m.Index >= n {
+				return s.generation.Load(), fmt.Errorf("%w: op %d updates index %d, population %d", errMutIndex, i, m.Index, n)
+			}
+		default:
+			return s.generation.Load(), fmt.Errorf("%w: op %d has kind %d", errMutOp, i, m.Op)
+		}
+	}
+	if len(ops) == 0 {
+		return s.generation.Load(), nil
+	}
+	for _, m := range ops {
+		s.applyLocked(m)
+	}
+	s.mutOps.Add(uint64(len(ops)))
+	return s.generation.Add(1), nil
+}
+
+// applyLocked performs one pre-validated mutation under popMu's write lock
+// and bumps its per-kind stat counter.
+func (s *Session) applyLocked(m Mutation) {
+	switch m.Op {
+	case OpInsert:
+		s.values = append(s.values, m.Value)
+		s.qstats.inserts.Add(1)
+	case OpDelete:
+		last := len(s.values) - 1
+		s.values[m.Index] = s.values[last]
+		s.values = s.values[:last]
+		s.qstats.deletes.Add(1)
+	case OpUpdate:
+		s.values[m.Index] = m.Value
+		s.qstats.updates.Add(1)
+	}
+	s.n = len(s.values)
+}

@@ -17,9 +17,12 @@ import (
 )
 
 // Session amortizes per-query setup across many quantile computations over
-// one fixed population. Construction loads the values once (a private copy);
-// the tie-breaking distinctification for exact queries and the centralized
-// verification oracle are each built lazily, once, on first use. Every query
+// one population. Construction loads the values once (a private copy); the
+// population can then mutate in place through the churn API (Insert, Delete,
+// Update, Mutate — see mutate.go), with every live query running on the
+// post-mutation population. The tie-breaking distinctification for exact
+// queries and the centralized verification oracle are each built lazily and
+// re-built lazily after a mutation invalidates them. Every query
 // then runs on an engine seeded deterministically from (session seed, query
 // id) — ids are assigned by an atomic counter, so a query's transcript is a
 // pure function of the session seed, its id, and its parameters — using an
@@ -48,6 +51,17 @@ type Session struct {
 	values []int64
 	n      int
 
+	// popMu guards the population itself (values, n) against the mutation
+	// API (mutate.go): queries hold the read side for their whole protocol
+	// run, mutations take the write side. generation counts successful
+	// mutation calls and mutOps counts individual applied operations (the
+	// drift unit: one op shifts any value's rank by at most one); both are
+	// written only under popMu's write lock but read lock-free by the
+	// snapshot serving path and telemetry.
+	popMu      sync.RWMutex
+	generation atomic.Uint64
+	mutOps     atomic.Uint64
+
 	// rawSeed marks the one-shot wrapper mode: the single query runs on an
 	// engine seeded with cfg.Seed itself, exactly as the pre-session facade
 	// did, rather than with a (seed, id)-derived stream.
@@ -55,12 +69,18 @@ type Session struct {
 	seeds   xrand.Source
 	nextID  atomic.Uint64
 
-	distinctOnce sync.Once
-	distinct     []int64
-	mult         int64
-
-	oracleOnce sync.Once
-	oracle     *stats.Oracle
+	// cacheMu guards the generation-stamped derived caches: the §2
+	// distinctified values for exact queries and the verification oracle.
+	// Each cache records the generation it was built for (stored as
+	// generation+1 so the zero value means "never built") and is rebuilt
+	// lazily after a mutation invalidates it. Lock order: popMu before
+	// cacheMu; mutations never take cacheMu.
+	cacheMu     sync.Mutex
+	distinct    []int64
+	mult        int64
+	distinctGen uint64
+	oracle      *stats.Oracle
+	oracleGen   uint64
 
 	pool sync.Pool // *queryRig
 
@@ -98,6 +118,10 @@ type sessionStats struct {
 	lastRefreshNanos  atomic.Int64
 	recycledBackings  atomic.Int64
 	freshBackings     atomic.Int64
+	inserts           atomic.Int64
+	deletes           atomic.Int64
+	updates           atomic.Int64
+	refreshesSkipped  atomic.Int64
 }
 
 // SessionStats is a point-in-time reading of a session's query and snapshot
@@ -126,6 +150,18 @@ type SessionStats struct {
 	// grid arrays came off the retired-snapshot freelist or were allocated.
 	RecycledBackings int64
 	FreshBackings    int64
+	// Inserts, Deletes, and Updates count applied mutation operations by
+	// kind; Generation counts successful mutation calls (a batched Mutate is
+	// one generation step).
+	Inserts    int64
+	Deletes    int64
+	Updates    int64
+	Generation uint64
+	// RefreshesSkipped counts drift-gated Refresh calls that served the
+	// standing snapshot instead of rebuilding — the "repair deferred because
+	// the εn bound is not threatened" outcome. Refreshes counts the builds
+	// that did run.
+	RefreshesSkipped int64
 }
 
 // Stats returns the session's instrumentation counters. Counters are read
@@ -145,6 +181,11 @@ func (s *Session) Stats() SessionStats {
 		LastRefreshBuild:  time.Duration(s.qstats.lastRefreshNanos.Load()),
 		RecycledBackings:  s.qstats.recycledBackings.Load(),
 		FreshBackings:     s.qstats.freshBackings.Load(),
+		Inserts:           s.qstats.inserts.Load(),
+		Deletes:           s.qstats.deletes.Load(),
+		Updates:           s.qstats.updates.Load(),
+		Generation:        s.generation.Load(),
+		RefreshesSkipped:  s.qstats.refreshesSkipped.Load(),
 	}
 }
 
@@ -205,6 +246,18 @@ type Answer struct {
 	// SnapshotVersion is the snapshot generation that served a
 	// ServeSnapshot answer (zero for live answers).
 	SnapshotVersion uint64
+	// Generation is the population version the answer is valid for: for live
+	// answers, the session generation the protocol ran on; for snapshot
+	// answers, the generation the serving summary was built from — possibly
+	// older than the session's current generation (stale-but-within-ε
+	// serving; see SnapshotDrift).
+	Generation uint64
+	// SnapshotDrift is the number of mutation operations applied after the
+	// serving snapshot was built (zero for live answers): the answer's
+	// staleness in rank-error units. The snapshot path only serves while
+	// drift stays within the summary's drift budget, so a snapshot answer is
+	// still a valid ±εn answer for the *current* population.
+	SnapshotDrift uint64
 }
 
 // errNoOutputs is returned when a failure model left no node with an output
@@ -241,8 +294,21 @@ func newSession(values []int64, cfg Config, rawSeed bool) *Session {
 	}
 }
 
-// N returns the population size.
-func (s *Session) N() int { return s.n }
+// N returns the current population size.
+func (s *Session) N() int {
+	s.popMu.RLock()
+	defer s.popMu.RUnlock()
+	return s.n
+}
+
+// Generation returns the session's population generation: zero at
+// construction, incremented by every successful mutation call (mutate.go).
+func (s *Session) Generation() uint64 { return s.generation.Load() }
+
+// MutationOps returns the total number of mutation operations ever applied —
+// the session's accumulated drift unit (each operation shifts any value's
+// rank by at most one).
+func (s *Session) MutationOps() uint64 { return s.mutOps.Load() }
 
 // QueriesIssued returns how many query ids have been assigned so far.
 func (s *Session) QueriesIssued() uint64 { return s.nextID.Load() }
@@ -289,11 +355,13 @@ const prewarmSeedTag = 0x5761726d
 // scratch stays lazy.
 func (s *Session) Prewarm(k int) {
 	warmSeeds := xrand.NewSource(s.cfg.Seed).Sub(prewarmSeedTag)
+	s.popMu.RLock()
+	defer s.popMu.RUnlock()
 	rigs := make([]*queryRig, 0, k)
 	for i := 0; i < k; i++ {
 		rig := s.checkout()
 		rigs = append(rigs, rig)
-		rig.e.Reset(warmSeeds.StreamSeed(uint64(i)))
+		s.reseed(rig, warmSeeds.StreamSeed(uint64(i)))
 		// Exercise the path live queries take on this configuration; the
 		// widest valid eps keeps the warm run as short as possible while
 		// touching every per-node buffer.
@@ -320,33 +388,66 @@ func (r *queryRig) exactScratch() *exact.Scratch {
 	return r.ex
 }
 
-// ensureDistinct applies the §2 tie-breaking reduction once per session.
-func (s *Session) ensureDistinct() {
-	s.distinctOnce.Do(func() {
-		s.distinct, s.mult = dist.MakeDistinct(s.values)
-	})
+// reseed prepares a rig's engine for a run over the session's current
+// population (popMu must be held, read or write): a plain in-place Reset
+// when the rig is already at the right population, an in-place Resize plus
+// scratch re-bind when a mutation changed n since this rig last ran.
+func (s *Session) reseed(rig *queryRig, seed uint64) {
+	if rig.e.N() == s.n {
+		rig.e.Reset(seed)
+		return
+	}
+	rig.e.Resize(s.n, seed)
+	rig.tour.Rebind(rig.e)
+	if rig.ex != nil {
+		rig.ex.Rebind(rig.e)
+	}
 }
 
-// ensureOracle builds the centralized order-statistics oracle once.
+// ensureDistinct returns the §2 tie-breaking reduction of the current
+// population, rebuilding it when a mutation has invalidated the cached copy.
+// popMu must be held (read or write).
+func (s *Session) ensureDistinct() ([]int64, int64) {
+	gen := s.generation.Load()
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	if s.distinctGen != gen+1 {
+		s.distinct, s.mult = dist.MakeDistinct(s.values)
+		s.distinctGen = gen + 1
+	}
+	return s.distinct, s.mult
+}
+
+// ensureOracle returns the centralized order-statistics oracle for the
+// current population, rebuilding it when a mutation has invalidated the
+// cached copy. popMu must be held (read or write).
 func (s *Session) ensureOracle() *stats.Oracle {
-	s.oracleOnce.Do(func() {
+	gen := s.generation.Load()
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	if s.oracleGen != gen+1 {
 		s.oracle = stats.NewOracle(s.values)
-	})
+		s.oracleGen = gen + 1
+	}
 	return s.oracle
 }
 
 // Verify reports whether x is an acceptable ε-approximate φ-quantile of the
-// session's values, using the lazily built exact oracle. Intended for
-// harnesses and serving-side answer checks; the first call pays the O(n log
-// n) oracle sort.
+// session's current values, using the lazily built exact oracle (rebuilt
+// after mutations). Intended for harnesses and serving-side answer checks;
+// the first call per generation pays the O(n log n) oracle sort.
 func (s *Session) Verify(x int64, phi, eps float64) bool {
+	s.popMu.RLock()
+	defer s.popMu.RUnlock()
 	return s.ensureOracle().WithinEpsilon(x, phi, eps)
 }
 
-// OracleQuantile returns the exact ⌈φn⌉-smallest value from the lazily
-// built centralized oracle — the ground truth session queries are checked
-// against.
+// OracleQuantile returns the exact ⌈φn⌉-smallest value of the current
+// population from the lazily built centralized oracle — the ground truth
+// session queries are checked against.
 func (s *Session) OracleQuantile(phi float64) int64 {
+	s.popMu.RLock()
+	defer s.popMu.RUnlock()
 	return s.ensureOracle().Quantile(phi)
 }
 
@@ -386,9 +487,15 @@ func (s *Session) one(q Query) (Answer, error) {
 	if ans, ok := s.snapshotAnswer(q); ok {
 		return ans, nil
 	}
+	// The read lock covers id assignment and the whole protocol run, so a
+	// live answer is always computed on one consistent population and its
+	// ids are generation-ordered: a query under generation g always has a
+	// smaller id than any query under generation g' > g.
+	s.popMu.RLock()
 	rig := s.checkout()
-	defer s.release(rig)
 	ans := s.runOn(rig, s.nextID.Add(1)-1, q)
+	s.popMu.RUnlock()
+	s.release(rig)
 	err := ans.Err
 	ans.Err = nil
 	return ans, err
@@ -414,17 +521,22 @@ func (s *Session) BatchInto(dst []Answer, qs []Query) ([]Answer, error) {
 	}
 	// The rig is checked out lazily (and released without defer, which
 	// would heap-allocate the captured variable): a batch fully served by
-	// the snapshot never touches the pool at all.
+	// the snapshot never touches the pool at all. The population read lock
+	// is taken per live query, not across the batch, so a long batch does
+	// not starve mutators; consecutive answers of one batch may therefore
+	// span generations (each reports its own Generation).
 	var rig *queryRig
 	for _, q := range qs {
 		if ans, ok := s.snapshotAnswer(q); ok {
 			dst = append(dst, ans)
 			continue
 		}
+		s.popMu.RLock()
 		if rig == nil {
 			rig = s.checkout()
 		}
 		dst = append(dst, s.runOn(rig, s.nextID.Add(1)-1, q))
+		s.popMu.RUnlock()
 	}
 	if rig != nil {
 		s.release(rig)
@@ -432,12 +544,14 @@ func (s *Session) BatchInto(dst []Answer, qs []Query) ([]Answer, error) {
 	return dst, nil
 }
 
-// runOn executes one query on a checked-out rig. The rig's engine is
-// reseeded for the query id, so the transcript depends only on (session
-// seed, id, query, Config) — never on which pooled rig served it.
+// runOn executes one query on a checked-out rig; the caller must hold popMu
+// (read side suffices). The rig's engine is reseeded — and resized in place
+// first, when a mutation changed the population since the rig last ran —
+// for the query id, so the transcript depends only on (session seed, id,
+// query, Config, population) — never on which pooled rig served it.
 func (s *Session) runOn(rig *queryRig, id uint64, q Query) Answer {
-	rig.e.Reset(s.seedFor(id))
-	ans := Answer{QueryID: id}
+	s.reseed(rig, s.seedFor(id))
+	ans := Answer{QueryID: id, Generation: s.generation.Load()}
 	if q.Exact || q.Eps < tournament.MinEps(s.n) {
 		// Exact algorithm — requested, or substituted in the small-ε regime
 		// exactly as the one-shot ApproxQuantile composes the two.
@@ -484,31 +598,34 @@ func (s *Session) runOn(rig *queryRig, id uint64, q Query) Answer {
 }
 
 // exactOn runs the exact algorithm over the session's distinctified values
-// (built once) and inverts the tie-breaking transform.
+// (cached per generation) and inverts the tie-breaking transform. popMu must
+// be held.
 func (s *Session) exactOn(rig *queryRig, phi float64) (int64, error) {
-	s.ensureDistinct()
-	res, err := rig.exactScratch().Quantile(s.distinct, phi, exact.Options{K: s.cfg.K})
+	distinct, mult := s.ensureDistinct()
+	res, err := rig.exactScratch().Quantile(distinct, phi, exact.Options{K: s.cfg.K})
 	if err != nil {
 		return 0, err
 	}
-	return floorDiv(res.Value, s.mult), nil
+	return floorDiv(res.Value, mult), nil
 }
 
 // approxFull runs one approximate query returning the full per-node result
 // the one-shot facade exposes. Plain/robust output slices are rig-owned,
 // which is safe exactly because one-shot wrappers use throwaway sessions.
 func (s *Session) approxFull(phi, eps float64) (ApproxResult, error) {
-	if eps < tournament.MinEps(s.n) {
+	if eps < tournament.MinEps(s.N()) {
 		// Small-ε regime: Theorem 1.2 via the exact algorithm.
 		ex, err := s.exactFull(phi)
 		if err != nil {
 			return ApproxResult{}, err
 		}
-		return ApproxResult{Outputs: ex.Outputs, Has: allTrue(s.n), Metrics: ex.Metrics}, nil
+		return ApproxResult{Outputs: ex.Outputs, Has: allTrue(len(ex.Outputs)), Metrics: ex.Metrics}, nil
 	}
+	s.popMu.RLock()
+	defer s.popMu.RUnlock()
 	rig := s.checkout()
 	defer s.release(rig)
-	rig.e.Reset(s.seedFor(s.nextID.Add(1) - 1))
+	s.reseed(rig, s.seedFor(s.nextID.Add(1)-1))
 	s.qstats.liveQueries.Add(1)
 	if s.cfg.failing(s.n) {
 		res := rig.tour.RobustApproxQuantile(s.values, phi, eps, tournament.RobustOptions{
@@ -524,9 +641,11 @@ func (s *Session) approxFull(phi, eps float64) (ApproxResult, error) {
 
 // exactFull runs one exact query returning the full one-shot result shape.
 func (s *Session) exactFull(phi float64) (ExactResult, error) {
+	s.popMu.RLock()
+	defer s.popMu.RUnlock()
 	rig := s.checkout()
 	defer s.release(rig)
-	rig.e.Reset(s.seedFor(s.nextID.Add(1) - 1))
+	s.reseed(rig, s.seedFor(s.nextID.Add(1)-1))
 	s.qstats.exactQueries.Add(1)
 	value, err := s.exactOn(rig, phi)
 	if err != nil {

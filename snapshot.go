@@ -59,6 +59,20 @@ type SnapshotInfo struct {
 	// BuildMetrics is the gossip cost of the grid build — the "pay once per
 	// monitoring interval" side of the snapshot trade.
 	BuildMetrics Metrics
+	// Generation is the population generation the summary was built from,
+	// and N that population's size.
+	Generation uint64
+	N          int
+	// Drift is the number of mutation operations applied after the build
+	// (at the moment this info was read), and DriftBudget how many such
+	// operations the summary can absorb before its ±εn guarantee is
+	// threatened: each operation shifts any value's rank by at most one,
+	// and the build leaves ≈ε/2·n of rank headroom (grid step ε/2, grid
+	// accuracy ε/4). While Drift ≤ DriftBudget the snapshot still serves
+	// valid ±εn answers for the current population; Refresh skips rebuilds
+	// below the budget and is forced at it.
+	Drift       uint64
+	DriftBudget uint64
 }
 
 // Age returns how long ago the snapshot was built.
@@ -72,6 +86,14 @@ type snapshot struct {
 	version   uint64
 	watermark uint64
 	builtAt   time.Time
+	// gen/ops/n freeze the population state the build ran on: the session
+	// generation, the session's total mutation-op count, and the population
+	// size. budget is the drift budget derived from (eps, n) at build time —
+	// see driftBudget. All are immutable after publish.
+	gen    uint64
+	ops    uint64
+	n      int
+	budget uint64
 
 	// refs counts the publish reference plus in-flight readers. The
 	// reference that drops it to zero recycles the summary's backing;
@@ -82,7 +104,9 @@ type snapshot struct {
 	recycled atomic.Bool
 }
 
-func (p *snapshot) info() SnapshotInfo {
+// info assembles the snapshot's metadata; curOps is the session's current
+// mutation-op count, from which the staleness (Drift) is derived.
+func (p *snapshot) info(curOps uint64) SnapshotInfo {
 	return SnapshotInfo{
 		Version:      p.version,
 		Eps:          p.sum.eps,
@@ -90,7 +114,27 @@ func (p *snapshot) info() SnapshotInfo {
 		Watermark:    p.watermark,
 		BuiltAt:      p.builtAt,
 		BuildMetrics: p.sum.Metrics,
+		Generation:   p.gen,
+		N:            p.n,
+		Drift:        curOps - p.ops,
+		DriftBudget:  p.budget,
 	}
+}
+
+// driftBudget is how many further mutation operations a summary built at
+// width eps over n values can absorb before its ±εn guarantee is threatened.
+// Each insert, delete, or update shifts any value's rank by at most one, so
+// after d operations a stored cut point's rank error has grown by at most d.
+// The build itself leaves ≈ε/2·n of rank headroom — the grid is built at
+// step ε/2 with grid accuracy ε/4 (summary.go) while the published guarantee
+// is the full ±εn — so repair can be deferred until drift reaches
+// (1−θ)·ε·n with θ = 1/2.
+func driftBudget(eps float64, n int) uint64 {
+	b := eps * float64(n) / 2
+	if b < 1 {
+		return 0
+	}
+	return uint64(b)
 }
 
 // acquireSnapshot takes a read reference on the current snapshot, or nil if
@@ -144,13 +188,14 @@ func (s *Session) popBacking() summaryBacking {
 	return summaryBacking{}
 }
 
-// Snapshot reports the currently published snapshot's metadata, if any.
+// Snapshot reports the currently published snapshot's metadata, if any,
+// including its current drift against the live population.
 func (s *Session) Snapshot() (SnapshotInfo, bool) {
 	p := s.acquireSnapshot()
 	if p == nil {
 		return SnapshotInfo{}, false
 	}
-	info := p.info()
+	info := p.info(s.mutOps.Load())
 	p.release(s)
 	return info, true
 }
@@ -170,15 +215,25 @@ var (
 	errRefresherActive = errors.New("gossipq: refresher already running")
 )
 
-// Refresh builds a new ε-summary on a pooled rig and publishes it as the
-// session's current snapshot, returning its metadata. The build is
-// deterministic: refresh number r runs on an engine seeded from (session
-// seed, r) in its own namespace, so two sessions with equal Config and
-// refresh counts publish bit-identical snapshots no matter what queries ran
-// in between. Refreshes serialize with each other; readers are never
-// blocked — they keep answering from the previous generation until the
-// atomic pointer swap, and the retired generation's arrays are recycled
-// into a later rebuild once its last reader releases it.
+// Refresh publishes an ε-summary snapshot, but only when needed: it is the
+// drift-gated entry point of the repair policy. When the session already has
+// a published snapshot at exactly this eps and the accumulated mutation
+// drift since its build is still below the snapshot's drift budget
+// ((1−θ)·εn with θ = 1/2; see driftBudget), the ±εn guarantee is not
+// threatened and Refresh is a no-op — it returns the standing snapshot's
+// metadata (with its current Drift), allocates nothing, and counts a
+// skipped refresh. Once drift reaches the budget — or no snapshot exists,
+// or the requested eps differs — the rebuild is forced. ForceRefresh
+// bypasses the gate entirely.
+//
+// A rebuild is deterministic: build number r runs on an engine seeded from
+// (session seed, r) in its own namespace, so two sessions with equal Config,
+// equal build counts, and equal population state publish bit-identical
+// snapshots no matter what queries ran in between. Refreshes serialize with
+// each other; readers are never blocked — they keep answering from the
+// previous generation until the atomic pointer swap, and the retired
+// generation's arrays are recycled into a later rebuild once its last
+// reader releases it.
 //
 // Like BuildSummary, Refresh requires a failure-free Config (the grid build
 // runs the non-robust tournament) and eps in (0, 0.5].
@@ -186,38 +241,80 @@ func (s *Session) Refresh(eps float64) (SnapshotInfo, error) {
 	if err := validSummaryEps(eps); err != nil {
 		return SnapshotInfo{}, err
 	}
-	if s.cfg.failing(s.n) {
-		return SnapshotInfo{}, errSummaryFailures
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if s.closed {
+		return SnapshotInfo{}, errSessionClosed
+	}
+	if p := s.snap.Load(); p != nil && p.sum.eps == eps {
+		curOps := s.mutOps.Load()
+		if curOps-p.ops < p.budget {
+			s.qstats.refreshesSkipped.Add(1)
+			return p.info(curOps), nil
+		}
+	}
+	return s.rebuildLocked(eps)
+}
+
+// ForceRefresh builds and publishes a new ε-summary snapshot
+// unconditionally, bypassing the drift gate — the original Refresh
+// semantics. Harnesses that pin build determinism per (seed, build count)
+// use this; serving layers should prefer the gated Refresh.
+func (s *Session) ForceRefresh(eps float64) (SnapshotInfo, error) {
+	if err := validSummaryEps(eps); err != nil {
+		return SnapshotInfo{}, err
 	}
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
 	if s.closed {
 		return SnapshotInfo{}, errSessionClosed
 	}
+	return s.rebuildLocked(eps)
+}
+
+// rebuildLocked runs one snapshot build and publishes it; the caller holds
+// snapMu. The population read lock is held across the build so the summary
+// captures one consistent population (mutations block for the build's
+// duration; queries do not).
+func (s *Session) rebuildLocked(eps float64) (SnapshotInfo, error) {
+	s.popMu.RLock()
+	if s.cfg.failing(s.n) {
+		s.popMu.RUnlock()
+		return SnapshotInfo{}, errSummaryFailures
+	}
 	r := s.refreshes
 	s.refreshes++
 	watermark := s.nextID.Load()
+	gen := s.generation.Load()
+	ops := s.mutOps.Load()
+	n := s.n
 	rig := s.checkout()
-	rig.e.Reset(s.refreshSeed(r))
+	s.reseed(rig, s.refreshSeed(r))
 	start := time.Now()
 	sum := buildSummaryInto(rig.tour, s.values, eps, s.cfg.K, s.popBacking())
 	buildNanos := time.Since(start).Nanoseconds()
+	s.popMu.RUnlock()
 	s.qstats.refreshBuildNanos.Add(buildNanos)
 	s.qstats.lastRefreshNanos.Store(buildNanos)
 	s.release(rig)
-	sn := &snapshot{sum: sum, version: r + 1, watermark: watermark, builtAt: time.Now()}
+	sn := &snapshot{
+		sum: sum, version: r + 1, watermark: watermark, builtAt: time.Now(),
+		gen: gen, ops: ops, n: n, budget: driftBudget(eps, n),
+	}
 	sn.refs.Store(1) // the publish reference
 	if old := s.snap.Swap(sn); old != nil {
 		old.release(s)
 	}
-	return sn.info(), nil
+	return sn.info(ops), nil
 }
 
 // StartRefresher publishes an initial snapshot at width eps synchronously,
-// then — for ttl > 0 — starts a background goroutine that rebuilds every
-// ttl until Close. With ttl ≤ 0 it is exactly one Refresh (on-demand
-// refreshing stays available either way). At most one refresher may run
-// per session.
+// then — for ttl > 0 — starts a background goroutine that runs the
+// drift-gated Refresh every ttl until Close: a tick rebuilds only when
+// accumulated mutation drift threatens the εn bound (or the published width
+// differs), so an unmutated session pays no periodic rebuild cost. With
+// ttl ≤ 0 it is exactly one Refresh (on-demand refreshing stays available
+// either way). At most one refresher may run per session.
 func (s *Session) StartRefresher(eps float64, ttl time.Duration) (SnapshotInfo, error) {
 	info, err := s.Refresh(eps)
 	if err != nil {
@@ -276,12 +373,17 @@ func (s *Session) Close() error {
 
 // snapshotAnswer serves q from the current snapshot when the query asks for
 // ServeSnapshot and the snapshot covers it: a summary built at width εs
-// answers any request with eps ≥ εs inside the requested bound. The read
-// path is lock-free — two reference-count operations around three loads —
-// and allocation-free; exact queries, uncovered widths, and snapshot-less
-// sessions report !ok and fall back to a live run. The answer is node 0's
-// local estimate, matching the covered-node convention of live approximate
-// answers (any node's view is a valid ±εn answer).
+// answers any request with eps ≥ εs inside the requested bound, and a stale
+// summary keeps serving while the mutation drift accumulated since its
+// build stays within its drift budget — beyond that, the ±εn guarantee for
+// the *current* population can no longer be promised and the query falls
+// back to a live run (counted as a snapshot fallback, like an uncovered
+// width). The read path is lock-free — two reference-count operations
+// around a handful of loads — and allocation-free; exact queries, uncovered
+// widths, over-drifted snapshots, and snapshot-less sessions report !ok.
+// The answer is node 0's local estimate, matching the covered-node
+// convention of live approximate answers (any node's view is a valid ±εn
+// answer); its Generation and SnapshotDrift report the staleness.
 func (s *Session) snapshotAnswer(q Query) (Answer, bool) {
 	if q.Mode != ServeSnapshot || q.Exact {
 		return Answer{}, false
@@ -291,16 +393,19 @@ func (s *Session) snapshotAnswer(q Query) (Answer, bool) {
 		s.qstats.snapshotFallbacks.Add(1)
 		return Answer{}, false
 	}
-	if p.sum.eps > q.Eps {
+	drift := s.mutOps.Load() - p.ops
+	if p.sum.eps > q.Eps || drift > p.budget {
 		p.release(s)
 		s.qstats.snapshotFallbacks.Add(1)
 		return Answer{}, false
 	}
 	ans := Answer{
 		Value:           p.sum.Query(0, q.Phi),
-		Covered:         s.n,
+		Covered:         p.n,
 		Mode:            ServeSnapshot,
 		SnapshotVersion: p.version,
+		Generation:      p.gen,
+		SnapshotDrift:   drift,
 	}
 	p.release(s)
 	s.qstats.snapshotQueries.Add(1)

@@ -134,7 +134,9 @@ func TestSnapshotRefreshDeterminism(t *testing.T) {
 		}
 		var gens [][]int64
 		for g := 0; g < generations; g++ {
-			info, err := s.Refresh(0.1)
+			// Forced: the population never drifts here, so the gated Refresh
+			// would republish generation 1 forever.
+			info, err := s.ForceRefresh(0.1)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -202,13 +204,24 @@ func TestSnapshotReadAllocs(t *testing.T) {
 	// a refresh allocates only the generation header (Summary + grid +
 	// snapshot struct), never the grid × n cut/envelope rows again. The
 	// bound is far below one row (4096 × 8 bytes), so a recycling
-	// regression fails loudly.
+	// regression fails loudly. Forced builds — the gated Refresh would skip
+	// on this drift-free session; mutation churn keeps the same bound (see
+	// TestMutationAllocs for the forced-repair-under-churn pin).
 	if avg := testing.AllocsPerRun(5, func() {
-		if _, err := s.Refresh(0.1); err != nil {
+		if _, err := s.ForceRefresh(0.1); err != nil {
 			t.Fatal(err)
 		}
 	}); avg > 16 {
 		t.Errorf("steady-state refresh: %v allocs/op, want ≤ 16 (backings not recycled?)", avg)
+	}
+
+	// A drift-gated skipped Refresh is free: zero allocations.
+	if avg := testing.AllocsPerRun(100, func() {
+		if _, err := s.Refresh(0.1); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("skipped drift-gated refresh: %v allocs/op, want 0", avg)
 	}
 }
 
@@ -233,7 +246,7 @@ func TestSnapshotReadsRacingRefresh(t *testing.T) {
 	}
 	want := make([][]int64, generations+1)
 	for g := 1; g <= generations; g++ {
-		if _, err := ref.Refresh(eps); err != nil {
+		if _, err := ref.ForceRefresh(eps); err != nil {
 			t.Fatal(err)
 		}
 		want[g] = make([]int64, len(phis))
@@ -250,7 +263,7 @@ func TestSnapshotReadsRacingRefresh(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Refresh(eps); err != nil {
+	if _, err := s.ForceRefresh(eps); err != nil {
 		t.Fatal(err)
 	}
 
@@ -291,7 +304,7 @@ func TestSnapshotReadsRacingRefresh(t *testing.T) {
 		}(g)
 	}
 	for g := 2; g <= generations; g++ {
-		if _, err := s.Refresh(eps); err != nil {
+		if _, err := s.ForceRefresh(eps); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -305,36 +318,57 @@ func TestSnapshotReadsRacingRefresh(t *testing.T) {
 	}
 }
 
-// TestSnapshotRefresherLifecycle covers StartRefresher/Close semantics: the
-// TTL goroutine republishes new generations, Close stops it and blocks
-// further refreshes while reads keep answering, and Close is idempotent.
+// TestSnapshotRefresherLifecycle covers StartRefresher/Close semantics
+// under the drift gate: TTL ticks republish only when mutation drift
+// threatens the εn bound (an unmutated session never rebuilds), Close stops
+// the refresher and blocks further refreshes while reads keep answering,
+// and Close is idempotent.
 func TestSnapshotRefresherLifecycle(t *testing.T) {
-	values := dist.Generate(dist.Uniform, 512, 69)
+	const n = 512
+	const eps = 0.2 // drift budget = (1-θ)·εn = 51 ops at θ = 1/2
+	values := dist.Generate(dist.Uniform, n, 69)
 	s, err := gossipq.NewSession(values, gossipq.Config{Seed: 73})
 	if err != nil {
 		t.Fatal(err)
 	}
-	info, err := s.StartRefresher(0.2, time.Millisecond)
+	info, err := s.StartRefresher(eps, time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if info.Version != 1 {
 		t.Fatalf("initial refresher build published version %d", info.Version)
 	}
-	if _, err := s.StartRefresher(0.2, time.Millisecond); err == nil {
+	if _, err := s.StartRefresher(eps, time.Millisecond); err == nil {
 		t.Error("second refresher accepted")
 	}
+	// Without mutations, ticks are gated no-ops: the version must hold at 1.
+	time.Sleep(20 * time.Millisecond)
+	if cur, ok := s.Snapshot(); !ok || cur.Version != 1 {
+		t.Fatalf("drift-free TTL ticks advanced the snapshot to %+v", cur)
+	}
+	// Churn past the drift budget and the refresher must republish — and
+	// keep republishing while the churn continues.
 	deadline := time.After(5 * time.Second)
-	for {
+	for i := 0; ; i++ {
+		for j := 0; j < 60; j++ { // one budget's worth of drift per wave
+			if _, err := s.Update((i*60+j)%n, int64(j)); err != nil {
+				t.Fatal(err)
+			}
+		}
 		cur, ok := s.Snapshot()
 		if ok && cur.Version >= 3 {
 			break
 		}
 		select {
 		case <-deadline:
-			t.Fatal("TTL refresher never advanced past version 2")
+			t.Fatal("TTL refresher never advanced past version 2 under churn")
 		case <-time.After(time.Millisecond):
 		}
+	}
+	// Zero the residual drift so the post-Close snapshot read below is
+	// served from the snapshot rather than falling back over the budget.
+	if _, err := s.ForceRefresh(eps); err != nil {
+		t.Fatal(err)
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
@@ -361,6 +395,108 @@ func TestSnapshotRefresherLifecycle(t *testing.T) {
 	}
 	if err := s.Close(); err != nil {
 		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestSnapshotDriftGate is the drift-counter acceptance test: Refresh must
+// be skipped while accumulated mutation drift is below the (1−θ)·εn budget
+// and forced once it reaches it, the skip must keep serving the stale
+// snapshot (with its staleness reported), and drift beyond the budget
+// without a repair must push snapshot reads back to live serving.
+func TestSnapshotDriftGate(t *testing.T) {
+	const n = 1000
+	const eps = 0.1 // budget = (1-θ)·εn = 0.1·1000/2 = 50 ops at θ = 1/2
+	values := dist.Generate(dist.Uniform, n, 83)
+	s, err := gossipq.NewSession(values, gossipq.Config{Seed: 87})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Refresh(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 || info.DriftBudget != 50 || info.Drift != 0 || info.Generation != 0 {
+		t.Fatalf("first refresh info = %+v, want version 1, budget 50, drift 0, generation 0", info)
+	}
+
+	// 49 ops of churn: strictly below the budget, so Refresh must skip.
+	for i := 0; i < 49; i++ {
+		if _, err := s.Update(i, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err = s.Refresh(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 || info.Drift != 49 {
+		t.Fatalf("sub-budget refresh rebuilt: %+v, want skipped version 1 at drift 49", info)
+	}
+	if got := s.Stats().RefreshesSkipped; got != 1 {
+		t.Fatalf("RefreshesSkipped = %d, want 1", got)
+	}
+	// The stale snapshot keeps serving, reporting its provenance: the build
+	// generation (0) and the drift at read time.
+	a, err := s.Ask(gossipq.Query{Phi: 0.5, Eps: eps, Mode: gossipq.ServeSnapshot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mode != gossipq.ServeSnapshot || a.SnapshotVersion != 1 || a.Generation != 0 || a.SnapshotDrift != 49 {
+		t.Fatalf("stale-but-within-ε answer = %+v, want snapshot v1, generation 0, drift 49", a)
+	}
+	if !s.Verify(a.Value, 0.5, eps) {
+		t.Errorf("stale snapshot answer %d outside ±εn of the post-mutation oracle", a.Value)
+	}
+
+	// The 50th op reaches the budget: the gate must force the rebuild.
+	if _, err := s.Update(49, 49); err != nil {
+		t.Fatal(err)
+	}
+	info, err = s.Refresh(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 2 || info.Drift != 0 || info.Generation != 50 {
+		t.Fatalf("at-budget refresh = %+v, want forced rebuild to version 2 at drift 0, generation 50", info)
+	}
+
+	// Drift beyond the budget with no repair: snapshot reads must fall back
+	// to live so the ±εn guarantee holds for the current population.
+	for i := 0; i < 51; i++ {
+		if _, err := s.Update(i, int64(-i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fallbacks := s.Stats().SnapshotFallbacks
+	a, err = s.Ask(gossipq.Query{Phi: 0.5, Eps: eps, Mode: gossipq.ServeSnapshot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mode != gossipq.ServeLive {
+		t.Fatalf("over-budget snapshot read served as %v (drift 51 > budget 50), want live fallback", a.Mode)
+	}
+	if got := s.Stats().SnapshotFallbacks; got != fallbacks+1 {
+		t.Errorf("SnapshotFallbacks = %d, want %d", got, fallbacks+1)
+	}
+	if !s.Verify(a.Value, 0.5, eps) {
+		t.Errorf("live fallback answer %d outside ±εn", a.Value)
+	}
+
+	// Repair brings snapshot serving back.
+	if info, err = s.Refresh(eps); err != nil || info.Version != 3 {
+		t.Fatalf("post-overflow refresh = %+v, %v, want version 3", info, err)
+	}
+	a, err = s.Ask(gossipq.Query{Phi: 0.5, Eps: eps, Mode: gossipq.ServeSnapshot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mode != gossipq.ServeSnapshot || a.SnapshotVersion != 3 || a.SnapshotDrift != 0 {
+		t.Fatalf("post-repair answer = %+v, want snapshot v3 at drift 0", a)
+	}
+
+	// A different width always rebuilds, drift or not.
+	if info, err = s.Refresh(0.2); err != nil || info.Version != 4 {
+		t.Fatalf("width-changing refresh = %+v, %v, want version 4", info, err)
 	}
 }
 

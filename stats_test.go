@@ -81,16 +81,51 @@ func TestSessionStats(t *testing.T) {
 
 	// Second refresh still needs a fresh backing (the first generation is
 	// retired only after the second build publishes); the third refresh
-	// recycles the retired generation's arrays.
-	if _, err := s.Refresh(0.12); err != nil {
+	// recycles the retired generation's arrays. Forced: the population has
+	// not drifted, so the gated Refresh would be a no-op here.
+	if _, err := s.ForceRefresh(0.12); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Refresh(0.12); err != nil {
+	if _, err := s.ForceRefresh(0.12); err != nil {
 		t.Fatal(err)
 	}
 	st = s.Stats()
 	if st.Refreshes != 3 || st.FreshBackings != 2 || st.RecycledBackings != 1 {
 		t.Errorf("after three refreshes: Refreshes=%d Fresh=%d Recycled=%d, want 3/2/1",
 			st.Refreshes, st.FreshBackings, st.RecycledBackings)
+	}
+
+	// A drift-free gated Refresh at the published width skips the rebuild
+	// and says so.
+	if _, err := s.Refresh(0.12); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.Refreshes != 3 || st.RefreshesSkipped != 1 {
+		t.Errorf("after gated no-op refresh: Refreshes=%d Skipped=%d, want 3/1",
+			st.Refreshes, st.RefreshesSkipped)
+	}
+
+	// Mutations count by kind and advance the generation.
+	s.Insert(7)
+	if _, err := s.Update(0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Mutate([]gossipq.Mutation{
+		{Op: gossipq.OpInsert, Value: 1},
+		{Op: gossipq.OpUpdate, Index: 2, Value: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.Inserts != 2 || st.Deletes != 1 || st.Updates != 2 {
+		t.Errorf("mutation counters: Inserts=%d Deletes=%d Updates=%d, want 2/1/2",
+			st.Inserts, st.Deletes, st.Updates)
+	}
+	if st.Generation != 4 {
+		t.Errorf("Generation = %d, want 4 (three single mutations + one batch)", st.Generation)
 	}
 }
