@@ -11,6 +11,8 @@
 //	gossipq -n 32768 -phi 0.5 -eps 0.05 -mu 0.5 -t 6  # under 50% failures
 //	gossipq -n 10000 -workload zipf -phi 0.9 -eps 0.02
 //	gossipq serve -n 65536 -addr 127.0.0.1:8356       # HTTP quantile server
+//	gossipq serve -n 16777216 -shards 8               # sharded in-process gang
+//	gossipq shard -index 0 -shards 2 -addrs a:1,b:2,c:3   # one shard worker process
 //	gossipq trace -n 65536 -phi 0.9 -eps 0.02         # per-phase round trace
 package main
 
@@ -29,6 +31,9 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		os.Exit(serveCmd(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "shard" {
+		os.Exit(shardCmd(os.Args[2:]))
 	}
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		os.Exit(traceCmd(os.Args[2:]))

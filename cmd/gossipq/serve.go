@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -18,6 +19,8 @@ import (
 
 	"gossipq"
 	"gossipq/internal/dist"
+	"gossipq/internal/livenet"
+	"gossipq/internal/shard"
 	"gossipq/internal/telemetry"
 )
 
@@ -53,18 +56,23 @@ import (
 func serveCmd(args []string) int {
 	fs := flag.NewFlagSet("gossipq serve", flag.ExitOnError)
 	var (
-		addr      = fs.String("addr", "127.0.0.1:8356", "listen address")
-		debugAddr = fs.String("debug-addr", "", "listen address for net/http/pprof (empty disables the debug listener)")
-		logLevel  = fs.String("log-level", "info", "log verbosity: debug|info|warn|error (debug logs every request)")
-		n         = fs.Int("n", 65536, "number of nodes")
-		workload  = fs.String("workload", "uniform", "value distribution: "+strings.Join(dist.Names(), "|"))
-		seed      = fs.Uint64("seed", 1, "session seed (each query derives its engine from (seed, query id))")
-		eps       = fs.Float64("eps", 0.05, "default approximation width for queries that omit eps")
-		workers   = fs.Int("workers", 1, "per-query simulation workers; 1 leaves the cores to concurrent queries")
-		prewarm   = fs.Int("prewarm", 0, "build this many query rigs at startup (0: one per core); concurrency beyond the warm pool pays rig construction on first overlap")
-		check     = fs.Bool("check", false, "verify every answer against the centralized oracle (adds \"ok\" to responses)")
-		sumEps    = fs.Float64("summary-eps", 0, "serve approximate queries from a versioned ε-summary snapshot at this width (0 disables the snapshot tier)")
-		refresh   = fs.Duration("refresh", 0, "rebuild the snapshot every interval (0 keeps the initial build; requires -summary-eps)")
+		addr       = fs.String("addr", "127.0.0.1:8356", "listen address")
+		debugAddr  = fs.String("debug-addr", "", "listen address for net/http/pprof (empty disables the debug listener)")
+		logLevel   = fs.String("log-level", "info", "log verbosity: debug|info|warn|error (debug logs every request)")
+		n          = fs.Int("n", 65536, "number of nodes")
+		workload   = fs.String("workload", "uniform", "value distribution: "+strings.Join(dist.Names(), "|"))
+		seed       = fs.Uint64("seed", 1, "session seed (each query derives its engine from (seed, query id))")
+		eps        = fs.Float64("eps", 0.05, "default approximation width for queries that omit eps")
+		workers    = fs.Int("workers", 1, "per-query simulation workers; 1 leaves the cores to concurrent queries")
+		prewarm    = fs.Int("prewarm", 0, "build this many query rigs at startup (0: one per core); concurrency beyond the warm pool pays rig construction on first overlap")
+		check      = fs.Bool("check", false, "verify every answer against the centralized oracle (adds \"ok\" to responses)")
+		sumEps     = fs.Float64("summary-eps", 0, "serve approximate queries from a versioned ε-summary snapshot at this width (0 disables the snapshot tier; sharded serving defaults it to -eps)")
+		refresh    = fs.Duration("refresh", 0, "rebuild the snapshot every interval (0 keeps the initial build; requires -summary-eps)")
+		shards     = fs.Int("shards", 0, "partition the population across this many shard workers (0: single-process session)")
+		shardAddrs = fs.String("shard-addrs", "",
+			"comma-separated worker addresses of running `gossipq shard` processes (empty with -shards > 0: in-process worker gang)")
+		routerAddr   = fs.String("router-addr", "127.0.0.1:0", "this router's livenet listen address in process-mode sharding")
+		shardTimeout = fs.Duration("shard-timeout", 60*time.Second, "per-epoch shard answer deadline; a shard missing it serves a 503")
 	)
 	fs.Parse(args)
 
@@ -81,27 +89,89 @@ func serveCmd(args []string) int {
 		return 2
 	}
 	values := dist.Generate(kind, *n, *seed)
-	session, err := gossipq.NewSession(values, gossipq.Config{Seed: *seed, Workers: *workers})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 2
+	// The serving engine: a single-process Session, or — with -shards — a
+	// ShardedSession whose workers are either an in-process gang or remote
+	// `gossipq shard` processes. The handlers only see quantileBackend; the
+	// concrete pointers drive mode-specific telemetry and health reporting.
+	var (
+		backend quantileBackend
+		session *gossipq.Session
+		sharded *gossipq.ShardedSession
+	)
+	if *shards > 0 {
+		if *sumEps == 0 {
+			// Sharded queries are always snapshot-served; an explicit width
+			// keeps the refresher and the mutate-repair gate meaningful.
+			*sumEps = *eps
+		}
+		cfg := gossipq.Config{Seed: *seed, Workers: *workers}
+		if *shardAddrs == "" {
+			sharded, err = gossipq.NewShardedSession(values, *shards, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			slog.Info("sharded gang up", "shards", *shards, "n", *n)
+		} else {
+			waddrs := strings.Split(*shardAddrs, ",")
+			if len(waddrs) != *shards {
+				fmt.Fprintf(os.Stderr, "gossipq serve: -shard-addrs has %d entries, want -shards = %d\n", len(waddrs), *shards)
+				return 2
+			}
+			peerAddrs := append(append([]string{}, waddrs...), *routerAddr)
+			tr, terr := livenet.NewTCPPeerTransport(shard.RouterPeer(*shards), peerAddrs, func(err error) {
+				slog.Warn("router transport error", "err", err)
+			})
+			if terr != nil {
+				fmt.Fprintln(os.Stderr, terr)
+				return 1
+			}
+			sharded, err = gossipq.NewShardedClient(tr, *shards, waddrs, *shardTimeout, cfg)
+			if err != nil {
+				tr.Close()
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			slog.Info("shard router up", "shards", *shards, "workers", *shardAddrs, "router", tr.Addr())
+		}
+		if *check {
+			// The mirror replays this router's mutations over the same
+			// deterministic population the workers loaded.
+			sharded.EnableCheck(values)
+		}
+		backend = sharded
+	} else {
+		session, err = gossipq.NewSession(values, gossipq.Config{Seed: *seed, Workers: *workers})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if *check {
+			// Pay the oracle sort now, not on the first checked request.
+			session.OracleQuantile(0.5)
+		}
+		// Warm the rig pool to the expected live-query concurrency so
+		// overlapping requests never pay multi-MB rig construction mid-flight
+		// (the default assumes roughly one in-flight live query per core).
+		rigs := *prewarm
+		if rigs <= 0 {
+			rigs = runtime.GOMAXPROCS(0)
+		}
+		session.Prewarm(rigs)
+		slog.Info("rig pool prewarmed", "rigs", rigs)
+		backend = session
 	}
+	var chk verifier
 	if *check {
-		// Pay the oracle sort now, not on the first checked request.
-		session.OracleQuantile(0.5)
+		if sharded != nil {
+			chk = shardedVerifier{sharded}
+		} else {
+			chk = sessionVerifier{session}
+		}
 	}
-	// Warm the rig pool to the expected live-query concurrency so overlapping
-	// requests never pay multi-MB rig construction mid-flight (the default
-	// assumes roughly one in-flight live query per core).
-	rigs := *prewarm
-	if rigs <= 0 {
-		rigs = runtime.GOMAXPROCS(0)
-	}
-	session.Prewarm(rigs)
-	slog.Info("rig pool prewarmed", "rigs", rigs)
 	snapshots := *sumEps > 0
 	if snapshots {
-		info, err := session.StartRefresher(*sumEps, *refresh)
+		info, err := backend.StartRefresher(*sumEps, *refresh)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
@@ -117,13 +187,18 @@ func serveCmd(args []string) int {
 	// defaultMode is what queries get unless they say mode=live/snapshot
 	// themselves: with the snapshot tier on, approximate traffic reads the
 	// published summary and only exact (or explicitly live) queries run the
-	// protocol per request.
+	// protocol per request. (A sharded backend serves snapshots regardless.)
 	defaultMode := gossipq.ServeLive
 	if snapshots {
 		defaultMode = gossipq.ServeSnapshot
 	}
 
-	m := newServerMetrics(session, *n)
+	m := newServerMetrics(backend, *n)
+	if session != nil {
+		m.registerSession(session)
+	} else {
+		m.registerSharded(sharded)
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/quantile", m.instrument("/quantile", func(w http.ResponseWriter, r *http.Request) {
@@ -132,9 +207,9 @@ func serveCmd(args []string) int {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		a, err := answerOne(session, q, *check)
+		a, err := answerOne(backend, q, chk)
 		if err != nil {
-			httpError(w, http.StatusUnprocessableEntity, err)
+			httpError(w, errStatus(err), err)
 			return
 		}
 		writeJSON(w, a)
@@ -160,16 +235,16 @@ func serveCmd(args []string) int {
 			}
 			qs[i] = q
 		}
-		answers, err := session.Batch(qs)
+		answers, err := backend.Batch(qs)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			httpError(w, errStatus(err), err)
 			return
 		}
 		resp := struct {
 			Answers []answerJSON `json:"answers"`
 		}{Answers: make([]answerJSON, len(answers))}
 		for i, a := range answers {
-			resp.Answers[i] = toAnswerJSON(session, qs[i], a, *check)
+			resp.Answers[i] = toAnswerJSON(chk, qs[i], a)
 		}
 		writeJSON(w, resp)
 	}))
@@ -194,25 +269,26 @@ func serveCmd(args []string) int {
 			}
 			ops[i] = op
 		}
-		gen, err := session.Mutate(ops)
+		gen, err := backend.Mutate(ops)
 		if err != nil {
-			httpError(w, http.StatusUnprocessableEntity, err)
+			httpError(w, errStatus(err), err)
 			return
 		}
 		resp := map[string]any{
 			"generation": gen,
 			"ops":        len(ops),
-			"n":          session.N(),
+			"n":          backend.N(),
 			"repair":     "off",
 		}
 		if snapshots {
 			// Drift-gated repair: a no-op while the published summary is
 			// still within its budget, a synchronous rebuild once the
-			// mutation pushed it over.
-			before, _ := session.Snapshot()
-			info, err := session.Refresh(*sumEps)
+			// mutation pushed it over. (Sharded: only drifted-over-budget
+			// shards rebuild.)
+			before, _ := backend.Snapshot()
+			info, err := backend.Refresh(*sumEps)
 			if err != nil {
-				httpError(w, http.StatusInternalServerError, err)
+				httpError(w, errStatus(err), err)
 				return
 			}
 			if info.Version > before.Version {
@@ -227,33 +303,75 @@ func serveCmd(args []string) int {
 		writeJSON(w, resp)
 	}))
 	mux.Handle("/healthz", m.instrument("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		st := session.Stats()
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
 		h := map[string]any{
 			"status":         "ok",
-			"n":              session.N(),
+			"n":              backend.N(),
 			"workload":       *workload,
-			"queries_issued": session.QueriesIssued(),
 			"uptime_seconds": time.Since(m.start).Seconds(),
-			"generation":     st.Generation,
-			"queries": map[string]int64{
-				"live":               st.LiveQueries,
-				"exact":              st.ExactQueries,
-				"snapshot":           st.SnapshotQueries,
-				"snapshot_fallbacks": st.SnapshotFallbacks,
-			},
-			"mutations": map[string]int64{
-				"inserts": st.Inserts,
-				"deletes": st.Deletes,
-				"updates": st.Updates,
-			},
+			"generation":     backend.Generation(),
 			"runtime": map[string]any{
 				"goroutines":       runtime.NumGoroutine(),
 				"heap_alloc_bytes": ms.HeapAlloc,
 			},
 		}
-		if info, ok := session.Snapshot(); ok {
+		if session != nil {
+			st := session.Stats()
+			h["queries_issued"] = session.QueriesIssued()
+			h["queries"] = map[string]int64{
+				"live":               st.LiveQueries,
+				"exact":              st.ExactQueries,
+				"snapshot":           st.SnapshotQueries,
+				"snapshot_fallbacks": st.SnapshotFallbacks,
+			}
+			h["mutations"] = map[string]int64{
+				"inserts": st.Inserts,
+				"deletes": st.Deletes,
+				"updates": st.Updates,
+			}
+		} else {
+			st := sharded.Stats()
+			h["queries"] = map[string]int64{
+				"snapshot":        st.SnapshotQueries,
+				"query_refreshes": st.QueryRefreshes,
+			}
+			h["sharding"] = map[string]any{
+				"shards":            st.Shards,
+				"epochs":            st.Epochs,
+				"hops_per_epoch":    st.HopsPerEpoch,
+				"refreshes":         st.Refreshes,
+				"refreshes_skipped": st.RefreshesSkipped,
+				"mutation_ops":      st.MutationOps,
+			}
+			// Live per-shard health: a shard missing its deadline degrades
+			// the whole report to a 503 — the router cannot promise merged
+			// answers while a shard is down.
+			health, err := sharded.Health()
+			if err != nil {
+				h["status"] = "degraded"
+				h["error"] = err.Error()
+				b, _ := json.Marshal(h)
+				b = append(b, '\n')
+				w.Header().Set("Content-Type", "application/json")
+				w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+				w.WriteHeader(http.StatusServiceUnavailable)
+				w.Write(b)
+				return
+			}
+			rows := make([]map[string]any, len(health))
+			for i, sh := range health {
+				rows[i] = map[string]any{
+					"shard":      sh.Shard,
+					"addr":       sh.Addr,
+					"n":          sh.N,
+					"generation": sh.Gen,
+					"drift":      sh.Drift,
+				}
+			}
+			h["shard_health"] = rows
+		}
+		if info, ok := backend.Snapshot(); ok {
 			h["snapshot_version"] = info.Version
 			h["snapshot_eps"] = info.Eps
 			h["snapshot_age_ms"] = info.Age().Milliseconds()
@@ -313,7 +431,7 @@ func serveCmd(args []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	session.Close() // stop the snapshot refresher after the last request drains
+	backend.Close() // stop the snapshot refresher (and any shard gang) after the last request drains
 	slog.Info("bye")
 	return 0
 }
@@ -354,7 +472,7 @@ type serverMetrics struct {
 // pre-registered so the request path never touches the registry lock.
 var metricEndpoints = []string{"/quantile", "/batch", "/mutate", "/healthz", "/metrics"}
 
-func newServerMetrics(session *gossipq.Session, n int) *serverMetrics {
+func newServerMetrics(backend quantileBackend, n int) *serverMetrics {
 	m := &serverMetrics{
 		reg:      telemetry.NewRegistry(),
 		start:    time.Now(),
@@ -375,6 +493,72 @@ func newServerMetrics(session *gossipq.Session, n int) *serverMetrics {
 			"HTTP request latency, by endpoint.", durBuckets, telemetry.Seconds, l)
 	}
 
+	m.reg.GaugeFunc("gossipq_snapshot_version",
+		"Version of the published snapshot generation (0 when none).",
+		func() float64 {
+			if info, ok := backend.Snapshot(); ok {
+				return float64(info.Version)
+			}
+			return 0
+		})
+	m.reg.GaugeFunc("gossipq_snapshot_eps",
+		"Accuracy width of the published snapshot (0 when none).",
+		func() float64 {
+			if info, ok := backend.Snapshot(); ok {
+				return info.Eps
+			}
+			return 0
+		})
+	m.reg.GaugeFunc("gossipq_snapshot_age_seconds",
+		"Age of the published snapshot (0 when none).",
+		func() float64 {
+			if info, ok := backend.Snapshot(); ok {
+				return info.Age().Seconds()
+			}
+			return 0
+		})
+	m.reg.GaugeFunc("gossipq_snapshot_grid_size",
+		"Cut points per node in the published snapshot (0 when none).",
+		func() float64 {
+			if info, ok := backend.Snapshot(); ok {
+				return float64(info.GridSize)
+			}
+			return 0
+		})
+	m.reg.GaugeFunc("gossipq_snapshot_drift",
+		"Mutation ops applied since the published snapshot was built (0 when none).",
+		func() float64 {
+			if info, ok := backend.Snapshot(); ok {
+				return float64(info.Drift)
+			}
+			return 0
+		})
+	m.reg.GaugeFunc("gossipq_snapshot_drift_budget",
+		"Drift the published snapshot tolerates before repair is forced (0 when none).",
+		func() float64 {
+			if info, ok := backend.Snapshot(); ok {
+				return float64(info.DriftBudget)
+			}
+			return 0
+		})
+
+	m.reg.GaugeFunc("gossipq_population", "Loaded population size.",
+		func() float64 { return float64(n) })
+	m.reg.GaugeFunc("gossipq_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(m.start).Seconds() })
+	m.reg.GaugeFunc("go_goroutines", "Current goroutine count.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	m.reg.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	return m
+}
+
+// registerSession adds the single-process session's counters to the scrape.
+func (m *serverMetrics) registerSession(session *gossipq.Session) {
 	stats := func(f func(gossipq.SessionStats) float64) func() float64 {
 		return func() float64 { return f(session.Stats()) }
 	}
@@ -426,69 +610,57 @@ func newServerMetrics(session *gossipq.Session, n int) *serverMetrics {
 		"Snapshot builds by grid-array provenance (freelist recycle vs fresh allocation).",
 		stats(func(s gossipq.SessionStats) float64 { return float64(s.FreshBackings) }),
 		telemetry.L("source", "fresh"))
+}
 
-	m.reg.GaugeFunc("gossipq_snapshot_version",
-		"Version of the published snapshot generation (0 when none).",
-		func() float64 {
-			if info, ok := session.Snapshot(); ok {
-				return float64(info.Version)
-			}
-			return 0
-		})
-	m.reg.GaugeFunc("gossipq_snapshot_eps",
-		"Accuracy width of the published snapshot (0 when none).",
-		func() float64 {
-			if info, ok := session.Snapshot(); ok {
-				return info.Eps
-			}
-			return 0
-		})
-	m.reg.GaugeFunc("gossipq_snapshot_age_seconds",
-		"Age of the published snapshot (0 when none).",
-		func() float64 {
-			if info, ok := session.Snapshot(); ok {
-				return info.Age().Seconds()
-			}
-			return 0
-		})
-	m.reg.GaugeFunc("gossipq_snapshot_grid_size",
-		"Cut points per node in the published snapshot (0 when none).",
-		func() float64 {
-			if info, ok := session.Snapshot(); ok {
-				return float64(info.GridSize)
-			}
-			return 0
-		})
-	m.reg.GaugeFunc("gossipq_snapshot_drift",
-		"Mutation ops applied since the published snapshot was built (0 when none).",
-		func() float64 {
-			if info, ok := session.Snapshot(); ok {
-				return float64(info.Drift)
-			}
-			return 0
-		})
-	m.reg.GaugeFunc("gossipq_snapshot_drift_budget",
-		"Drift the published snapshot tolerates before repair is forced (0 when none).",
-		func() float64 {
-			if info, ok := session.Snapshot(); ok {
-				return float64(info.DriftBudget)
-			}
-			return 0
-		})
-
-	m.reg.GaugeFunc("gossipq_population", "Loaded population size.",
-		func() float64 { return float64(n) })
-	m.reg.GaugeFunc("gossipq_uptime_seconds", "Seconds since the server started.",
-		func() float64 { return time.Since(m.start).Seconds() })
-	m.reg.GaugeFunc("go_goroutines", "Current goroutine count.",
-		func() float64 { return float64(runtime.NumGoroutine()) })
-	m.reg.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.",
-		func() float64 {
-			var ms runtime.MemStats
-			runtime.ReadMemStats(&ms)
-			return float64(ms.HeapAlloc)
-		})
-	return m
+// registerSharded adds the shard router's counters to the scrape. Names are
+// kept compatible with the session series where the meaning matches (queries,
+// refreshes, backings) and the cross-shard topology gets its own gauges.
+func (m *serverMetrics) registerSharded(ss *gossipq.ShardedSession) {
+	stats := func(f func(gossipq.ShardedStats) float64) func() float64 {
+		return func() float64 { return f(ss.Stats()) }
+	}
+	m.reg.CounterFunc("gossipq_queries_total",
+		"Session queries answered, by serving mode.",
+		stats(func(s gossipq.ShardedStats) float64 { return float64(s.SnapshotQueries) }),
+		telemetry.L("mode", "snapshot"))
+	m.reg.CounterFunc("gossipq_query_refreshes_total",
+		"Queries that forced a merged-summary rebuild because no published snapshot covered their width.",
+		stats(func(s gossipq.ShardedStats) float64 { return float64(s.QueryRefreshes) }))
+	m.reg.GaugeFunc("gossipq_shards",
+		"Shard workers behind this router.",
+		stats(func(s gossipq.ShardedStats) float64 { return float64(s.Shards) }))
+	m.reg.CounterFunc("gossipq_shard_epochs_total",
+		"Cross-shard merge epochs driven by this router.",
+		stats(func(s gossipq.ShardedStats) float64 { return float64(s.Epochs) }))
+	m.reg.GaugeFunc("gossipq_shard_hops_per_epoch",
+		"Cross-shard message hops per merge epoch (constant in S and n).",
+		stats(func(s gossipq.ShardedStats) float64 { return float64(s.HopsPerEpoch) }))
+	m.reg.GaugeFunc("gossipq_generation",
+		"Current population generation (one step per successful mutation call).",
+		stats(func(s gossipq.ShardedStats) float64 { return float64(s.Generation) }))
+	m.reg.CounterFunc("gossipq_mutation_ops_total",
+		"Mutation operations routed to shards.",
+		stats(func(s gossipq.ShardedStats) float64 { return float64(s.MutationOps) }))
+	m.reg.CounterFunc("gossipq_snapshot_refreshes_total",
+		"Completed merged-summary builds.",
+		stats(func(s gossipq.ShardedStats) float64 { return float64(s.Refreshes) }))
+	m.reg.CounterFunc("gossipq_snapshot_repairs_skipped_total",
+		"Gated refreshes skipped because every shard's drift stayed within budget.",
+		stats(func(s gossipq.ShardedStats) float64 { return float64(s.RefreshesSkipped) }))
+	m.reg.CounterFunc("gossipq_snapshot_refresh_build_seconds_total",
+		"Cumulative wall-clock time spent gathering and merging shard summaries.",
+		stats(func(s gossipq.ShardedStats) float64 { return s.RefreshBuildTotal.Seconds() }))
+	m.reg.GaugeFunc("gossipq_snapshot_last_refresh_build_seconds",
+		"Wall-clock duration of the most recent merged-summary build.",
+		stats(func(s gossipq.ShardedStats) float64 { return s.LastRefreshBuild.Seconds() }))
+	m.reg.CounterFunc("gossipq_snapshot_backings_total",
+		"Snapshot builds by grid-array provenance (freelist recycle vs fresh allocation).",
+		stats(func(s gossipq.ShardedStats) float64 { return float64(s.RecycledBackings) }),
+		telemetry.L("source", "recycled"))
+	m.reg.CounterFunc("gossipq_snapshot_backings_total",
+		"Snapshot builds by grid-array provenance (freelist recycle vs fresh allocation).",
+		stats(func(s gossipq.ShardedStats) float64 { return float64(s.FreshBackings) }),
+		telemetry.L("source", "fresh"))
 }
 
 // statusWriter captures the response status for error accounting; an unset
@@ -644,15 +816,15 @@ func queryFromURL(r *http.Request, defaultEps float64, defaultMode gossipq.Serve
 	return q, nil
 }
 
-func answerOne(s *gossipq.Session, q gossipq.Query, check bool) (answerJSON, error) {
-	a, err := s.Ask(q)
+func answerOne(b quantileBackend, q gossipq.Query, chk verifier) (answerJSON, error) {
+	a, err := b.Ask(q)
 	if err != nil {
 		return answerJSON{}, err
 	}
-	return toAnswerJSON(s, q, a, check), nil
+	return toAnswerJSON(chk, q, a), nil
 }
 
-func toAnswerJSON(s *gossipq.Session, q gossipq.Query, a gossipq.Answer, check bool) answerJSON {
+func toAnswerJSON(chk verifier, q gossipq.Query, a gossipq.Answer) answerJSON {
 	out := answerJSON{
 		Phi:             q.Phi,
 		Exact:           q.Exact,
@@ -671,16 +843,27 @@ func toAnswerJSON(s *gossipq.Session, q gossipq.Query, a gossipq.Answer, check b
 		out.Error = a.Err.Error()
 		return out
 	}
-	if check {
+	if chk != nil {
 		var ok bool
 		if q.Exact {
-			ok = a.Value == s.OracleQuantile(q.Phi)
+			ok = chk.verifyExact(a.Value, q.Phi)
 		} else {
-			ok = s.Verify(a.Value, q.Phi, q.Eps)
+			ok = chk.verifyApprox(a.Value, q.Phi, q.Eps)
 		}
 		out.OK = &ok
 	}
 	return out
+}
+
+// errStatus maps a backend error to an HTTP status: a shard missing its
+// deadline (or a closed transport) is a 503 — the deployment is degraded, not
+// the request — while everything else is the request's own fault (422).
+func errStatus(err error) int {
+	var down *shard.ShardDownError
+	if errors.As(err, &down) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusUnprocessableEntity
 }
 
 // httpError writes an error response with the body fully buffered first, so

@@ -7,11 +7,19 @@
 // from log-bucket interpolation; latency_max_ns exact), so tail-latency
 // regressions surface even when throughput holds steady.
 //
+// The sharded rows measure the distributed shard tier at n = 2^22: refresh_ns
+// is the warm cross-shard rebuild (parallel shard builds + the constant-round
+// merge), over both the in-process chan gang and loopback TCP workers.
+// -shard-gate R turns the S=1 vs S=4 chan refresh ratio into a pass/fail
+// scaling gate (CI passes 2.0; the default 0 never fails, since the ratio is
+// meaningless on a single-core box).
+//
 // Usage:
 //
-//	servebench                     # full suite (n = 2^16, clients 1/4/8 + exact), write BENCH_serve.json
+//	servebench                     # full suite (n = 2^16, clients 1/4/8 + exact + sharded), write BENCH_serve.json
 //	servebench -quick              # CI smoke: smaller population, fewer queries
 //	servebench -out path.json      # choose the output path
+//	servebench -sharded-only -shard-gate 2.0   # CI scaling gate: only the sharded rows
 package main
 
 import (
@@ -38,8 +46,10 @@ type File struct {
 
 func main() {
 	var (
-		out   = flag.String("out", "BENCH_serve.json", "output path for the JSON report")
-		quick = flag.Bool("quick", false, "CI smoke mode: smaller population and fewer queries")
+		out         = flag.String("out", "BENCH_serve.json", "output path for the JSON report")
+		quick       = flag.Bool("quick", false, "CI smoke mode: smaller population and fewer queries")
+		shardedOnly = flag.Bool("sharded-only", false, "run only the sharded shard-tier rows")
+		shardGate   = flag.Float64("shard-gate", 0, "fail unless chan refresh_ns(S=1)/refresh_ns(S=4) >= this ratio (0 disables; needs >= 4 cores to be meaningful)")
 	)
 	flag.Parse()
 
@@ -67,6 +77,18 @@ func main() {
 		{N: 1 << 16, Clients: 4, QueriesPerClient: 16, GOMAXPROCS: 4},
 		{N: 1 << 16, Clients: 1, QueriesPerClient: 16, Workers: 4, GOMAXPROCS: 4},
 	}
+	// The sharded rows sweep the shard count at a population two orders of
+	// magnitude past the single-session rows: refresh_ns is the headline
+	// (shard builds run in parallel, so S=4 should cut it ~4x on >= 4
+	// cores), and the chan/tcp pair separates build parallelism from wire
+	// cost. The read loop stays short — merged-snapshot reads are the same
+	// lock-free path the snapshot rows already track in depth.
+	shardedOpts := []servebench.Options{
+		{N: 1 << 22, Shards: 1, Clients: 4, QueriesPerClient: 1 << 14, SummaryEps: 0.2},
+		{N: 1 << 22, Shards: 4, Clients: 4, QueriesPerClient: 1 << 14, SummaryEps: 0.2},
+		{N: 1 << 22, Shards: 8, Clients: 4, QueriesPerClient: 1 << 14, SummaryEps: 0.2},
+		{N: 1 << 22, Shards: 4, Clients: 4, QueriesPerClient: 1 << 14, SummaryEps: 0.2, Transport: "tcp"},
+	}
 	if *quick {
 		opts = []servebench.Options{
 			{N: 1 << 14, Clients: 1, QueriesPerClient: 8},
@@ -76,7 +98,16 @@ func main() {
 			{N: 1 << 14, Clients: 4, QueriesPerClient: 8, GOMAXPROCS: 4},
 			{N: 1 << 14, Clients: 1, QueriesPerClient: 8, Workers: 4, GOMAXPROCS: 4},
 		}
+		shardedOpts = []servebench.Options{
+			{N: 1 << 18, Shards: 1, Clients: 2, QueriesPerClient: 1 << 12, SummaryEps: 0.2},
+			{N: 1 << 18, Shards: 4, Clients: 2, QueriesPerClient: 1 << 12, SummaryEps: 0.2},
+			{N: 1 << 18, Shards: 4, Clients: 2, QueriesPerClient: 1 << 12, SummaryEps: 0.2, Transport: "tcp"},
+		}
 	}
+	if *shardedOnly {
+		opts = nil
+	}
+	opts = append(opts, shardedOpts...)
 
 	f := File{
 		Suite:      "serve",
@@ -87,7 +118,13 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	for _, o := range opts {
-		r, err := servebench.Run(o)
+		var r servebench.Result
+		var err error
+		if o.Shards > 0 {
+			r, err = servebench.RunSharded(o)
+		} else {
+			r, err = servebench.Run(o)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "servebench: %v\n", err)
 			os.Exit(1)
@@ -107,9 +144,48 @@ func main() {
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(f.Benchmarks))
 	for _, r := range f.Benchmarks {
-		fmt.Printf("  %-28s %10.1f queries/sec %10.1f allocs/query  p50=%s p99=%s max=%s\n",
+		fmt.Printf("  %-40s %10.1f queries/sec %10.1f allocs/query  p50=%s p99=%s max=%s",
 			r.Name, r.QueriesPerSec, r.AllocsPerQuery,
 			time.Duration(r.LatencyP50Ns), time.Duration(r.LatencyP99Ns),
 			time.Duration(r.LatencyMaxNs))
+		if r.Shards > 0 {
+			fmt.Printf("  refresh=%s", time.Duration(r.RefreshNs))
+		}
+		fmt.Println()
 	}
+
+	if *shardGate > 0 {
+		if err := checkShardGate(f.Benchmarks, *shardGate); err != nil {
+			fmt.Fprintf(os.Stderr, "servebench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// checkShardGate enforces the shard tier's reason to exist: at the largest
+// sharded population measured, the S=4 chan-gang refresh must beat the S=1
+// refresh by at least the given ratio. The chan rows isolate build
+// parallelism (no wire), so on a >= 4-core runner a ratio of 2.0 has wide
+// headroom against the ~4x ideal while still catching a serialized rebuild.
+func checkShardGate(rows []servebench.Result, gate float64) error {
+	refresh := func(shards int) float64 {
+		best, bestN := 0.0, -1
+		for _, r := range rows {
+			if r.Shards == shards && r.Transport == "chan" && r.N > bestN {
+				best, bestN = r.RefreshNs, r.N
+			}
+		}
+		return best
+	}
+	one, four := refresh(1), refresh(4)
+	if one == 0 || four == 0 {
+		return fmt.Errorf("shard gate needs chan rows at S=1 and S=4 (have S=1 %v, S=4 %v)", one, four)
+	}
+	ratio := one / four
+	fmt.Printf("shard gate: refresh S=1 %s / S=4 %s = %.2fx (want >= %.2fx)\n",
+		time.Duration(one), time.Duration(four), ratio, gate)
+	if ratio < gate {
+		return fmt.Errorf("shard refresh scaling %.2fx below gate %.2fx", ratio, gate)
+	}
+	return nil
 }

@@ -180,3 +180,52 @@ func ExampleApproxQuantile_failures() {
 	// covered nodes all correct: true
 	// coverage above 99%: true
 }
+
+// ExampleShardedSession partitions one population across four in-process
+// shard workers: each shard runs the gossip protocol on its own slice, the
+// router gathers their ε/2-summaries in one constant-cost epoch (two
+// cross-shard hops however many shards exist), and queries are answered from
+// the merged whole-population summary. Mutations are routed to the owning
+// shard; a refresh repairs only shards whose drift threatens the ±εn bound.
+func ExampleShardedSession() {
+	values := make([]int64, 1200)
+	for i := range values {
+		values[i] = int64((i*7919)%1200 + 1) // a fixed permutation of 1..1200
+	}
+	ss, err := gossipq.NewShardedSession(values, 4, gossipq.Config{Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	defer ss.Close()
+	ss.EnableCheck(values) // exact whole-population oracle for verification
+
+	info, err := ss.Refresh(0.1) // one gather epoch; shards build at ε/2
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("version:", info.Version, "n:", info.N)
+
+	ans, err := ss.ApproxQuantile(0.5, 0.1)
+	if err != nil {
+		panic(err)
+	}
+	ok, err := ss.Verify(ans.Value, 0.5, 0.1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("merged median within ±εn:", ok)
+
+	if _, err := ss.Insert(5000); err != nil { // routed to the smallest shard
+		panic(err)
+	}
+	info, err = ss.Refresh(0.1) // 1 op of drift: every shard is clean, no epoch runs
+	if err != nil {
+		panic(err)
+	}
+	st := ss.Stats()
+	fmt.Println("version:", info.Version, "epochs:", st.Epochs, "hops/epoch:", st.HopsPerEpoch)
+	// Output:
+	// version: 1 n: 1200
+	// merged median within ±εn: true
+	// version: 1 epochs: 1 hops/epoch: 2
+}

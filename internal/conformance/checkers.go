@@ -153,6 +153,13 @@ func check(s Scenario, rr runResult, oracle *stats.Oracle) []Violation {
 	if s.Alg == AlgEngine {
 		return append(vs, checkMetricsAlgebra(s, rr)...)
 	}
+	if s.Alg == AlgSharded {
+		// Sharded cells check cross-shard rounds, versioning, and merge
+		// determinism inline (sharded.go); the protocol-metrics checkers
+		// don't apply — the per-shard builds' metrics live in the shard
+		// sessions, not in rr. Only the merged ±εn rank guarantee is shared.
+		return append(vs, checkRank(s, rr, oracle)...)
+	}
 	if s.Churn != "" {
 		// Churn cells check every invariant inline against the per-step
 		// post-mutation population (churn.go); the static checkers below all
@@ -207,9 +214,11 @@ func checkRank(s Scenario, rr runResult, oracle *stats.Oracle) []Violation {
 				break
 			}
 		}
-	case AlgSnapshot:
+	case AlgSnapshot, AlgSharded:
 		// outputs[i] is the snapshot's answer to probe snapPhis[i]; the
-		// summary's contract is rank within ±εn of ⌈φn⌉ for every probe.
+		// summary's contract is rank within ±εn of ⌈φn⌉ for every probe —
+		// for sharded cells, against the whole-population oracle, which is
+		// exactly the cross-shard merge's accuracy claim.
 		for i, phi := range rr.snapPhis {
 			if !oracle.WithinEpsilon(rr.outputs[i], phi, s.Eps) {
 				vs = append(vs, Violation{"eps-rank", fmt.Sprintf(

@@ -47,6 +47,15 @@ const (
 	// determinism re-run — (session seed, refresh count) reproduces the
 	// snapshot bit-for-bit regardless of engine worker count.
 	AlgSnapshot Algorithm = "snapshot"
+	// AlgSharded drives the distributed shard tier: the population is
+	// partitioned across Scenario.Shards shard sessions (an in-process gang
+	// over the livenet channel transport), merged in one constant-round
+	// cross-shard epoch, and probed through the published merged summary.
+	// Checked invariants: every merged answer within ±εn of the
+	// whole-population oracle, exactly two cross-shard hops per epoch
+	// regardless of S and n, version accounting across forced merges, and
+	// bit-identical merges across engine worker counts (sharded.go).
+	AlgSharded Algorithm = "sharded"
 	// AlgEngine drives a raw simulator engine through a pull/push/push-batch
 	// phase mix, checking the Metrics Sub/Add algebra and exercising
 	// workspace reuse (Rebind) across scenarios within a runner shard.
@@ -107,6 +116,9 @@ type Scenario struct {
 	// run on a fixed population. Churn cells check every invariant inline
 	// against the post-mutation population at each step.
 	Churn string
+	// Shards partitions the population across this many shard sessions
+	// (sharded cells only; zero everywhere else).
+	Shards int
 }
 
 // Name returns the scenario's canonical, stable identifier. Seeds derive
@@ -117,6 +129,9 @@ func (s Scenario) Name() string {
 		s.Alg, s.Workload, s.N, s.Phi, s.Eps, s.Failure.Name)
 	if s.Churn != "" {
 		name += "/churn-" + s.Churn
+	}
+	if s.Shards > 0 {
+		name += fmt.Sprintf("/shards%d", s.Shards)
 	}
 	return name
 }
@@ -232,6 +247,25 @@ func Grid(short bool) []Scenario {
 				add(Scenario{Alg: AlgApprox, Workload: kind, N: n, Phi: 0.3, Eps: 0.1, Failure: fails[0], Churn: sched})
 				add(Scenario{Alg: AlgExact, Workload: kind, N: n, Phi: 0.7, Failure: fails[0], Churn: sched})
 				add(Scenario{Alg: AlgSnapshot, Workload: kind, N: n, Eps: 0.25, Failure: fails[0], Churn: sched})
+			}
+		}
+	}
+
+	// Sharded plane: the distributed shard tier at S ∈ {2, 4, 8}. Sharded
+	// merges are always snapshot-served and failure-free (shard sessions
+	// refuse failure models, like the snapshot tier they are built on); the
+	// axis instead spans shard count × workload × population, with the
+	// smallest cell running 8 shards of 128 values each.
+	shardNs := []int{1024}
+	shardLoads := []dist.Kind{dist.Uniform, dist.Zipf, dist.DuplicateHeavy}
+	if !short {
+		shardNs = append(shardNs, 4096)
+		shardLoads = dist.Kinds()
+	}
+	for _, n := range shardNs {
+		for _, kind := range shardLoads {
+			for _, sc := range []int{2, 4, 8} {
+				add(Scenario{Alg: AlgSharded, Workload: kind, N: n, Eps: 0.25, Failure: fails[0], Shards: sc})
 			}
 		}
 	}

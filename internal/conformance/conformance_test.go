@@ -46,6 +46,7 @@ func TestGridCoversAxes(t *testing.T) {
 	fails := map[string]bool{}
 	ns := map[int]bool{}
 	churn := map[Algorithm]bool{}
+	shardCounts := map[int]bool{}
 	for _, s := range grid {
 		algs[s.Alg] = true
 		loads[s.Workload] = true
@@ -54,15 +55,23 @@ func TestGridCoversAxes(t *testing.T) {
 		if s.Churn != "" {
 			churn[s.Alg] = true
 		}
+		if s.Shards > 0 {
+			shardCounts[s.Shards] = true
+		}
 	}
 	for _, a := range []Algorithm{AlgApprox, AlgExact, AlgSnapshot} {
 		if !churn[a] {
 			t.Errorf("short grid misses the churn axis for algorithm %s", a)
 		}
 	}
-	for _, a := range []Algorithm{AlgApprox, AlgMedian, AlgExact, AlgOwn, AlgSnapshot, AlgEngine} {
+	for _, a := range []Algorithm{AlgApprox, AlgMedian, AlgExact, AlgOwn, AlgSnapshot, AlgSharded, AlgEngine} {
 		if !algs[a] {
 			t.Errorf("short grid misses algorithm %s", a)
+		}
+	}
+	for _, sc := range []int{2, 4, 8} {
+		if !shardCounts[sc] {
+			t.Errorf("short grid misses shard count %d", sc)
 		}
 	}
 	for _, k := range dist.Kinds() {

@@ -352,6 +352,8 @@ func (sh *shard) execute(s Scenario, values []int64, workers int, obs sim.RoundO
 		return runResult{outputs: values, ownQ: res.Quantile, metrics: res.Metrics}, nil
 	case AlgSnapshot:
 		return runSnapshot(s, values, cfg)
+	case AlgSharded:
+		return runSharded(s, values, cfg)
 	case AlgEngine:
 		return sh.runEngine(s, values, workers)
 	default:

@@ -1,0 +1,112 @@
+package conformance
+
+import (
+	"fmt"
+
+	"gossipq"
+)
+
+// shardProbeSweep returns the φ probes a sharded cell reads from the merged
+// summary: a dense sweep at quarter-ε spacing with both endpoints, so the
+// probes land in every cut-selection plateau of the published grid.
+func shardProbeSweep(eps float64) []float64 {
+	var phis []float64
+	for phi := 0.0; phi < 1; phi += eps / 4 {
+		phis = append(phis, phi)
+	}
+	return append(phis, 1)
+}
+
+// runSharded drives the distributed shard tier end to end: an in-process
+// gang of s.Shards shard sessions, one cross-shard merge epoch, and a probe
+// sweep read from the published merged summary. Three invariants are checked
+// inline, on every sharded cell:
+//
+//   - Constant cross-shard rounds: an epoch costs exactly two message hops
+//     (summary-request broadcast, summary replies) whatever S and n are, and
+//     a second epoch costs the same two.
+//   - Epoch accounting: a forced second merge bumps the published snapshot
+//     version by exactly one.
+//   - Worker-count determinism: an independent gang over the same values
+//     with a different engine worker count publishes a merge whose probe
+//     answers are bit-identical — the multicore engine's transcript
+//     stability surviving the partition/merge round trip.
+//
+// The ±εn rank guarantee of the merged answers against the whole-population
+// oracle is checked by checkRank over the returned probe outputs, like any
+// snapshot cell.
+func runSharded(s Scenario, values []int64, cfg gossipq.Config) (runResult, error) {
+	probes := shardProbeSweep(s.Eps)
+	rr := runResult{snapPhis: probes}
+
+	ss, err := gossipq.NewShardedSession(values, s.Shards, cfg)
+	if err != nil {
+		return runResult{}, err
+	}
+	defer ss.Close()
+	info, err := ss.ForceRefresh(s.Eps)
+	if err != nil {
+		return runResult{}, err
+	}
+	for _, phi := range probes {
+		a, err := ss.Ask(gossipq.Query{Phi: phi, Eps: s.Eps, Mode: gossipq.ServeSnapshot})
+		if err != nil {
+			return runResult{}, err
+		}
+		if a.Mode != gossipq.ServeSnapshot || a.SnapshotVersion != info.Version {
+			rr.violations = append(rr.violations, Violation{"shard-mode", fmt.Sprintf(
+				"phi=%v served %v from version %d, want snapshot version %d",
+				phi, a.Mode, a.SnapshotVersion, info.Version)})
+		}
+		rr.outputs = append(rr.outputs, a.Value)
+	}
+
+	if st := ss.Stats(); st.Epochs != 1 || st.HopsPerEpoch != 2 {
+		rr.violations = append(rr.violations, Violation{"shard-rounds", fmt.Sprintf(
+			"after one refresh: epochs=%d hops/epoch=%d, want 1 and 2", st.Epochs, st.HopsPerEpoch)})
+	}
+	info2, err := ss.ForceRefresh(s.Eps)
+	if err != nil {
+		return runResult{}, err
+	}
+	if st := ss.Stats(); st.Epochs != 2 || st.HopsPerEpoch != 2 {
+		rr.violations = append(rr.violations, Violation{"shard-rounds", fmt.Sprintf(
+			"after two refreshes: epochs=%d hops/epoch=%d, want 2 and 2 (cross-shard cost must not grow)",
+			st.Epochs, st.HopsPerEpoch)})
+	}
+	if info2.Version != info.Version+1 {
+		rr.violations = append(rr.violations, Violation{"shard-rounds", fmt.Sprintf(
+			"forced second merge published version %d after %d, want exactly +1",
+			info2.Version, info.Version)})
+	}
+
+	// Worker-count determinism. The alternate count is chosen off the base
+	// run's, so the runner's own determinism re-runs (workers 3 and 8) still
+	// compare two genuinely different engine shapes.
+	alt := cfg
+	alt.Workers = 3
+	if cfg.Workers == 3 {
+		alt.Workers = 8
+	}
+	ss2, err := gossipq.NewShardedSession(values, s.Shards, alt)
+	if err != nil {
+		return runResult{}, err
+	}
+	defer ss2.Close()
+	if _, err := ss2.ForceRefresh(s.Eps); err != nil {
+		return runResult{}, err
+	}
+	for i, phi := range probes {
+		a, err := ss2.Ask(gossipq.Query{Phi: phi, Eps: s.Eps, Mode: gossipq.ServeSnapshot})
+		if err != nil {
+			return runResult{}, err
+		}
+		if a.Value != rr.outputs[i] {
+			rr.violations = append(rr.violations, Violation{"shard-determinism", fmt.Sprintf(
+				"phi=%v: workers=%d answers %d, workers=%d answered %d — merged summary not bit-stable",
+				phi, alt.Workers, a.Value, cfg.Workers, rr.outputs[i])})
+			break
+		}
+	}
+	return rr, nil
+}

@@ -41,9 +41,11 @@ func TestTCPPartialFrameSurfacesError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var buf [frameSize]byte
-	Message{Kind: KindRequest, Round: 3, From: 0, Value: 42}.encode(&buf)
-	if _, err := conn.Write(buf[:frameSize/2]); err != nil {
+	buf, err := appendFrame(nil, Message{Kind: KindRequest, Round: 3, From: 0, Value: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(buf[:len(buf)/2]); err != nil {
 		t.Fatal(err)
 	}
 	conn.Close()
@@ -87,7 +89,7 @@ func TestTCPConnectionClosedMidRound(t *testing.T) {
 	tr.Send(1, want)
 	select {
 	case got := <-tr.Inbox(1):
-		if got != want {
+		if !got.Equal(want) {
 			t.Fatalf("got %+v, want %+v", got, want)
 		}
 	case <-time.After(5 * time.Second):
@@ -120,7 +122,7 @@ func TestTCPConnectionClosedMidRound(t *testing.T) {
 	tr.Send(0, want2)
 	select {
 	case got := <-tr.Inbox(0):
-		if got != want2 {
+		if !got.Equal(want2) {
 			t.Fatalf("got %+v, want %+v", got, want2)
 		}
 	case <-time.After(5 * time.Second):

@@ -1,0 +1,201 @@
+package livenet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// mustFrame encodes m or fails the test.
+func mustFrame(t *testing.T, m Message) []byte {
+	t.Helper()
+	buf, err := appendFrame(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TestFrameDecodeErrors is the satellite table: every malformed frame class
+// the version byte and length guard exist to catch. Each case corrupts a
+// valid frame and asserts the decoder rejects it with the right error class
+// instead of misparsing it into a phantom message.
+func TestFrameDecodeErrors(t *testing.T) {
+	valid := mustFrame(t, Message{Kind: KindRequest, Round: 7, From: 3, Value: 42, Value2: -1,
+		Payload: []int64{10, 20}})
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr error
+	}{
+		{"empty stream", func(b []byte) []byte { return nil }, io.EOF},
+		{"truncated header", func(b []byte) []byte { return b[:headerSize/2] }, io.ErrUnexpectedEOF},
+		{"truncated body", func(b []byte) []byte { return b[:headerSize+9] }, io.ErrUnexpectedEOF},
+		{"header only", func(b []byte) []byte { return b[:headerSize] }, io.ErrUnexpectedEOF},
+		{"wrong version (v1)", func(b []byte) []byte { b[0] = 1; return b }, ErrFrameVersion},
+		{"wrong version (future)", func(b []byte) []byte { b[0] = 99; return b }, ErrFrameVersion},
+		{"zero word count", func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[10:12], 0)
+			return b
+		}, ErrFrameLength},
+		{"undersized word count", func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[10:12], 1)
+			return b
+		}, ErrFrameLength},
+		{"oversized word count", func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[10:12], maxFrameWords+1)
+			return b
+		}, ErrFrameLength},
+		{"garbage length", func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[10:12], 0xffff)
+			return b
+		}, ErrFrameLength},
+		{"length beyond stream", func(b []byte) []byte {
+			// Claims more words than the writer sent: must surface as a
+			// truncation, never block forever or return a short message.
+			binary.LittleEndian.PutUint16(b[10:12], uint16(len(valid)/8+4))
+			return b
+		}, io.ErrUnexpectedEOF},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mutate(append([]byte(nil), valid...))
+			fr := frameReader{r: bytes.NewReader(b)}
+			m, err := fr.read()
+			if err == nil {
+				t.Fatalf("malformed frame decoded into %+v", m)
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Errorf("error %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestFrameEncodeRejectsOversizedPayload pins the send-side half of the
+// length guard.
+func TestFrameEncodeRejectsOversizedPayload(t *testing.T) {
+	m := Message{Kind: KindRequest, Payload: make([]int64, maxFrameWords)}
+	if _, err := appendFrame(nil, m); !errors.Is(err, ErrFrameLength) {
+		t.Fatalf("oversized payload encoded; err = %v", err)
+	}
+	// The largest legal payload round-trips.
+	m.Payload = m.Payload[:maxFrameWords-minFrameWords]
+	got, err := roundTripFrame(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("max-size frame did not round trip")
+	}
+}
+
+// TestTCPFramingErrorDropsConnection writes garbage to a node listener: the
+// reader must report a framing error, drop that connection, and keep
+// serving frames from well-formed peers.
+func TestTCPFramingErrorDropsConnection(t *testing.T) {
+	onErr, drain := collectErrors()
+	tr, err := NewTCPTransport(2, onErr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	conn, err := net.Dial("tcp", tr.(*tcpTransport).addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := mustFrame(t, Message{Kind: KindRequest, Round: 1})
+	bad[0] = 77 // unknown version
+	if _, err := conn.Write(bad); err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	deadline := time.After(5 * time.Second)
+	for {
+		if errs := drain(); len(errs) > 0 {
+			if !errors.Is(errs[0], ErrFrameVersion) {
+				t.Errorf("framing error reported as %v, want ErrFrameVersion", errs[0])
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("framing error never surfaced")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	select {
+	case m := <-tr.Inbox(1):
+		t.Fatalf("garbage frame delivered a message: %+v", m)
+	default:
+	}
+
+	// A well-formed sender still gets through.
+	want := Message{Kind: KindResponse, Round: 2, From: 0, Value: 5}
+	tr.Send(1, want)
+	select {
+	case got := <-tr.Inbox(1):
+		if !got.Equal(want) {
+			t.Fatalf("got %+v, want %+v", got, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("transport dead after a framing error on another connection")
+	}
+}
+
+// TestPeerTransportExchange runs three PeerTransports in one process (as
+// three shard processes would) and exchanges payload-bearing frames both
+// ways, including a redial after the receiver side restarts.
+func TestPeerTransportExchange(t *testing.T) {
+	addrs := []string{"127.0.0.1:0", "127.0.0.1:0", "127.0.0.1:0"}
+	peers := make([]*PeerTransport, 3)
+	for i := range peers {
+		p, err := NewTCPPeerTransport(i, addrs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		peers[i] = p
+		addrs[i] = p.Addr()
+	}
+	// Port-0 group: distribute the bound addresses once everyone listens.
+	for _, p := range peers {
+		p.SetPeerAddrs(addrs)
+	}
+	want := Message{Kind: KindFlood, Round: 1, From: 0, Value: 1, Payload: []int64{4, 5, 6}}
+	peers[0].Send(2, want)
+	select {
+	case got := <-peers[2].Inbox(2):
+		if !got.Equal(want) {
+			t.Fatalf("got %+v, want %+v", got, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer frame not delivered")
+	}
+	// Reply path establishes its own connection.
+	reply := Message{Kind: KindFlood, Round: 1, From: 2, Value: 9}
+	peers[2].Send(0, reply)
+	select {
+	case got := <-peers[0].Inbox(0):
+		if !got.Equal(reply) {
+			t.Fatalf("got %+v, want %+v", got, reply)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reply frame not delivered")
+	}
+	// Remote inboxes are a caller bug, not silent misdelivery.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Inbox(remote) did not panic")
+			}
+		}()
+		peers[0].Inbox(1)
+	}()
+}

@@ -1,18 +1,30 @@
 package livenet
 
-import "testing"
+import (
+	"encoding/binary"
+	"testing"
+)
 
-// FuzzMessageCodec checks that every (kind, round, from, value, value2)
-// tuple survives the wire encoding unchanged.
+// FuzzMessageCodec checks that every (kind, round, from, value, value2,
+// payload) tuple survives the wire encoding unchanged. The payload is
+// derived from the raw fuzz bytes eight at a time.
 func FuzzMessageCodec(f *testing.F) {
-	f.Add(uint8(1), int32(0), int32(0), int64(0), int64(0))
-	f.Add(uint8(2), int32(1<<30), int32(1<<31-1), int64(-1), int64(1))
-	f.Add(uint8(255), int32(-5), int32(-7), int64(1<<62), int64(-(1 << 62)))
-	f.Fuzz(func(t *testing.T, kind uint8, round, from int32, value, value2 int64) {
+	f.Add(uint8(1), int32(0), int32(0), int64(0), int64(0), []byte(nil))
+	f.Add(uint8(2), int32(1<<30), int32(1<<31-1), int64(-1), int64(1), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint8(255), int32(-5), int32(-7), int64(1<<62), int64(-(1 << 62)), make([]byte, 64))
+	f.Fuzz(func(t *testing.T, kind uint8, round, from int32, value, value2 int64, raw []byte) {
 		m := Message{Kind: Kind(kind), Round: round, From: from, Value: value, Value2: value2}
-		var buf [frameSize]byte
-		m.encode(&buf)
-		if got := decode(&buf); got != m {
+		for i := 0; i+8 <= len(raw) && len(m.Payload) < maxFrameWords; i += 8 {
+			m.Payload = append(m.Payload, int64(binary.LittleEndian.Uint64(raw[i:])))
+		}
+		if len(m.Payload) > maxFrameWords-minFrameWords {
+			m.Payload = m.Payload[:maxFrameWords-minFrameWords]
+		}
+		got, err := roundTripFrame(m)
+		if err != nil {
+			t.Fatalf("round trip %+v: %v", m, err)
+		}
+		if !got.Equal(m) {
 			t.Fatalf("round trip %+v -> %+v", m, got)
 		}
 	})

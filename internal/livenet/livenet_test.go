@@ -1,6 +1,7 @@
 package livenet
 
 import (
+	"bytes"
 	"sync"
 	"testing"
 	"time"
@@ -15,14 +16,28 @@ func TestMessageEncodeDecodeRoundTrip(t *testing.T) {
 		{Kind: KindResponse, Round: 123, From: 456, Value: -789},
 		{Kind: KindResponse, Round: 1 << 30, From: 1<<31 - 1, Value: 1<<62 - 1},
 		{Kind: KindRequest, Round: 7, From: 3, Value: -(1 << 62)},
+		{Kind: KindResponse, Round: 9, From: 1, Value: 5, Value2: -6,
+			Payload: []int64{1, -2, 1 << 40, 0}},
 	}
 	for _, m := range cases {
-		var buf [frameSize]byte
-		m.encode(&buf)
-		if got := decode(&buf); got != m {
+		got, err := roundTripFrame(m)
+		if err != nil {
+			t.Fatalf("round trip %+v: %v", m, err)
+		}
+		if !got.Equal(m) {
 			t.Errorf("round trip: %+v -> %+v", m, got)
 		}
 	}
+}
+
+// roundTripFrame encodes m and decodes it back through the v2 framing.
+func roundTripFrame(m Message) (Message, error) {
+	buf, err := appendFrame(nil, m)
+	if err != nil {
+		return Message{}, err
+	}
+	fr := frameReader{r: bytes.NewReader(buf)}
+	return fr.read()
 }
 
 func TestMailboxOrderAndUnboundedness(t *testing.T) {
@@ -198,7 +213,7 @@ func TestTCPTransportFrameExchange(t *testing.T) {
 	tr.Send(1, want)
 	select {
 	case got := <-tr.Inbox(1):
-		if got != want {
+		if !got.Equal(want) {
 			t.Fatalf("got %+v, want %+v", got, want)
 		}
 	case <-time.After(5 * time.Second):

@@ -20,10 +20,12 @@ package livenet
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // Kind discriminates message types.
@@ -42,37 +44,138 @@ const (
 	KindCount
 )
 
-// Message is the single wire format: 1+4+4+8+8 bytes when framed. Value2 is
-// the second payload word of the two-word protocols (floods and push-sum
-// counting); request/response traffic leaves it zero. Both layouts stay
+// Message is the single wire format. Value and Value2 are the two payload
+// words of the node protocols (request/response, floods, push-sum counting) —
 // within the paper's O(log n)-bit message discipline (two 64-bit words, the
-// same 128-bit cap the simulator accounts).
+// same 128-bit cap the simulator accounts). Payload carries the optional
+// variable-length tail of the shard-tier frames (summary cut arrays,
+// mutation batches); node traffic leaves it nil. Messages with payloads are
+// deliberately outside the per-gossip-message bit cap: they ride the
+// constant-round cross-shard merge, not the per-round gossip, and their cost
+// is accounted by the shard tier.
 type Message struct {
 	Kind   Kind
 	Round  int32
 	From   int32
 	Value  int64
 	Value2 int64
+	// Payload is the frame's variable tail; the receiver owns the slice.
+	Payload []int64
 }
 
-const frameSize = 1 + 4 + 4 + 8 + 8
-
-func (m Message) encode(buf *[frameSize]byte) {
-	buf[0] = byte(m.Kind)
-	binary.LittleEndian.PutUint32(buf[1:5], uint32(m.Round))
-	binary.LittleEndian.PutUint32(buf[5:9], uint32(m.From))
-	binary.LittleEndian.PutUint64(buf[9:17], uint64(m.Value))
-	binary.LittleEndian.PutUint64(buf[17:25], uint64(m.Value2))
-}
-
-func decode(buf *[frameSize]byte) Message {
-	return Message{
-		Kind:   Kind(buf[0]),
-		Round:  int32(binary.LittleEndian.Uint32(buf[1:5])),
-		From:   int32(binary.LittleEndian.Uint32(buf[5:9])),
-		Value:  int64(binary.LittleEndian.Uint64(buf[9:17])),
-		Value2: int64(binary.LittleEndian.Uint64(buf[17:25])),
+// Equal reports full equality including the payload (Message is not
+// comparable with == since payloads are slices).
+func (m Message) Equal(o Message) bool {
+	if m.Kind != o.Kind || m.Round != o.Round || m.From != o.From ||
+		m.Value != o.Value || m.Value2 != o.Value2 || len(m.Payload) != len(o.Payload) {
+		return false
 	}
+	for i, w := range m.Payload {
+		if o.Payload[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Wire framing (version 2). Every frame starts with an explicit version
+// byte and a payload word count, so a peer speaking a different frame
+// layout — or a corrupted length — is detected as a framing error instead
+// of being misparsed into a phantom message (the version-less fixed-size v1
+// frame could not tell). Layout, little-endian:
+//
+//	[0]     frame version (frameVersion)
+//	[1]     kind
+//	[2:6]   round (uint32)
+//	[6:10]  from (uint32)
+//	[10:12] payload word count W (uint16), 2 ≤ W ≤ maxFrameWords
+//	[12:]   W 64-bit words: Value, Value2, then Payload
+const (
+	frameVersion  = 2
+	headerSize    = 1 + 1 + 4 + 4 + 2
+	minFrameWords = 2
+	// maxFrameWords bounds a frame at 128 KiB of payload: comfortably above
+	// the largest summary cut array a valid eps can produce (⌈2/ε⌉ words at
+	// the engine's minimum width) and small enough that a garbage length
+	// can't make a reader allocate unboundedly.
+	maxFrameWords = 1 << 14
+)
+
+// Framing errors, matched by errors.Is in the decode-error tests and by
+// transports deciding to drop a connection.
+var (
+	ErrFrameVersion = errors.New("livenet: unknown frame version")
+	ErrFrameLength  = errors.New("livenet: frame payload length out of range")
+)
+
+// appendFrame encodes m onto dst, returning the extended slice; it fails
+// only when the payload exceeds the frame cap (nothing is appended then).
+func appendFrame(dst []byte, m Message) ([]byte, error) {
+	words := minFrameWords + len(m.Payload)
+	if words > maxFrameWords {
+		return dst, fmt.Errorf("%w: %d words > cap %d", ErrFrameLength, words, maxFrameWords)
+	}
+	dst = append(dst, frameVersion, byte(m.Kind))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.Round))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.From))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(words))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(m.Value))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(m.Value2))
+	for _, w := range m.Payload {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(w))
+	}
+	return dst, nil
+}
+
+// frameReader decodes a stream of v2 frames, reusing one payload buffer
+// across reads. A framing error (bad version, out-of-range length) poisons
+// the stream — the caller must drop the connection, since byte alignment is
+// lost. Truncations surface as io.ErrUnexpectedEOF.
+type frameReader struct {
+	r   io.Reader
+	buf []byte
+}
+
+func (fr *frameReader) read() (Message, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = fmt.Errorf("livenet: truncated frame header: %w", err)
+		}
+		return Message{}, err
+	}
+	if hdr[0] != frameVersion {
+		return Message{}, fmt.Errorf("%w: got %d, want %d", ErrFrameVersion, hdr[0], frameVersion)
+	}
+	words := int(binary.LittleEndian.Uint16(hdr[10:12]))
+	if words < minFrameWords || words > maxFrameWords {
+		return Message{}, fmt.Errorf("%w: %d words, want %d..%d", ErrFrameLength, words, minFrameWords, maxFrameWords)
+	}
+	need := words * 8
+	if cap(fr.buf) < need {
+		fr.buf = make([]byte, need)
+	}
+	b := fr.buf[:need]
+	if _, err := io.ReadFull(fr.r, b); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Message{}, fmt.Errorf("livenet: truncated frame body: %w", err)
+	}
+	m := Message{
+		Kind:   Kind(hdr[1]),
+		Round:  int32(binary.LittleEndian.Uint32(hdr[2:6])),
+		From:   int32(binary.LittleEndian.Uint32(hdr[6:10])),
+		Value:  int64(binary.LittleEndian.Uint64(b[0:8])),
+		Value2: int64(binary.LittleEndian.Uint64(b[8:16])),
+	}
+	if words > minFrameWords {
+		m.Payload = make([]int64, words-minFrameWords)
+		for i := range m.Payload {
+			m.Payload[i] = int64(binary.LittleEndian.Uint64(b[16+8*i:]))
+		}
+	}
+	return m, nil
 }
 
 // Transport delivers messages between nodes. Send must be safe for
@@ -178,9 +281,10 @@ func (t *tcpTransport) acceptLoop(node int, ln net.Listener) {
 func (t *tcpTransport) readLoop(node int, conn net.Conn) {
 	defer t.wg.Done()
 	defer conn.Close()
-	var buf [frameSize]byte
+	fr := frameReader{r: conn}
 	for {
-		if _, err := io.ReadFull(conn, buf[:]); err != nil {
+		m, err := fr.read()
+		if err != nil {
 			select {
 			case <-t.closed:
 			default:
@@ -190,16 +294,21 @@ func (t *tcpTransport) readLoop(node int, conn net.Conn) {
 			}
 			return
 		}
-		t.boxes[node].put(decode(&buf))
+		t.boxes[node].put(m)
 	}
 }
 
 func (t *tcpTransport) Send(to int, m Message) {
+	var arr [headerSize + 16]byte
+	buf, err := appendFrame(arr[:0], m)
+	if err != nil {
+		t.sendErr(err)
+		return
+	}
 	key := [2]int{int(m.From), to}
 	t.mu.Lock()
 	conn, ok := t.conns[key]
 	if !ok {
-		var err error
 		conn, err = net.Dial("tcp", t.addrs[to])
 		if err != nil {
 			t.mu.Unlock()
@@ -208,9 +317,7 @@ func (t *tcpTransport) Send(to int, m Message) {
 		}
 		t.conns[key] = conn
 	}
-	var buf [frameSize]byte
-	m.encode(&buf)
-	_, err := conn.Write(buf[:])
+	_, err = conn.Write(buf)
 	t.mu.Unlock()
 	if err != nil {
 		t.sendErr(err)
@@ -218,6 +325,186 @@ func (t *tcpTransport) Send(to int, m Message) {
 }
 
 func (t *tcpTransport) Inbox(node int) <-chan Message { return t.boxes[node].out }
+
+// PeerTransport is the cross-process transport: this process is one peer of
+// a group, listening on its own address and dialing the others on demand.
+// It implements Transport, but Inbox is only valid for the process's own
+// peer index — remote inboxes live in remote processes. This is what the
+// shard tier runs over when shards are separate OS processes: the router
+// and every worker each hold one PeerTransport over the same address list.
+type PeerTransport struct {
+	self  int
+	ln    net.Listener
+	box   *mailbox
+	addrs []string
+
+	mu      sync.Mutex
+	conns   map[int]net.Conn      // peer -> outbound conn
+	inbound map[net.Conn]struct{} // accepted conns, closed with the transport
+
+	wg      sync.WaitGroup
+	closed  chan struct{}
+	sendErr func(error)
+}
+
+// NewTCPPeerTransport builds the transport for peer self of the group
+// described by addrs: it listens on addrs[self] (which may have port 0; see
+// Addr for the bound address) and will dial addrs[j] on the first Send to
+// peer j. onError, if non-nil, observes transport errors (dial and write
+// failures, framing errors from peers).
+func NewTCPPeerTransport(self int, addrs []string, onError func(error)) (*PeerTransport, error) {
+	if self < 0 || self >= len(addrs) {
+		return nil, fmt.Errorf("livenet: peer index %d of %d addrs", self, len(addrs))
+	}
+	if onError == nil {
+		onError = func(error) {}
+	}
+	ln, err := net.Listen("tcp", addrs[self])
+	if err != nil {
+		return nil, fmt.Errorf("livenet: listen %s: %w", addrs[self], err)
+	}
+	t := &PeerTransport{
+		self:    self,
+		ln:      ln,
+		box:     newMailbox(),
+		addrs:   append([]string(nil), addrs...),
+		conns:   make(map[int]net.Conn),
+		inbound: make(map[net.Conn]struct{}),
+		closed:  make(chan struct{}),
+		sendErr: onError,
+	}
+	t.addrs[self] = ln.Addr().String()
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the transport's bound listen address.
+func (t *PeerTransport) Addr() string { return t.addrs[t.self] }
+
+// SetPeerAddrs replaces the dial addresses of the other peers — for groups
+// whose members listen on port 0, where the full bound-address list is only
+// known after every member has been constructed. It must be called before
+// the first Send to any updated peer; the transport's own entry is ignored
+// (the listener is already bound).
+func (t *PeerTransport) SetPeerAddrs(addrs []string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, a := range addrs {
+		if i != t.self && i < len(t.addrs) {
+			t.addrs[i] = a
+		}
+	}
+}
+
+func (t *PeerTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.closed:
+			default:
+				t.sendErr(err)
+			}
+			return
+		}
+		t.mu.Lock()
+		t.inbound[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *PeerTransport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	fr := frameReader{r: conn}
+	for {
+		m, err := fr.read()
+		if err != nil {
+			select {
+			case <-t.closed:
+			default:
+				if err != io.EOF {
+					t.sendErr(err)
+				}
+			}
+			return
+		}
+		t.box.put(m)
+	}
+}
+
+// Send writes one frame to peer `to`, dialing on first use. A write failure
+// drops the cached connection so a later Send can redial (a restarted peer
+// becomes reachable again); the failure itself is reported to onError, not
+// the caller — the shard tier detects down peers by gather timeout, not by
+// send errors.
+func (t *PeerTransport) Send(to int, m Message) {
+	buf, err := appendFrame(make([]byte, 0, headerSize+16+8*len(m.Payload)), m)
+	if err != nil {
+		t.sendErr(err)
+		return
+	}
+	t.mu.Lock()
+	conn, ok := t.conns[to]
+	if !ok {
+		conn, err = net.DialTimeout("tcp", t.addrs[to], 3*time.Second)
+		if err != nil {
+			t.mu.Unlock()
+			t.sendErr(err)
+			return
+		}
+		t.conns[to] = conn
+	}
+	_, err = conn.Write(buf)
+	if err != nil {
+		delete(t.conns, to)
+		conn.Close()
+	}
+	t.mu.Unlock()
+	if err != nil {
+		t.sendErr(err)
+	}
+}
+
+// Inbox returns this peer's own receive channel; asking for a remote peer's
+// inbox is a caller bug.
+func (t *PeerTransport) Inbox(node int) <-chan Message {
+	if node != t.self {
+		panic(fmt.Sprintf("livenet: Inbox(%d) on peer transport %d — remote inboxes live in remote processes", node, t.self))
+	}
+	return t.box.out
+}
+
+// Close shuts the listener and all connections and drains the reader
+// goroutines.
+func (t *PeerTransport) Close() {
+	select {
+	case <-t.closed:
+		return
+	default:
+	}
+	close(t.closed)
+	t.ln.Close()
+	t.mu.Lock()
+	for _, c := range t.conns {
+		c.Close()
+	}
+	for c := range t.inbound {
+		c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	t.box.close()
+}
 
 func (t *tcpTransport) Close() {
 	select {

@@ -51,6 +51,17 @@ type Options struct {
 	// invocation can record a scaling curve. Zero inherits the process
 	// setting.
 	GOMAXPROCS int
+	// Shards switches the measurement to the distributed shard tier
+	// (RunSharded): the population is partitioned across this many shard
+	// sessions, the timed quantity is the cross-shard refresh (parallel
+	// shard builds + constant-round merge), and clients read the published
+	// merged snapshot. Zero measures the single-process Session (Run).
+	Shards int
+	// Transport selects the shard wire for RunSharded: "chan" (in-process
+	// gang over the livenet channel transport, the scaling-sweep shape) or
+	// "tcp" (every worker and the router on its own TCP PeerTransport
+	// through the loopback stack, the deployment shape). Default "chan".
+	Transport string
 }
 
 func (o Options) withDefaults() Options {
@@ -96,6 +107,13 @@ type Result struct {
 	LatencyP50Ns     float64 `json:"latency_p50_ns"`
 	LatencyP99Ns     float64 `json:"latency_p99_ns"`
 	LatencyMaxNs     int64   `json:"latency_max_ns"`
+	// Sharded rows only: the shard count, the wire ("chan" or "tcp"), and
+	// the warm cross-shard refresh wall-clock — the number the S=4 vs S=1
+	// scaling gate compares, since parallel shard builds are what the tier
+	// buys.
+	Shards    int     `json:"shards,omitempty"`
+	Transport string  `json:"transport,omitempty"`
+	RefreshNs float64 `json:"refresh_ns,omitempty"`
 }
 
 // latencyHistogram builds the per-query latency histogram: log-spaced buckets

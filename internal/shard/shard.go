@@ -1,0 +1,165 @@
+// Package shard is the distributed tier of the quantile system: it
+// partitions one logical population across S shard workers — goroutines in
+// one process or separate OS processes — where each worker runs the full
+// gossip quantile protocol locally on its slice, and the shards combine
+// results by exchanging mergeable ε-summaries in a constant number of
+// cross-shard communication rounds (one refresh broadcast, one summary
+// gather — the congested-clique O(1)-round aggregation shape; the merge
+// itself is local arithmetic at the router).
+//
+// The package deliberately knows nothing about the root gossipq package —
+// workers compute through the Backend interface and summaries travel as
+// neutral cut arrays (ShardSummary) — so the dependency points root → shard
+// and the root package can both provide the backend (a Session adapter) and
+// consume the gathered summaries (Summary merge + snapshot publish) without
+// an import cycle.
+//
+// Wire protocol: all traffic rides livenet's v2 frames (version byte +
+// length-guarded variable payload) over the existing transports — chan for
+// in-process gangs, PeerTransport for process groups. Workers are peers
+// 0..S-1, the router is peer S. Every request carries a router-assigned
+// epoch id in the Round field and every reply echoes it, so late replies
+// from a previous epoch are discarded rather than misattributed.
+package shard
+
+import (
+	"fmt"
+
+	"gossipq/internal/livenet"
+	"gossipq/internal/xrand"
+)
+
+// Message kinds of the shard tier, disjoint from livenet's node-protocol
+// kinds (which stop at KindCount).
+const (
+	// KindRefresh (router → worker) requests a summary rebuild: Value holds
+	// the float64 bits of the summary width eps.
+	KindRefresh livenet.Kind = 16 + iota
+	// KindSummary (worker → router) carries the rebuilt summary: Value is
+	// the shard population size, Value2 the shard generation, and the
+	// payload is the node-0 cut envelope.
+	KindSummary
+	// KindMutate (router → worker) carries an encoded mutation batch
+	// (EncodeOps) to apply atomically.
+	KindMutate
+	// KindMutateAck (worker → router) acknowledges a batch: Value is the
+	// shard's new population size, Value2 its new generation.
+	KindMutateAck
+	// KindPing (router → worker) requests a health report; KindPong answers
+	// with Value = population size, Value2 = generation, and a one-word
+	// payload holding the mutation ops applied since the last summary build.
+	KindPing
+	KindPong
+	// KindError (worker → router) reports that the epoch's request failed at
+	// the worker; Value is an errCode.
+	KindError
+)
+
+// Worker-side error codes carried by KindError frames.
+const (
+	errCodeBuild = 1 + iota
+	errCodeMutate
+	errCodeBadFrame
+)
+
+// RouterPeer returns the router's peer index in a group of shards workers —
+// by convention the last peer, so worker i and partition slice i coincide.
+func RouterPeer(shards int) int { return shards }
+
+// Partition returns the bounds [lo, hi) of shard i's contiguous slice of an
+// n-value population split across shards workers: slices differ in size by
+// at most one, with the remainder spread over the lowest-indexed shards.
+func Partition(n, shards, i int) (lo, hi int) {
+	q, r := n/shards, n%shards
+	lo = i*q + min(i, r)
+	hi = lo + q
+	if i < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// shardSeedTag namespaces per-shard session seeds ("Shrd") within the root
+// seed's derivation tree, disjoint from the root session's query, snapshot,
+// and prewarm streams.
+const shardSeedTag = 0x53687264
+
+// SeedFor derives shard i's session seed from the deployment's root seed.
+// Every topology (in-process gang, TCP process group, any worker count
+// inside a shard) derives the same per-shard seeds, which is what makes the
+// merged summaries bit-identical across deployment shapes.
+func SeedFor(root uint64, i int) uint64 {
+	return xrand.NewSource(root).Sub(shardSeedTag).StreamSeed(uint64(i))
+}
+
+// ShardSummary is the neutral wire form of one shard's ε-summary: the
+// node-0 cut envelope plus its weights, exactly what the root package's
+// NewSummaryFromCuts reconstitutes for merging.
+type ShardSummary struct {
+	Shard int
+	N     int
+	Eps   float64
+	Gen   uint64
+	Cuts  []int64
+}
+
+// ShardDownError reports that a shard failed to answer within the router's
+// timeout — the error serving layers map to a 503.
+type ShardDownError struct {
+	Shard int
+	Addr  string
+}
+
+func (e *ShardDownError) Error() string {
+	if e.Addr != "" {
+		return fmt.Sprintf("shard %d (%s) is not responding", e.Shard, e.Addr)
+	}
+	return fmt.Sprintf("shard %d is not responding", e.Shard)
+}
+
+// OpKind discriminates mutation operations.
+type OpKind uint8
+
+const (
+	OpInsert OpKind = iota + 1
+	OpDelete
+	OpUpdate
+)
+
+// Op is one mutation addressed to a shard: Index is a shard-local position
+// (ignored for inserts), Value the inserted/overwriting value (ignored for
+// deletes).
+type Op struct {
+	Kind  OpKind
+	Index int
+	Value int64
+}
+
+// EncodeOps appends the wire form of ops to dst: two words per op, the
+// first packing kind (low byte) and index (upper 56 bits), the second the
+// value.
+func EncodeOps(dst []int64, ops []Op) []int64 {
+	for _, op := range ops {
+		dst = append(dst, int64(op.Kind)|int64(op.Index)<<8, op.Value)
+	}
+	return dst
+}
+
+// DecodeOps appends the ops encoded in words to dst, failing on a malformed
+// payload (odd length, unknown kind, negative index).
+func DecodeOps(dst []Op, words []int64) ([]Op, error) {
+	if len(words)%2 != 0 {
+		return dst, fmt.Errorf("shard: mutation payload of %d words, want even", len(words))
+	}
+	for i := 0; i < len(words); i += 2 {
+		op := Op{Kind: OpKind(words[i] & 0xff), Index: int(words[i] >> 8), Value: words[i+1]}
+		if op.Kind < OpInsert || op.Kind > OpUpdate {
+			return dst, fmt.Errorf("shard: unknown op kind %d", op.Kind)
+		}
+		if op.Index < 0 {
+			return dst, fmt.Errorf("shard: negative op index %d", op.Index)
+		}
+		dst = append(dst, op)
+	}
+	return dst, nil
+}

@@ -1,0 +1,286 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"gossipq/internal/livenet"
+)
+
+// fakeBackend is a deterministic stand-in for a shard session: its summary
+// cuts encode (shard id, rebuild count) so tests can verify provenance and
+// freshness without running the gossip protocol.
+type fakeBackend struct {
+	id       int
+	n        int
+	gen      uint64
+	drift    uint64
+	rebuilds int64
+	failNext bool
+}
+
+func (b *fakeBackend) Rebuild(eps float64) ([]int64, int, uint64, error) {
+	if b.failNext {
+		b.failNext = false
+		return nil, 0, 0, errors.New("forced failure")
+	}
+	b.rebuilds++
+	b.drift = 0
+	return []int64{int64(b.id), b.rebuilds, int64(eps * 1000)}, b.n, b.gen, nil
+}
+
+func (b *fakeBackend) Apply(ops []Op) (int, uint64, error) {
+	for _, op := range ops {
+		switch op.Kind {
+		case OpInsert:
+			b.n++
+		case OpDelete:
+			if b.n <= 2 {
+				return 0, 0, errors.New("population too small")
+			}
+			b.n--
+		}
+	}
+	b.gen++
+	b.drift += uint64(len(ops))
+	return b.n, b.gen, nil
+}
+
+func (b *fakeBackend) Info() (int, uint64, uint64) { return b.n, b.gen, b.drift }
+
+// gang builds an in-process router + S fake workers over a chan transport,
+// with the merge barrier armed.
+func gang(t *testing.T, shards int) (*Router, []*fakeBackend, func()) {
+	t.Helper()
+	tr := livenet.NewChanTransport(shards + 1)
+	bar := &Barrier{}
+	backends := make([]*fakeBackend, shards)
+	for i := range backends {
+		backends[i] = &fakeBackend{id: i, n: 100 + i}
+		go NewWorker(i, tr, backends[i], bar).Run()
+	}
+	r := NewRouter(tr, shards, 10*time.Second, bar, nil)
+	return r, backends, tr.Close
+}
+
+func TestPartitionCoversExactly(t *testing.T) {
+	for _, n := range []int{2, 7, 64, 1 << 20, 1<<24 + 3} {
+		for _, s := range []int{1, 2, 3, 8, 16} {
+			prev := 0
+			for i := 0; i < s; i++ {
+				lo, hi := Partition(n, s, i)
+				if lo != prev {
+					t.Fatalf("n=%d s=%d shard %d starts at %d, want %d", n, s, i, lo, prev)
+				}
+				if size := hi - lo; size < n/s || size > n/s+1 {
+					t.Fatalf("n=%d s=%d shard %d size %d not balanced", n, s, i, size)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d s=%d covers %d", n, s, prev)
+			}
+		}
+	}
+}
+
+func TestSeedForDistinctPerShard(t *testing.T) {
+	seen := map[uint64]int{}
+	for i := 0; i < 64; i++ {
+		s := SeedFor(42, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("shards %d and %d share seed %d", prev, i, s)
+		}
+		seen[s] = i
+	}
+	if SeedFor(42, 0) != SeedFor(42, 0) {
+		t.Fatal("SeedFor not deterministic")
+	}
+	if SeedFor(42, 0) == SeedFor(43, 0) {
+		t.Fatal("root seed ignored")
+	}
+}
+
+func TestOpsCodecRoundTrip(t *testing.T) {
+	ops := []Op{
+		{Kind: OpInsert, Value: -5},
+		{Kind: OpDelete, Index: 1<<40 + 7},
+		{Kind: OpUpdate, Index: 3, Value: 1 << 60},
+	}
+	words := EncodeOps(nil, ops)
+	got, err := DecodeOps(nil, words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("decoded %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Fatalf("op %d: %+v -> %+v", i, ops[i], got[i])
+		}
+	}
+	for name, words := range map[string][]int64{
+		"odd length":   {1},
+		"zero kind":    {0, 0},
+		"unknown kind": {99, 0},
+	} {
+		if _, err := DecodeOps(nil, words); err == nil {
+			t.Errorf("%s decoded without error", name)
+		}
+	}
+}
+
+func TestGatherAllShards(t *testing.T) {
+	const S = 4
+	r, _, stop := gang(t, S)
+	defer stop()
+	dirty := []bool{true, true, true, true}
+	sums, err := r.Gather(0.25, dirty, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != S {
+		t.Fatalf("gathered %d summaries, want %d", len(sums), S)
+	}
+	for i, s := range sums {
+		if s.Shard != i {
+			t.Errorf("summary %d from shard %d — not in shard order", i, s.Shard)
+		}
+		if s.N != 100+i || s.Cuts[0] != int64(i) || s.Cuts[1] != 1 {
+			t.Errorf("shard %d summary %+v has wrong provenance", i, s)
+		}
+		if s.Eps != 0.25 {
+			t.Errorf("shard %d eps %v", i, s.Eps)
+		}
+	}
+	if st := r.Stats(); st.Epochs != 1 || st.HopsPerEpoch != 2 {
+		t.Errorf("stats %+v, want 1 epoch at 2 hops", st)
+	}
+}
+
+func TestGatherDirtySubsetOnly(t *testing.T) {
+	const S = 3
+	r, backends, stop := gang(t, S)
+	defer stop()
+	if _, err := r.Gather(0.25, []bool{true, true, true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Second epoch repairs only shard 1; the clean shards must not rebuild.
+	sums, err := r.Gather(0.25, []bool{false, true, false}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 1 || sums[0].Shard != 1 || sums[0].Cuts[1] != 2 {
+		t.Fatalf("dirty-subset gather returned %+v", sums)
+	}
+	for i, b := range backends {
+		want := int64(1)
+		if i == 1 {
+			want = 2
+		}
+		if b.rebuilds != want {
+			t.Errorf("shard %d rebuilt %d times, want %d", i, b.rebuilds, want)
+		}
+	}
+}
+
+func TestGatherWorkerErrorPropagates(t *testing.T) {
+	r, backends, stop := gang(t, 2)
+	defer stop()
+	backends[0].failNext = true
+	if _, err := r.Gather(0.25, []bool{true, true}, nil); err == nil {
+		t.Fatal("failed rebuild produced no error")
+	}
+	// The group survives the failed epoch.
+	if _, err := r.Gather(0.25, []bool{true, true}, nil); err != nil {
+		t.Fatalf("epoch after failure: %v", err)
+	}
+}
+
+func TestMutateAndPing(t *testing.T) {
+	r, backends, stop := gang(t, 2)
+	defer stop()
+	n, gen, err := r.Mutate(1, []Op{{Kind: OpInsert, Value: 7}, {Kind: OpInsert, Value: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 103 || gen != 1 {
+		t.Fatalf("mutate ack n=%d gen=%d", n, gen)
+	}
+	if backends[1].n != 103 {
+		t.Fatalf("backend n=%d", backends[1].n)
+	}
+	h, err := r.Ping(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N != 103 || h.Gen != 1 || h.Drift != 2 {
+		t.Fatalf("health %+v", h)
+	}
+	if h2, err := r.Ping(0); err != nil || h2.Drift != 0 {
+		t.Fatalf("clean shard health %+v err=%v", h2, err)
+	}
+}
+
+// TestGatherTimeoutShardDown removes a worker: the gather must fail with
+// ShardDownError naming the missing shard, not hang.
+func TestGatherTimeoutShardDown(t *testing.T) {
+	const S = 2
+	tr := livenet.NewChanTransport(S + 1)
+	defer tr.Close()
+	// Only shard 0 gets a worker; shard 1 is "down".
+	go NewWorker(0, tr, &fakeBackend{id: 0, n: 10}, nil).Run()
+	r := NewRouter(tr, S, 200*time.Millisecond, nil, []string{"a:1", "b:2"})
+	_, err := r.Gather(0.25, []bool{true, true}, nil)
+	var down *ShardDownError
+	if !errors.As(err, &down) {
+		t.Fatalf("err = %v, want ShardDownError", err)
+	}
+	if down.Shard != 1 || down.Addr != "b:2" {
+		t.Fatalf("down = %+v", down)
+	}
+}
+
+// TestGatherOverTCPPeers runs the router and workers on separate
+// PeerTransports (as separate processes would) and checks the gathered
+// summaries match the chan-transport gang bit for bit.
+func TestGatherOverTCPPeers(t *testing.T) {
+	const S = 3
+	addrs := make([]string, S+1)
+	for i := range addrs {
+		addrs[i] = "127.0.0.1:0"
+	}
+	peers := make([]*livenet.PeerTransport, S+1)
+	for i := range peers {
+		p, err := livenet.NewTCPPeerTransport(i, addrs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		peers[i] = p
+		addrs[i] = p.Addr()
+	}
+	for _, p := range peers {
+		p.SetPeerAddrs(addrs)
+	}
+	for i := 0; i < S; i++ {
+		go NewWorker(i, peers[i], &fakeBackend{id: i, n: 50 * (i + 1)}, nil).Run()
+	}
+	r := NewRouter(peers[S], S, 10*time.Second, nil, addrs[:S])
+	sums, err := r.Gather(0.125, []bool{true, true, true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sums {
+		want := ShardSummary{Shard: i, N: 50 * (i + 1), Eps: 0.125, Cuts: []int64{int64(i), 1, 125}}
+		if fmt.Sprint(s) != fmt.Sprint(want) {
+			t.Errorf("shard %d: %+v, want %+v", i, s, want)
+		}
+	}
+	if h, err := r.Ping(2); err != nil || h.Addr != addrs[2] {
+		t.Errorf("ping over TCP: %+v, %v", h, err)
+	}
+}

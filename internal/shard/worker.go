@@ -1,0 +1,160 @@
+package shard
+
+import (
+	"math"
+	"sync"
+
+	"gossipq/internal/livenet"
+)
+
+// Backend is the quantile engine a worker drives: the root package's
+// Session satisfies it through a thin adapter. Rebuild runs the gossip grid
+// build over the shard's current population at width eps and returns the
+// node-0 cut envelope with its weights; Apply commits one mutation batch
+// atomically; Info reports the current population size, generation, and
+// mutation ops applied since the last Rebuild (the shard's drift).
+type Backend interface {
+	Rebuild(eps float64) (cuts []int64, n int, gen uint64, err error)
+	Apply(ops []Op) (n int, gen uint64, err error)
+	Info() (n int, gen uint64, drift uint64)
+}
+
+// Barrier hands the current refresh epoch's lockstep Coordinator
+// (livenet.Coordinator — the same barrier the differential livenet runs
+// synchronize on) to in-process workers. The set of barrier participants
+// changes per epoch — only the shards being refreshed take part, plus the
+// router — so the router arms a fresh Coordinator sized to the epoch at its
+// start and disarms it after release; workers pick up whatever is armed
+// when a request reaches them. A nil Barrier (process mode) disables the
+// accounting: a barrier cannot span OS processes, and there the router's
+// epoch-id matching plus gather timeout provide the synchronization.
+type Barrier struct {
+	mu sync.Mutex
+	co *livenet.Coordinator
+}
+
+// arm installs a coordinator for n participants and returns it.
+func (b *Barrier) arm(n int) *livenet.Coordinator {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.co = livenet.NewCoordinator(n)
+	return b.co
+}
+
+// disarm ends the epoch.
+func (b *Barrier) disarm() {
+	b.mu.Lock()
+	b.co = nil
+	b.mu.Unlock()
+}
+
+// current returns the armed coordinator, or nil between epochs.
+func (b *Barrier) current() *livenet.Coordinator {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.co
+}
+
+// Worker runs one shard: it serves refresh, mutate, and ping requests from
+// the router over the transport until the transport closes. The worker is
+// single-threaded by design — the router serializes epochs, and a shard's
+// protocol runs already parallelize internally via the engine's worker
+// gang.
+type Worker struct {
+	id  int // peer index == partition index
+	tr  livenet.Transport
+	be  Backend
+	bar *Barrier
+
+	router int // router peer index, learned from request frames
+	ops    []Op
+}
+
+// NewWorker builds the worker for shard id serving be over tr. bar, when
+// non-nil, is the in-process merge barrier shared with the router.
+func NewWorker(id int, tr livenet.Transport, be Backend, bar *Barrier) *Worker {
+	return &Worker{id: id, tr: tr, be: be, bar: bar}
+}
+
+// Run serves requests until the transport's inbox closes. It is the
+// worker's whole life; run it on its own goroutine (in-process gang) or as
+// the main loop of a shard process.
+func (w *Worker) Run() {
+	for m := range w.tr.Inbox(w.id) {
+		co := w.bar.current()
+		if co != nil {
+			co.NoteReceived()
+		}
+		w.router = int(m.From)
+		switch m.Kind {
+		case KindRefresh:
+			w.refresh(m, co)
+		case KindMutate:
+			w.mutate(m, co)
+		case KindPing:
+			n, gen, drift := w.be.Info()
+			w.reply(co, livenet.Message{Kind: KindPong, Round: m.Round,
+				Value: int64(n), Value2: int64(gen), Payload: []int64{int64(drift)}})
+		default:
+			w.reply(co, livenet.Message{Kind: KindError, Round: m.Round, Value: errCodeBadFrame})
+		}
+	}
+}
+
+// refresh rebuilds the shard summary and ships it, then — in barrier mode —
+// arrives at the merge barrier and waits out the epoch, draining any
+// stragglers so the barrier's delivery accounting stays exact.
+func (w *Worker) refresh(m livenet.Message, co *livenet.Coordinator) {
+	eps := math.Float64frombits(uint64(m.Value))
+	cuts, n, gen, err := w.be.Rebuild(eps)
+	if err != nil {
+		w.reply(co, livenet.Message{Kind: KindError, Round: m.Round, Value: errCodeBuild})
+	} else {
+		w.reply(co, livenet.Message{Kind: KindSummary, Round: m.Round,
+			Value: int64(n), Value2: int64(gen), Payload: cuts})
+	}
+	if co == nil {
+		return
+	}
+	release := co.Arrive()
+	for {
+		select {
+		case <-release:
+			return
+		case s, ok := <-w.tr.Inbox(w.id):
+			if !ok {
+				return
+			}
+			// The router sends nothing mid-epoch, but the barrier contract
+			// requires arrived nodes to keep draining.
+			co.NoteReceived()
+			_ = s
+		}
+	}
+}
+
+func (w *Worker) mutate(m livenet.Message, co *livenet.Coordinator) {
+	ops, err := DecodeOps(w.ops[:0], m.Payload)
+	if err != nil {
+		w.reply(co, livenet.Message{Kind: KindError, Round: m.Round, Value: errCodeBadFrame})
+		return
+	}
+	w.ops = ops
+	n, gen, err := w.be.Apply(ops)
+	if err != nil {
+		w.reply(co, livenet.Message{Kind: KindError, Round: m.Round, Value: errCodeMutate})
+		return
+	}
+	w.reply(co, livenet.Message{Kind: KindMutateAck, Round: m.Round, Value: int64(n), Value2: int64(gen)})
+}
+
+func (w *Worker) reply(co *livenet.Coordinator, m livenet.Message) {
+	m.From = int32(w.id)
+	if co != nil {
+		co.NoteSent()
+	}
+	w.tr.Send(w.router, m)
+}

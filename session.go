@@ -85,18 +85,16 @@ type Session struct {
 	pool sync.Pool // *queryRig
 
 	// Snapshot serving tier (snapshot.go): the current versioned ε-summary
-	// behind lock-free reads, plus the refresh/refresher lifecycle. snapMu
+	// behind lock-free reads (box — shared machinery with ShardedSession,
+	// see snapbox.go), plus the refresh/refresher lifecycle. snapMu
 	// serializes refreshes and guards the refresh counter, the closed flag,
-	// and the refresher channels; freeMu guards the retired-backing
-	// freelist, which readers push to from their own goroutines.
-	snap          atomic.Pointer[snapshot]
+	// and the refresher channels.
+	box           snapBox
 	snapMu        sync.Mutex
 	refreshes     uint64
 	closed        bool
 	stopRefresher chan struct{}
 	refresherDone chan struct{}
-	freeMu        sync.Mutex
-	free          []summaryBacking
 
 	// qstats is the session's own telemetry: plain atomic counters bumped on
 	// the query and refresh paths, exported as a consistent-enough snapshot
@@ -116,8 +114,6 @@ type sessionStats struct {
 	snapshotFallbacks atomic.Int64
 	refreshBuildNanos atomic.Int64
 	lastRefreshNanos  atomic.Int64
-	recycledBackings  atomic.Int64
-	freshBackings     atomic.Int64
 	inserts           atomic.Int64
 	deletes           atomic.Int64
 	updates           atomic.Int64
@@ -179,8 +175,8 @@ func (s *Session) Stats() SessionStats {
 		Refreshes:         refreshes,
 		RefreshBuildTotal: time.Duration(s.qstats.refreshBuildNanos.Load()),
 		LastRefreshBuild:  time.Duration(s.qstats.lastRefreshNanos.Load()),
-		RecycledBackings:  s.qstats.recycledBackings.Load(),
-		FreshBackings:     s.qstats.freshBackings.Load(),
+		RecycledBackings:  s.box.recycledBackings.Load(),
+		FreshBackings:     s.box.freshBackings.Load(),
 		Inserts:           s.qstats.inserts.Load(),
 		Deletes:           s.qstats.deletes.Load(),
 		Updates:           s.qstats.updates.Load(),

@@ -1,0 +1,839 @@
+package gossipq
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gossipq/internal/livenet"
+	"gossipq/internal/shard"
+	"gossipq/internal/stats"
+)
+
+// This file is the serving side of the distributed shard tier
+// (internal/shard): ShardedSession partitions one logical population across
+// S shard workers, each running the full gossip quantile protocol locally on
+// its slice, and publishes one merged ε-summary for the whole population
+// through the same snapBox machinery the single-process Session uses. The
+// cross-shard cost per refresh is constant — one broadcast hop, one gather
+// hop (Router.Gather) — whatever the population size or shard count; the
+// merge itself is local arithmetic (mergeSummariesInto). Shard summaries are
+// built at width ε/2 and merged at ε, which keeps the merged answers within
+// ±εN of the whole-population rank (see merge.go's error decomposition).
+//
+// Two deployment shapes share this type:
+//
+//   - NewShardedSession runs the gang in-process: each shard is a Session on
+//     its slice of the values, its worker a goroutine, the transport a chan
+//     group, and the refresh epochs synchronize on the livenet lockstep
+//     Coordinator (shard.Barrier).
+//   - NewShardedClient drives remote workers (the `gossipq shard` command)
+//     over a caller-built transport — the separate-OS-process shape, where
+//     epoch-id matching plus the gather timeout replace the barrier.
+//
+// Both derive shard s's session seed as shard.SeedFor(rootSeed, s), so the
+// merged summaries are bit-identical across deployment shapes, shard
+// transports, and engine worker counts.
+
+var (
+	errShardedExact    = errors.New("gossipq: sharded sessions answer approximate queries only (exact needs the whole population on one engine)")
+	errShardedFailures = errors.New("gossipq: sharded sessions require a failure-free Config (summary grid builds run the non-robust tournament)")
+	errShardedNoCheck  = errors.New("gossipq: check mirror not enabled on this sharded session")
+	errShardTooSmall   = errors.New("gossipq: every shard needs at least 2 values")
+)
+
+// shardedStats holds ShardedSession's atomic instrumentation.
+type shardedStats struct {
+	snapshotQueries   atomic.Int64
+	queryRefreshes    atomic.Int64
+	refreshBuildNanos atomic.Int64
+	lastRefreshNanos  atomic.Int64
+	refreshesSkipped  atomic.Int64
+}
+
+// ShardedStats is a point-in-time reading of a sharded session's
+// instrumentation (ShardedSession.Stats).
+type ShardedStats struct {
+	// Shards is the worker count S.
+	Shards int
+	// SnapshotQueries counts queries answered from the merged summary.
+	SnapshotQueries int64
+	// QueryRefreshes counts queries that forced a synchronous refresh first
+	// (no merged summary yet, width not covered, or drift over budget).
+	QueryRefreshes int64
+	// Refreshes counts published merged snapshots; RefreshesSkipped counts
+	// drift-gated Refresh calls served by the standing snapshot.
+	Refreshes        uint64
+	RefreshesSkipped int64
+	// Epochs and HopsPerEpoch are the router's cross-shard round accounting:
+	// completed gather epochs, each costing exactly HopsPerEpoch (= 2)
+	// communication hops regardless of shard count or population size.
+	Epochs       uint64
+	HopsPerEpoch int
+	// RecycledBackings and FreshBackings split merge builds by whether the
+	// grid arrays came off the retired-snapshot freelist.
+	RecycledBackings int64
+	FreshBackings    int64
+	// Generation counts successful mutation calls; MutationOps individual
+	// applied operations across all shards (the drift unit).
+	Generation  uint64
+	MutationOps uint64
+	// RefreshBuildTotal and LastRefreshBuild meter the wall-clock refresh
+	// cost: gather (shard grid builds) plus merge.
+	RefreshBuildTotal time.Duration
+	LastRefreshBuild  time.Duration
+}
+
+// ShardedSession serves quantile queries over a population partitioned
+// across shard workers. All answers come from the published merged
+// ε-summary (lock-free, allocation-free reads through the same snapBox as
+// Session); a query the standing summary cannot serve triggers one
+// synchronous drift-gated Refresh. Mutations are routed to the owning shard
+// by global index and tracked per shard, so a refresh repairs only the
+// shards whose accumulated drift threatens the εn bound (the dirty-shard
+// repair).
+//
+// Queries (Ask, Batch) and Snapshot are safe for arbitrary goroutine
+// concurrency. Refresh and Mutate serialize on the session.
+type ShardedSession struct {
+	cfg    Config
+	shards int
+	router *shard.Router
+
+	// mu guards the shard bookkeeping (cache, sizes, generations, drift
+	// counters), refresh/mutate serialization, and the lifecycle flags.
+	mu        sync.Mutex
+	closed    bool
+	refreshes uint64
+	// lastEps is the width the cache was gathered for (shard width
+	// lastEps/2); a Refresh at a different width forces every shard dirty.
+	lastEps float64
+	// cache[i] is shard i's last gathered summary (reconstituted via
+	// NewSummaryFromCuts), reused unmodified for clean shards at the next
+	// merge; opsSince[i] counts mutation ops routed to shard i since
+	// cache[i] was built — the per-shard drift the repair gate tests.
+	cache    []*Summary
+	gens     []uint64
+	shardN   []int
+	opsSince []uint64
+	// scratch for refresh and mutation routing
+	dirty    []bool
+	gathered []shard.ShardSummary
+	batches  [][]shard.Op
+	sizes    []int
+	msc      mergeScratch
+
+	// totalOps and generation mirror Session's drift accounting, atomic so
+	// the lock-free query path can stamp staleness without taking mu.
+	totalOps   atomic.Uint64
+	generation atomic.Uint64
+
+	box    snapBox
+	sstats shardedStats
+
+	stopRefresher chan struct{}
+	refresherDone chan struct{}
+
+	// check mirror (EnableCheck): per-shard value slices maintained under mu
+	// by the same routing the real mutations take, plus a lazily built
+	// whole-population oracle stamped with the generation it serves.
+	mirror    [][]int64
+	oracle    *stats.Oracle
+	oracleGen uint64
+
+	// in-process gang resources; nil/empty in client mode.
+	tr       livenet.Transport
+	sessions []*Session
+	workers  sync.WaitGroup
+}
+
+// sessionBackend adapts a Session to the shard.Backend a worker drives: the
+// root package provides the engine, internal/shard stays ignorant of it.
+type sessionBackend struct {
+	s    *Session
+	muts []Mutation
+}
+
+// NewSessionBackend wraps s as a shard worker backend — what the `gossipq
+// shard` command serves over a TCP peer transport. Rebuild runs the
+// session's deterministic summary build (seeded from the session seed and
+// its build count) and ships node 0's cut envelope; Apply commits mutation
+// batches atomically; Info reports size, generation, and drift.
+func NewSessionBackend(s *Session) shard.Backend { return &sessionBackend{s: s} }
+
+func (b *sessionBackend) Rebuild(eps float64) ([]int64, int, uint64, error) {
+	// ForceRefresh, not Refresh: the router already made the dirty decision
+	// for this epoch, and an unconditional build keeps the shard's refresh
+	// count — and hence its build seeds — a pure function of the epochs the
+	// router asked for, identical across transports.
+	if _, err := b.s.ForceRefresh(eps); err != nil {
+		return nil, 0, 0, err
+	}
+	p := b.s.box.acquire()
+	if p == nil {
+		return nil, 0, 0, errors.New("gossipq: refresh published no snapshot")
+	}
+	// EnvelopeView copies, so the returned cuts stay valid after the
+	// snapshot generation retires — required: chan transports pass payload
+	// slices by reference.
+	cuts := p.sum.EnvelopeView(0, nil)
+	n, gen := p.n, p.gen
+	p.release(&b.s.box)
+	return cuts, n, gen, nil
+}
+
+func (b *sessionBackend) Apply(ops []shard.Op) (int, uint64, error) {
+	b.muts = b.muts[:0]
+	for _, op := range ops {
+		m := Mutation{Index: op.Index, Value: op.Value}
+		switch op.Kind {
+		case shard.OpInsert:
+			m.Op = OpInsert
+		case shard.OpDelete:
+			m.Op = OpDelete
+		case shard.OpUpdate:
+			m.Op = OpUpdate
+		default:
+			return 0, 0, fmt.Errorf("gossipq: unknown shard op kind %d", op.Kind)
+		}
+		b.muts = append(b.muts, m)
+	}
+	gen, err := b.s.Mutate(b.muts)
+	if err != nil {
+		return 0, 0, err
+	}
+	return b.s.N(), gen, nil
+}
+
+func (b *sessionBackend) Info() (int, uint64, uint64) {
+	if info, ok := b.s.Snapshot(); ok {
+		return b.s.N(), b.s.Generation(), info.Drift
+	}
+	return b.s.N(), b.s.Generation(), b.s.MutationOps()
+}
+
+// NewShardedSession partitions values across shards in-process sessions —
+// shard i gets the contiguous slice shard.Partition(len(values), shards, i)
+// and the derived seed shard.SeedFor(cfg.Seed, i) — and starts one worker
+// goroutine per shard over a chan transport, with refresh epochs
+// synchronized on the lockstep merge barrier. The values slice is copied.
+// Close releases the gang.
+func NewShardedSession(values []int64, shards int, cfg Config) (*ShardedSession, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("gossipq: %d shards, want >= 1", shards)
+	}
+	if len(values) < 2*shards {
+		return nil, fmt.Errorf("%w: %d values across %d shards", errShardTooSmall, len(values), shards)
+	}
+	if cfg.failing(len(values)) {
+		return nil, errShardedFailures
+	}
+	tr := livenet.NewChanTransport(shards + 1)
+	bar := &shard.Barrier{}
+	ss := newSharded(shards, cfg)
+	ss.tr = tr
+	// In-process workers cannot vanish without the transport closing (which
+	// unblocks the router's waits immediately), so the epoch deadline is a
+	// hang backstop rather than failure detection: a 2^22-value shard build
+	// legitimately runs for minutes on a loaded box, and the router's 60s
+	// TCP-deployment default would misread it as a dead shard.
+	ss.router = shard.NewRouter(tr, shards, time.Hour, bar, nil)
+	ss.sessions = make([]*Session, shards)
+	for i := 0; i < shards; i++ {
+		lo, hi := shard.Partition(len(values), shards, i)
+		scfg := cfg
+		scfg.Seed = shard.SeedFor(cfg.Seed, i)
+		sess, err := NewSession(values[lo:hi], scfg)
+		if err != nil {
+			tr.Close()
+			return nil, fmt.Errorf("gossipq: shard %d: %w", i, err)
+		}
+		ss.sessions[i] = sess
+		ss.shardN[i] = hi - lo
+		w := shard.NewWorker(i, tr, NewSessionBackend(sess), bar)
+		ss.workers.Add(1)
+		go func() {
+			defer ss.workers.Done()
+			w.Run()
+		}()
+	}
+	return ss, nil
+}
+
+// NewShardedClient builds a sharded session over remote workers — the
+// separate-process deployment, where each shard runs `gossipq shard` and tr
+// is the router's peer transport (livenet.NewTCPPeerTransport at peer index
+// shard.RouterPeer(shards)). addrs annotates health reports and errors with
+// shard addresses; timeout bounds each shard's per-epoch answer (0 means the
+// router's generous default). The client owns tr and closes it on Close.
+// Shard sizes are unknown until the first refresh or mutation reaches each
+// shard.
+func NewShardedClient(tr livenet.Transport, shards int, addrs []string, timeout time.Duration, cfg Config) (*ShardedSession, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("gossipq: %d shards, want >= 1", shards)
+	}
+	ss := newSharded(shards, cfg)
+	ss.tr = tr
+	ss.router = shard.NewRouter(tr, shards, timeout, nil, addrs)
+	return ss, nil
+}
+
+func newSharded(shards int, cfg Config) *ShardedSession {
+	return &ShardedSession{
+		cfg:      cfg,
+		shards:   shards,
+		cache:    make([]*Summary, shards),
+		gens:     make([]uint64, shards),
+		shardN:   make([]int, shards),
+		opsSince: make([]uint64, shards),
+		dirty:    make([]bool, shards),
+		batches:  make([][]shard.Op, shards),
+		sizes:    make([]int, shards),
+	}
+}
+
+// Shards returns the worker count S.
+func (ss *ShardedSession) Shards() int { return ss.shards }
+
+// N returns the total population size as currently known — the sum of
+// per-shard sizes, updated by refreshes and mutation acks. In client mode it
+// is zero until the first refresh contacts the shards.
+func (ss *ShardedSession) N() int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	n := 0
+	for _, k := range ss.shardN {
+		n += k
+	}
+	return n
+}
+
+// Generation returns the sharded population generation: zero at
+// construction, incremented by every successful Mutate call.
+func (ss *ShardedSession) Generation() uint64 { return ss.generation.Load() }
+
+// MutationOps returns the total number of mutation operations applied
+// through this session — the accumulated drift unit.
+func (ss *ShardedSession) MutationOps() uint64 { return ss.totalOps.Load() }
+
+// Refresh publishes a merged ε-summary of the whole sharded population, but
+// only rebuilds what drift demands — the two-level repair policy. Shard i is
+// dirty when it has no cached summary at this width or the mutation ops
+// routed to it since its last build reach its own drift budget
+// (driftBudget(ε/2, n_i) — summaries are built at half width, so each shard
+// tolerates ≈ε/4·n_i ops); clean shards are not contacted and their cached
+// summaries merge as-is. When no shard is dirty and a merged snapshot at
+// this width stands, Refresh is a no-op returning its metadata. One refresh
+// epoch costs a constant two cross-shard hops however many shards rebuild.
+//
+// Rebuilds are deterministic: shard i's b-th build runs on an engine seeded
+// from (shard.SeedFor(seed, i), b), and the merge is input-order
+// insensitive, so equal configurations publish bit-identical merged
+// summaries across gang and process deployments.
+func (ss *ShardedSession) Refresh(eps float64) (SnapshotInfo, error) {
+	if err := validSummaryEps(eps); err != nil {
+		return SnapshotInfo{}, err
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.closed {
+		return SnapshotInfo{}, errSessionClosed
+	}
+	force := ss.lastEps != eps
+	need := 0
+	for i := range ss.dirty {
+		ss.dirty[i] = force || ss.cache[i] == nil ||
+			ss.opsSince[i] >= driftBudget(eps/2, ss.shardN[i])
+		if ss.dirty[i] {
+			need++
+		}
+	}
+	if need == 0 {
+		if p := ss.box.cur.Load(); p != nil && p.sum.eps == eps {
+			ss.sstats.refreshesSkipped.Add(1)
+			return p.info(ss.totalOps.Load()), nil
+		}
+		// Cache is clean but nothing is published (first refresh after a
+		// client restart): merge the cache without contacting anyone.
+	}
+	return ss.rebuildLocked(eps, need)
+}
+
+// ForceRefresh rebuilds every shard and publishes a fresh merged summary
+// unconditionally, bypassing both repair gates.
+func (ss *ShardedSession) ForceRefresh(eps float64) (SnapshotInfo, error) {
+	if err := validSummaryEps(eps); err != nil {
+		return SnapshotInfo{}, err
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.closed {
+		return SnapshotInfo{}, errSessionClosed
+	}
+	for i := range ss.dirty {
+		ss.dirty[i] = true
+	}
+	return ss.rebuildLocked(eps, ss.shards)
+}
+
+// rebuildLocked gathers the dirty shards' summaries at width eps/2, merges
+// all S at width eps, and publishes the result; the caller holds mu and has
+// filled ss.dirty (need = number of dirty shards).
+func (ss *ShardedSession) rebuildLocked(eps float64, need int) (SnapshotInfo, error) {
+	start := time.Now()
+	if need > 0 {
+		got, err := ss.router.Gather(eps/2, ss.dirty, ss.gathered[:0])
+		if err != nil {
+			return SnapshotInfo{}, err
+		}
+		ss.gathered = got[:0]
+		for _, g := range got {
+			sum, err := NewSummaryFromCuts(g.Eps, g.N, g.Cuts)
+			if err != nil {
+				return SnapshotInfo{}, fmt.Errorf("gossipq: shard %d summary: %w", g.Shard, err)
+			}
+			ss.cache[g.Shard] = sum
+			ss.gens[g.Shard] = g.Gen
+			ss.shardN[g.Shard] = g.N
+			ss.opsSince[g.Shard] = 0
+		}
+	}
+	merged := mergeSummariesInto(ss.cache, eps, ss.box.popBacking(), &ss.msc)
+	buildNanos := time.Since(start).Nanoseconds()
+	ss.sstats.refreshBuildNanos.Add(buildNanos)
+	ss.sstats.lastRefreshNanos.Store(buildNanos)
+	ss.lastEps = eps
+	ss.refreshes++
+	sn := &snapshot{
+		sum: merged, version: ss.refreshes, builtAt: time.Now(),
+		gen: ss.generation.Load(), ops: ss.totalOps.Load(), n: merged.n,
+		budget: driftBudget(eps, merged.n),
+	}
+	ss.box.publish(sn)
+	return sn.info(sn.ops), nil
+}
+
+// StartRefresher publishes an initial merged snapshot at width eps
+// synchronously, then — for ttl > 0 — runs the drift-gated Refresh every ttl
+// until Close, exactly like Session.StartRefresher: an unmutated deployment
+// pays no periodic gather.
+func (ss *ShardedSession) StartRefresher(eps float64, ttl time.Duration) (SnapshotInfo, error) {
+	info, err := ss.Refresh(eps)
+	if err != nil {
+		return info, err
+	}
+	if ttl <= 0 {
+		return info, nil
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.closed {
+		return info, errSessionClosed
+	}
+	if ss.stopRefresher != nil {
+		return info, errRefresherActive
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	ss.stopRefresher, ss.refresherDone = stop, done
+	go func() {
+		defer close(done)
+		t := time.NewTicker(ttl)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if _, err := ss.Refresh(eps); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	return info, nil
+}
+
+// Snapshot reports the published merged snapshot's metadata, if any,
+// including its current drift against the sharded population.
+func (ss *ShardedSession) Snapshot() (SnapshotInfo, bool) {
+	p := ss.box.acquire()
+	if p == nil {
+		return SnapshotInfo{}, false
+	}
+	info := p.info(ss.totalOps.Load())
+	p.release(&ss.box)
+	return info, true
+}
+
+// snapAnswer serves q from the merged snapshot when it covers the requested
+// width and its drift stays within budget — the same lock-free read path as
+// Session.snapshotAnswer, against the sharded box.
+func (ss *ShardedSession) snapAnswer(q Query) (Answer, bool) {
+	p := ss.box.acquire()
+	if p == nil {
+		return Answer{}, false
+	}
+	drift := ss.totalOps.Load() - p.ops
+	if p.sum.eps > q.Eps || drift > p.budget {
+		p.release(&ss.box)
+		return Answer{}, false
+	}
+	ans := Answer{
+		Value:           p.sum.Query(0, q.Phi),
+		Covered:         p.n,
+		Mode:            ServeSnapshot,
+		SnapshotVersion: p.version,
+		Generation:      p.gen,
+		SnapshotDrift:   drift,
+	}
+	p.release(&ss.box)
+	ss.sstats.snapshotQueries.Add(1)
+	return ans, true
+}
+
+// Ask answers one approximate query from the merged summary. When the
+// standing snapshot cannot serve it — none published, width not covered, or
+// drift over budget — Ask runs one synchronous drift-gated Refresh at the
+// requested width and answers from the result; there is no per-query live
+// path across shards (that is the point of the tier: the cross-shard gossip
+// is paid per refresh, not per query). Exact queries are refused — they need
+// the whole population on one engine; q.Mode is ignored, answers always
+// report ServeSnapshot.
+func (ss *ShardedSession) Ask(q Query) (Answer, error) {
+	if err := ss.validateQuery(q); err != nil {
+		return Answer{}, err
+	}
+	if ans, ok := ss.snapAnswer(q); ok {
+		return ans, nil
+	}
+	ss.sstats.queryRefreshes.Add(1)
+	if _, err := ss.Refresh(q.Eps); err != nil {
+		return Answer{}, err
+	}
+	if ans, ok := ss.snapAnswer(q); ok {
+		return ans, nil
+	}
+	// Unreachable in practice: a successful Refresh at q.Eps publishes a
+	// zero-drift snapshot at exactly q.Eps.
+	return Answer{}, errors.New("gossipq: refreshed snapshot cannot serve the query")
+}
+
+// ApproxQuantile answers one approximate query — Ask in positional form.
+func (ss *ShardedSession) ApproxQuantile(phi, eps float64) (Answer, error) {
+	return ss.Ask(Query{Phi: phi, Eps: eps})
+}
+
+// Batch answers the queries in order; see Ask for the serving policy. The
+// answers slice is freshly allocated; per-query runtime failures are
+// recorded in Answer.Err. A validation error on any query fails the whole
+// batch before any query runs.
+func (ss *ShardedSession) Batch(qs []Query) ([]Answer, error) {
+	return ss.BatchInto(nil, qs)
+}
+
+// BatchInto is Batch appending into dst, for serving loops recycling answer
+// slices.
+func (ss *ShardedSession) BatchInto(dst []Answer, qs []Query) ([]Answer, error) {
+	for _, q := range qs {
+		if err := ss.validateQuery(q); err != nil {
+			return dst, err
+		}
+	}
+	for _, q := range qs {
+		ans, err := ss.Ask(q)
+		ans.Err = err
+		dst = append(dst, ans)
+	}
+	return dst, nil
+}
+
+func (ss *ShardedSession) validateQuery(q Query) error {
+	if q.Exact {
+		return errShardedExact
+	}
+	if err := (&Session{}).validateQuery(q); err != nil {
+		return err
+	}
+	return nil
+}
+
+// locate maps a global index against the concatenation of the simulated
+// shard sizes to (shard, local index).
+func locate(sizes []int, g int) (int, int, error) {
+	if g >= 0 {
+		for i, s := range sizes {
+			if g < s {
+				return i, g, nil
+			}
+			g -= s
+		}
+	}
+	return 0, 0, fmt.Errorf("%w: global index out of range", errMutIndex)
+}
+
+// Mutate routes a batch of mutations to their owning shards and applies
+// them, returning the new generation. The global index space is the
+// concatenation of the shard slices in shard order, and — as in
+// Session.Mutate — each operation's Index is interpreted against the
+// population as already edited by the preceding operations of the batch.
+// Inserts go to the currently smallest shard (lowest index on ties), keeping
+// the partition balanced; deletes swap-remove within the owning shard (the
+// shard's own last value fills the hole — the local analogue of the
+// session's global swap-remove, so indices are likewise not stable across
+// deletes); every shard keeps at least 2 values.
+//
+// The whole batch is validated before anything is sent. Application is
+// atomic per shard (one Session.Mutate batch each), not across shards: a
+// shard failing mid-batch — only possible by going down — leaves earlier
+// shards' sub-batches applied, and the error says so.
+func (ss *ShardedSession) Mutate(muts []Mutation) (uint64, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.closed {
+		return ss.generation.Load(), errSessionClosed
+	}
+	if len(muts) == 0 {
+		return ss.generation.Load(), nil
+	}
+	sizes := append(ss.sizes[:0], ss.shardN...)
+	ss.sizes = sizes
+	for i := range ss.batches {
+		ss.batches[i] = ss.batches[i][:0]
+	}
+	for k, m := range muts {
+		switch m.Op {
+		case OpInsert:
+			tgt := 0
+			for i := 1; i < len(sizes); i++ {
+				if sizes[i] < sizes[tgt] {
+					tgt = i
+				}
+			}
+			ss.batches[tgt] = append(ss.batches[tgt], shard.Op{Kind: shard.OpInsert, Value: m.Value})
+			sizes[tgt]++
+		case OpDelete:
+			i, local, err := locate(sizes, m.Index)
+			if err != nil {
+				return ss.generation.Load(), fmt.Errorf("op %d: %w", k, err)
+			}
+			if sizes[i] <= 2 {
+				return ss.generation.Load(), fmt.Errorf("op %d: %w (shard %d at n=%d)", k, errMutShrink, i, sizes[i])
+			}
+			ss.batches[i] = append(ss.batches[i], shard.Op{Kind: shard.OpDelete, Index: local})
+			sizes[i]--
+		case OpUpdate:
+			i, local, err := locate(sizes, m.Index)
+			if err != nil {
+				return ss.generation.Load(), fmt.Errorf("op %d: %w", k, err)
+			}
+			ss.batches[i] = append(ss.batches[i], shard.Op{Kind: shard.OpUpdate, Index: local, Value: m.Value})
+		default:
+			return ss.generation.Load(), fmt.Errorf("op %d: %w (%d)", k, errMutOp, m.Op)
+		}
+	}
+	applied := 0
+	for i, b := range ss.batches {
+		if len(b) == 0 {
+			continue
+		}
+		n, gen, err := ss.router.Mutate(i, b)
+		if err != nil {
+			if applied > 0 {
+				return ss.generation.Load(), fmt.Errorf("gossipq: shard %d failed after %d shards applied their sub-batches: %w", i, applied, err)
+			}
+			return ss.generation.Load(), fmt.Errorf("gossipq: shard %d: %w", i, err)
+		}
+		ss.shardN[i] = n
+		ss.gens[i] = gen
+		ss.opsSince[i] += uint64(len(b))
+		ss.mirrorApply(i, b)
+		applied++
+	}
+	ss.totalOps.Add(uint64(len(muts)))
+	return ss.generation.Add(1), nil
+}
+
+// Insert appends v to the population (routed to the smallest shard) and
+// returns the new generation.
+func (ss *ShardedSession) Insert(v int64) (uint64, error) {
+	return ss.Mutate([]Mutation{{Op: OpInsert, Value: v}})
+}
+
+// Delete swap-removes the value at global index i within its owning shard
+// and returns the new generation.
+func (ss *ShardedSession) Delete(i int) (uint64, error) {
+	return ss.Mutate([]Mutation{{Op: OpDelete, Index: i}})
+}
+
+// Update overwrites the value at global index i with v and returns the new
+// generation.
+func (ss *ShardedSession) Update(i int, v int64) (uint64, error) {
+	return ss.Mutate([]Mutation{{Op: OpUpdate, Index: i, Value: v}})
+}
+
+// EnableCheck installs a verification mirror: a copy of every shard's value
+// slice, maintained by the exact routing real mutations take, from which an
+// exact whole-population oracle is built lazily per generation. values must
+// be the same whole population the workers loaded (the caller regenerates it
+// deterministically in client mode); it is copied. Intended for harnesses
+// and the query server's -check mode — the mirror costs O(n) memory, which
+// is why it is opt-in.
+func (ss *ShardedSession) EnableCheck(values []int64) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.mirror = make([][]int64, ss.shards)
+	for i := range ss.mirror {
+		lo, hi := shard.Partition(len(values), ss.shards, i)
+		ss.mirror[i] = append([]int64(nil), values[lo:hi]...)
+	}
+	ss.oracle, ss.oracleGen = nil, 0
+}
+
+// mirrorApply replays shard i's applied sub-batch on the check mirror,
+// matching Session.applyLocked semantics op for op; callers hold mu.
+func (ss *ShardedSession) mirrorApply(i int, b []shard.Op) {
+	if ss.mirror == nil {
+		return
+	}
+	vals := ss.mirror[i]
+	for _, op := range b {
+		switch op.Kind {
+		case shard.OpInsert:
+			vals = append(vals, op.Value)
+		case shard.OpDelete:
+			last := len(vals) - 1
+			vals[op.Index] = vals[last]
+			vals = vals[:last]
+		case shard.OpUpdate:
+			vals[op.Index] = op.Value
+		}
+	}
+	ss.mirror[i] = vals
+	ss.oracle = nil
+}
+
+// ensureOracleLocked returns the mirror-backed exact oracle, rebuilding it
+// when a mutation has invalidated the cached copy; callers hold mu.
+func (ss *ShardedSession) ensureOracleLocked() (*stats.Oracle, error) {
+	if ss.mirror == nil {
+		return nil, errShardedNoCheck
+	}
+	gen := ss.generation.Load()
+	if ss.oracle == nil || ss.oracleGen != gen+1 {
+		all := make([]int64, 0)
+		for _, vals := range ss.mirror {
+			all = append(all, vals...)
+		}
+		ss.oracle = stats.NewOracle(all)
+		ss.oracleGen = gen + 1
+	}
+	return ss.oracle, nil
+}
+
+// Verify reports whether x is an acceptable ε-approximate φ-quantile of the
+// current whole sharded population, from the check mirror's exact oracle.
+// It fails unless EnableCheck installed a mirror.
+func (ss *ShardedSession) Verify(x int64, phi, eps float64) (bool, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	o, err := ss.ensureOracleLocked()
+	if err != nil {
+		return false, err
+	}
+	return o.WithinEpsilon(x, phi, eps), nil
+}
+
+// OracleQuantile returns the exact ⌈φn⌉-smallest value of the current whole
+// sharded population from the check mirror's oracle.
+func (ss *ShardedSession) OracleQuantile(phi float64) (int64, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	o, err := ss.ensureOracleLocked()
+	if err != nil {
+		return 0, err
+	}
+	return o.Quantile(phi), nil
+}
+
+// Health pings every shard and returns their reports in shard order: size,
+// generation, drift since the shard's last summary build, and — in client
+// mode — address. A shard that does not answer fails the whole call with
+// ShardDownError (the serving layer's 503).
+func (ss *ShardedSession) Health() ([]shard.Health, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.closed {
+		return nil, errSessionClosed
+	}
+	out := make([]shard.Health, ss.shards)
+	for i := 0; i < ss.shards; i++ {
+		h, err := ss.router.Ping(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = h
+	}
+	return out, nil
+}
+
+// Generations returns the per-shard generation vector as last observed by
+// refreshes and mutation acks — the healthz drift report's companion.
+func (ss *ShardedSession) Generations() []uint64 {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return append([]uint64(nil), ss.gens...)
+}
+
+// Stats returns the sharded session's instrumentation counters.
+func (ss *ShardedSession) Stats() ShardedStats {
+	ss.mu.Lock()
+	refreshes := ss.refreshes
+	ss.mu.Unlock()
+	rst := ss.router.Stats()
+	return ShardedStats{
+		Shards:            ss.shards,
+		SnapshotQueries:   ss.sstats.snapshotQueries.Load(),
+		QueryRefreshes:    ss.sstats.queryRefreshes.Load(),
+		Refreshes:         refreshes,
+		RefreshesSkipped:  ss.sstats.refreshesSkipped.Load(),
+		Epochs:            rst.Epochs,
+		HopsPerEpoch:      rst.HopsPerEpoch,
+		RecycledBackings:  ss.box.recycledBackings.Load(),
+		FreshBackings:     ss.box.freshBackings.Load(),
+		Generation:        ss.generation.Load(),
+		MutationOps:       ss.totalOps.Load(),
+		RefreshBuildTotal: time.Duration(ss.sstats.refreshBuildNanos.Load()),
+		LastRefreshBuild:  time.Duration(ss.sstats.lastRefreshNanos.Load()),
+	}
+}
+
+// Close stops the background refresher (if any), closes the transport —
+// which in gang mode ends every worker goroutine — and marks the session
+// closed. Published snapshots keep serving queries; refreshes and mutations
+// fail. Close is idempotent.
+func (ss *ShardedSession) Close() error {
+	ss.mu.Lock()
+	stop, done := ss.stopRefresher, ss.refresherDone
+	ss.stopRefresher, ss.refresherDone = nil, nil
+	already := ss.closed
+	ss.closed = true
+	ss.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	if already {
+		return nil
+	}
+	if ss.tr != nil {
+		ss.tr.Close()
+	}
+	ss.workers.Wait()
+	for _, s := range ss.sessions {
+		s.Close()
+	}
+	return nil
+}

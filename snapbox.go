@@ -1,0 +1,86 @@
+package gossipq
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// snapBox is the publish/read half of the snapshot serving tier, factored
+// out of Session so the sharded session can publish merged summaries through
+// the exact same machinery: one atomic current-generation pointer read
+// lock-free by queries, plus the retired-backing freelist that makes
+// steady-state rebuilds allocation-free. The writer side (what builds the
+// summary and decides when) stays with the owner — Session.rebuildLocked
+// runs a grid build on a pooled rig, ShardedSession merges shard summaries —
+// but publish, acquire, release, and backing recycling are identical.
+type snapBox struct {
+	cur    atomic.Pointer[snapshot]
+	freeMu sync.Mutex
+	free   []summaryBacking
+
+	// recycledBackings and freshBackings split builds by whether the grid
+	// arrays came off the freelist or were allocated; owners export them via
+	// their Stats.
+	recycledBackings atomic.Int64
+	freshBackings    atomic.Int64
+}
+
+// acquire takes a read reference on the current snapshot, or nil if none is
+// published. The increment-then-recheck dance closes the race with a
+// concurrent publish unpublishing the generation: a reader that incremented
+// a just-retired snapshot's count sees the pointer move, backs out, and
+// retries on the successor — it never touches a recycled array. refs can
+// only be zero once the snapshot is unpublished (the publish reference pins
+// it while current), so a successful re-check proves the reference is valid.
+func (b *snapBox) acquire() *snapshot {
+	for {
+		p := b.cur.Load()
+		if p == nil {
+			return nil
+		}
+		p.refs.Add(1)
+		if b.cur.Load() == p {
+			return p
+		}
+		p.release(b)
+	}
+}
+
+// release drops one snapshot reference; the one that zeroes the count
+// pushes the backing arrays onto the box's freelist for the next rebuild.
+// The releasing goroutine's reads all precede its decrement, and the
+// freelist mutex orders the push before any pop, so a rebuild never writes
+// an array a reader is still on.
+func (p *snapshot) release(b *snapBox) {
+	if p.refs.Add(-1) == 0 && p.recycled.CompareAndSwap(false, true) {
+		b.freeMu.Lock()
+		b.free = append(b.free, p.sum.backing())
+		b.freeMu.Unlock()
+	}
+}
+
+// popBacking takes a retired backing off the freelist, or an empty one
+// (lazily allocated by the build) when none has been released yet.
+func (b *snapBox) popBacking() summaryBacking {
+	b.freeMu.Lock()
+	defer b.freeMu.Unlock()
+	if k := len(b.free); k > 0 {
+		bk := b.free[k-1]
+		b.free[k-1] = summaryBacking{}
+		b.free = b.free[:k-1]
+		b.recycledBackings.Add(1)
+		return bk
+	}
+	b.freshBackings.Add(1)
+	return summaryBacking{}
+}
+
+// publish installs sn as the current generation (taking the publish
+// reference) and retires the previous one, whose arrays return through the
+// freelist once its last reader releases it.
+func (b *snapBox) publish(sn *snapshot) {
+	sn.refs.Store(1)
+	if old := b.cur.Swap(sn); old != nil {
+		old.release(b)
+	}
+}

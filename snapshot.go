@@ -137,66 +137,17 @@ func driftBudget(eps float64, n int) uint64 {
 	return uint64(b)
 }
 
-// acquireSnapshot takes a read reference on the current snapshot, or nil if
-// none is published. The increment-then-recheck dance closes the race with
-// a concurrent Refresh unpublishing the generation: a reader that
-// incremented a just-retired snapshot's count sees the pointer move, backs
-// out, and retries on the successor — it never touches a recycled array.
-// refs can only be zero once the snapshot is unpublished (the publish
-// reference pins it while current), so a successful re-check proves the
-// reference is valid.
-func (s *Session) acquireSnapshot() *snapshot {
-	for {
-		p := s.snap.Load()
-		if p == nil {
-			return nil
-		}
-		p.refs.Add(1)
-		if s.snap.Load() == p {
-			return p
-		}
-		p.release(s)
-	}
-}
-
-// release drops one snapshot reference; the one that zeroes the count
-// pushes the backing arrays onto the session's freelist for the next
-// rebuild. The releasing goroutine's reads all precede its decrement, and
-// the freelist mutex orders the push before any pop, so a rebuild never
-// writes an array a reader is still on.
-func (p *snapshot) release(s *Session) {
-	if p.refs.Add(-1) == 0 && p.recycled.CompareAndSwap(false, true) {
-		s.freeMu.Lock()
-		s.free = append(s.free, p.sum.backing())
-		s.freeMu.Unlock()
-	}
-}
-
-// popBacking takes a retired backing off the freelist, or an empty one
-// (lazily allocated by the build) when none has been released yet.
-func (s *Session) popBacking() summaryBacking {
-	s.freeMu.Lock()
-	defer s.freeMu.Unlock()
-	if k := len(s.free); k > 0 {
-		b := s.free[k-1]
-		s.free[k-1] = summaryBacking{}
-		s.free = s.free[:k-1]
-		s.qstats.recycledBackings.Add(1)
-		return b
-	}
-	s.qstats.freshBackings.Add(1)
-	return summaryBacking{}
-}
-
 // Snapshot reports the currently published snapshot's metadata, if any,
-// including its current drift against the live population.
+// including its current drift against the live population. (The acquire/
+// release/freelist machinery itself lives on snapBox — snapbox.go — shared
+// with the sharded session.)
 func (s *Session) Snapshot() (SnapshotInfo, bool) {
-	p := s.acquireSnapshot()
+	p := s.box.acquire()
 	if p == nil {
 		return SnapshotInfo{}, false
 	}
 	info := p.info(s.mutOps.Load())
-	p.release(s)
+	p.release(&s.box)
 	return info, true
 }
 
@@ -246,7 +197,7 @@ func (s *Session) Refresh(eps float64) (SnapshotInfo, error) {
 	if s.closed {
 		return SnapshotInfo{}, errSessionClosed
 	}
-	if p := s.snap.Load(); p != nil && p.sum.eps == eps {
+	if p := s.box.cur.Load(); p != nil && p.sum.eps == eps {
 		curOps := s.mutOps.Load()
 		if curOps-p.ops < p.budget {
 			s.qstats.refreshesSkipped.Add(1)
@@ -291,7 +242,7 @@ func (s *Session) rebuildLocked(eps float64) (SnapshotInfo, error) {
 	rig := s.checkout()
 	s.reseed(rig, s.refreshSeed(r))
 	start := time.Now()
-	sum := buildSummaryInto(rig.tour, s.values, eps, s.cfg.K, s.popBacking())
+	sum := buildSummaryInto(rig.tour, s.values, eps, s.cfg.K, s.box.popBacking())
 	buildNanos := time.Since(start).Nanoseconds()
 	s.popMu.RUnlock()
 	s.qstats.refreshBuildNanos.Add(buildNanos)
@@ -301,10 +252,7 @@ func (s *Session) rebuildLocked(eps float64) (SnapshotInfo, error) {
 		sum: sum, version: r + 1, watermark: watermark, builtAt: time.Now(),
 		gen: gen, ops: ops, n: n, budget: driftBudget(eps, n),
 	}
-	sn.refs.Store(1) // the publish reference
-	if old := s.snap.Swap(sn); old != nil {
-		old.release(s)
-	}
+	s.box.publish(sn)
 	return sn.info(ops), nil
 }
 
@@ -388,14 +336,14 @@ func (s *Session) snapshotAnswer(q Query) (Answer, bool) {
 	if q.Mode != ServeSnapshot || q.Exact {
 		return Answer{}, false
 	}
-	p := s.acquireSnapshot()
+	p := s.box.acquire()
 	if p == nil {
 		s.qstats.snapshotFallbacks.Add(1)
 		return Answer{}, false
 	}
 	drift := s.mutOps.Load() - p.ops
 	if p.sum.eps > q.Eps || drift > p.budget {
-		p.release(s)
+		p.release(&s.box)
 		s.qstats.snapshotFallbacks.Add(1)
 		return Answer{}, false
 	}
@@ -407,7 +355,7 @@ func (s *Session) snapshotAnswer(q Query) (Answer, bool) {
 		Generation:      p.gen,
 		SnapshotDrift:   drift,
 	}
-	p.release(s)
+	p.release(&s.box)
 	s.qstats.snapshotQueries.Add(1)
 	return ans, true
 }

@@ -22,6 +22,7 @@ import (
 // A Summary is immutable after construction and safe for concurrent reads.
 type Summary struct {
 	eps  float64
+	n    int       // population size the summary describes
 	grid []float64 // ascending quantile targets
 	// cuts[g][v] is node v's estimate of the grid[g]-quantile.
 	cuts [][]int64
@@ -93,7 +94,7 @@ func buildSummaryInto(sc *tournament.Scratch, values []int64, eps float64, k int
 			gridEps = step
 		}
 	}
-	s := &Summary{eps: eps, grid: tournament.QuantileGrid(step)}
+	s := &Summary{eps: eps, n: n, grid: tournament.QuantileGrid(step)}
 	// One scratch serves all grid runs (transcript-identical to running
 	// ApproxQuantile per grid point on this engine).
 	s.cuts = sc.GridQuantiles(values, s.grid, gridEps, tournament.Options{K: k}, b.cuts)[:len(s.grid)]
@@ -116,6 +117,10 @@ func (s *Summary) backing() summaryBacking {
 
 // Eps returns the summary's accuracy parameter.
 func (s *Summary) Eps() float64 { return s.eps }
+
+// N returns the size of the population the summary describes — the merge
+// weight of this summary in Merge/MergeSummaries.
+func (s *Summary) N() int { return s.n }
 
 // GridSize returns the number of stored cut points (per node).
 func (s *Summary) GridSize() int { return len(s.grid) }
@@ -160,6 +165,54 @@ func (s *Summary) Rank(v int, x int64) float64 {
 		est = 1
 	}
 	return est
+}
+
+// EnvelopeView appends node v's monotone cut envelope (the SuffixMinCuts
+// repair of its raw cut vector, non-decreasing in the grid index) to dst and
+// returns the extended slice. The envelope answers every Rank query exactly
+// as the raw cuts do, and each entry is itself a valid ±ε estimate of its
+// grid target (the suffix min at g estimates some target ≥ grid[g] from
+// above and is bounded by the raw g-estimate from below) — which makes the
+// envelope the canonical single-node wire form of a summary: what a shard
+// ships to the merge tier, and what NewSummaryFromCuts reconstitutes.
+func (s *Summary) EnvelopeView(v int, dst []int64) []int64 {
+	for g := range s.env {
+		dst = append(dst, s.env[g][v])
+	}
+	return dst
+}
+
+// NewSummaryFromCuts reconstitutes a single-node ε-summary from a monotone
+// cut vector — the receiving half of the shard wire protocol, inverse to
+// EnvelopeView. cuts[g] must estimate the grid target (g+1)·(eps/2) and be
+// non-decreasing; the cut count must match the ε-grid exactly
+// (len(tournament.QuantileGrid(eps/2))), so a truncated or padded wire
+// payload is rejected rather than silently misaligned. n is the population
+// size the summary describes (its merge weight). The slice is copied.
+func NewSummaryFromCuts(eps float64, n int, cuts []int64) (*Summary, error) {
+	if err := validSummaryEps(eps); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("gossipq: summary population %d, want >= 1", n)
+	}
+	grid := tournament.QuantileGrid(eps / 2)
+	if len(cuts) != len(grid) {
+		return nil, fmt.Errorf("gossipq: %d cuts for an eps=%v summary, want %d", len(cuts), eps, len(grid))
+	}
+	for g := 1; g < len(cuts); g++ {
+		if cuts[g] < cuts[g-1] {
+			return nil, fmt.Errorf("gossipq: cut vector not monotone at index %d (%d < %d)", g, cuts[g], cuts[g-1])
+		}
+	}
+	s := &Summary{eps: eps, n: n, grid: grid}
+	s.cuts = make([][]int64, len(grid))
+	s.env = make([][]int64, len(grid))
+	for g := range grid {
+		s.cuts[g] = []int64{cuts[g]}
+		s.env[g] = []int64{cuts[g]}
+	}
+	return s, nil
 }
 
 // NodeView returns node v's full cut-point vector (ascending grid order) —
